@@ -1,0 +1,1 @@
+examples/flexible_search.ml: Core Datagen Format List Unix

@@ -1,0 +1,1 @@
+examples/knowledge_explorer.ml: Core Datagen Format Graphstore List

@@ -1,0 +1,1 @@
+lib/automaton/build.ml: Nfa Rpq_regex

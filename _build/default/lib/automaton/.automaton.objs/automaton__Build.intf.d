@@ -1,0 +1,1 @@
+lib/automaton/build.mli: Nfa Rpq_regex

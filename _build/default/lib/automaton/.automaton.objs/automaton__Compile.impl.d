@@ -1,0 +1,1 @@
+lib/automaton/compile.ml: Approx Build Eps Format Graphstore Relax

@@ -1,0 +1,1 @@
+lib/automaton/compile.mli: Format Graphstore Nfa Ontology Rpq_regex

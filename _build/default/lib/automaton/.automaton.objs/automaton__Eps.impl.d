@@ -1,0 +1,1 @@
+lib/automaton/eps.ml: Hashtbl List Nfa

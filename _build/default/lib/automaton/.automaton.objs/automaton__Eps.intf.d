@@ -1,0 +1,1 @@
+lib/automaton/eps.mli: Nfa

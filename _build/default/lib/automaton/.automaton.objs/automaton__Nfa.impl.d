@@ -1,0 +1,1 @@
+lib/automaton/nfa.ml: Array Format Hashtbl List Printf Rpq_regex String

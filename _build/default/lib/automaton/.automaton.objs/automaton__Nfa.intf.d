@@ -1,0 +1,1 @@
+lib/automaton/nfa.mli: Format Rpq_regex

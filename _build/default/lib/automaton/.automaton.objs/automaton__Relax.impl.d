@@ -1,0 +1,1 @@
+lib/automaton/relax.ml: Array List Nfa Ontology

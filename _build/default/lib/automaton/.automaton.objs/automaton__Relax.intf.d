@@ -1,0 +1,1 @@
+lib/automaton/relax.mli: Nfa Ontology

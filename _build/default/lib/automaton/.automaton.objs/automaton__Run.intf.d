@@ -1,0 +1,1 @@
+lib/automaton/run.mli: Nfa

@@ -1,0 +1,22 @@
+(** The APPROX transformation: [M_R → A_R].
+
+    Approximate matching applies label edit operations to words of [L(R)]
+    (Hurtado–Poulovassilis–Wood, ESWC 2009), each at a user-configurable
+    cost:
+
+    - {b insertion} (cost [ins]): at any state, consume one arbitrary edge —
+      a wildcard [*] self-loop, the paper's compact encoding of one
+      transition per label in [Sigma ∪ {type}] and their reversals;
+    - {b deletion} (cost [del]): skip a required label — an ε-transition
+      parallel to each symbol transition (removed later by {!Eps.remove});
+    - {b substitution} (cost [sub]): consume one arbitrary edge instead of
+      the required label — a wildcard transition parallel to each symbol
+      transition.
+
+    Repeated edits compound: a word at edit distance [k] from [L(R)] is
+    accepted at cost equal to the cheapest edit script. *)
+
+val transform : ins:int -> del:int -> sub:int -> Nfa.t -> Nfa.t
+(** [transform ~ins ~del ~sub m] returns [A_R].  The input is not modified;
+    the output still contains ε-transitions and must be passed through
+    {!Eps.remove}. *)

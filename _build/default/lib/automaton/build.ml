@@ -1,0 +1,63 @@
+(* Standard Thompson construction.  Each [compile] call returns the fragment's
+   (entry, exit) states; ε-transitions glue fragments together. *)
+
+let of_regex ~intern r =
+  let a = Nfa.create () in
+  let eps src dst = Nfa.add_transition a src Nfa.Eps 0 dst in
+  let rec compile r =
+    match (r : Rpq_regex.Regex.t) with
+    | Eps ->
+      let s = Nfa.fresh_state a in
+      let f = Nfa.fresh_state a in
+      eps s f;
+      (s, f)
+    | Lbl (d, name) ->
+      let s = Nfa.fresh_state a in
+      let f = Nfa.fresh_state a in
+      Nfa.add_transition a s (Nfa.Sym (d, intern name)) 0 f;
+      (s, f)
+    | Any d ->
+      let s = Nfa.fresh_state a in
+      let f = Nfa.fresh_state a in
+      Nfa.add_transition a s (Nfa.Any_dir d) 0 f;
+      (s, f)
+    | Seq (r1, r2) ->
+      let s1, f1 = compile r1 in
+      let s2, f2 = compile r2 in
+      eps f1 s2;
+      (s1, f2)
+    | Alt (r1, r2) ->
+      let s1, f1 = compile r1 in
+      let s2, f2 = compile r2 in
+      let s = Nfa.fresh_state a in
+      let f = Nfa.fresh_state a in
+      eps s s1;
+      eps s s2;
+      eps f1 f;
+      eps f2 f;
+      (s, f)
+    | Star r ->
+      let s1, f1 = compile r in
+      let s = Nfa.fresh_state a in
+      let f = Nfa.fresh_state a in
+      eps s s1;
+      eps s f;
+      eps f1 s1;
+      eps f1 f;
+      (s, f)
+    | Plus r ->
+      let s1, f1 = compile r in
+      let s = Nfa.fresh_state a in
+      let f = Nfa.fresh_state a in
+      eps s s1;
+      eps f1 s1;
+      eps f1 f;
+      (s, f)
+  in
+  let entry, exit = compile r in
+  (* State 0 pre-exists; route it into the fragment so the initial state is
+     always 0. *)
+  Nfa.add_transition a 0 Nfa.Eps 0 entry;
+  Nfa.set_initial a 0;
+  Nfa.set_final a exit 0;
+  a

@@ -1,0 +1,11 @@
+(** Thompson construction: regular expression → weighted NFA [M_R].
+
+    All transitions produced here have cost 0; APPROX/RELAX transformations
+    add the positively-weighted ones afterwards, and {!Eps.remove} eliminates
+    the ε-transitions before evaluation. *)
+
+val of_regex : intern:(string -> int) -> Rpq_regex.Regex.t -> Nfa.t
+(** [of_regex ~intern r] compiles [r], interning each label with [intern]
+    (normally [Graphstore.Interner.intern (Graph.interner g)]).  The result
+    has a single initial state and a single final state of weight 0, and
+    contains ε-transitions. *)

@@ -1,0 +1,24 @@
+module Graph = Graphstore.Graph
+
+type mode =
+  | Exact
+  | Approx of { ins : int; del : int; sub : int }
+  | Relax of { beta : int; gamma : int }
+
+let pp_mode ppf = function
+  | Exact -> Format.pp_print_string ppf "exact"
+  | Approx { ins; del; sub } -> Format.fprintf ppf "APPROX(ins=%d,del=%d,sub=%d)" ins del sub
+  | Relax { beta; gamma } -> Format.fprintf ppf "RELAX(beta=%d,gamma=%d)" beta gamma
+
+let conjunct_automaton ~graph ~ontology ~mode r =
+  let intern = Graphstore.Interner.intern (Graph.interner graph) in
+  let m = Build.of_regex ~intern r in
+  let transformed =
+    match mode with
+    | Exact -> m
+    | Approx { ins; del; sub } -> Approx.transform ~ins ~del ~sub m
+    | Relax { beta; gamma } ->
+      let class_node c = Graph.find_node graph (Graphstore.Interner.name (Graph.interner graph) c) in
+      Relax.transform ~beta ~gamma ~ontology ~class_node m
+  in
+  Eps.remove transformed

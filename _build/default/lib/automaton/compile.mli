@@ -1,0 +1,18 @@
+(** End-to-end conjunct-automaton compilation (§3.3, step 1–2 of [Open]).
+
+    Produces the evaluation-ready automaton for a conjunct's regular
+    expression: Thompson construction, then the optional APPROX/RELAX
+    transformation, then weighted ε-removal and normalisation. *)
+
+type mode =
+  | Exact
+  | Approx of { ins : int; del : int; sub : int }
+  | Relax of { beta : int; gamma : int }
+
+val pp_mode : Format.formatter -> mode -> unit
+
+val conjunct_automaton :
+  graph:Graphstore.Graph.t -> ontology:Ontology.t -> mode:mode -> Rpq_regex.Regex.t -> Nfa.t
+(** [conjunct_automaton ~graph ~ontology ~mode r] is [M_R], [A_R] or [M^K_R]
+    (per [mode]), ε-free and normalised, with labels interned in [graph]'s
+    interner. *)

@@ -1,0 +1,60 @@
+(* Dijkstra over the ε-subgraph from [start].  Costs are small non-negative
+   ints, so a simple bucket/array priority scheme suffices; we use a sorted
+   association list as the frontier (closures are tiny: a handful of states
+   per Thompson fragment). *)
+let eps_closure a start =
+  let dist = Hashtbl.create 8 in
+  Hashtbl.add dist start 0;
+  let rec loop frontier =
+    match frontier with
+    | [] -> ()
+    | (d, s) :: rest ->
+      if d > Hashtbl.find dist s then loop rest
+      else begin
+        let rest =
+          List.fold_left
+            (fun acc (tr : Nfa.transition) ->
+              match tr.lbl with
+              | Nfa.Eps ->
+                let nd = d + tr.cost in
+                let better =
+                  match Hashtbl.find_opt dist tr.dst with None -> true | Some old -> nd < old
+                in
+                if better then begin
+                  Hashtbl.replace dist tr.dst nd;
+                  List.merge compare [ (nd, tr.dst) ] acc
+                end
+                else acc
+              | _ -> acc)
+            rest (Nfa.out a s)
+        in
+        loop rest
+      end
+  in
+  loop [ (0, start) ];
+  dist
+
+let remove a =
+  let b = Nfa.create () in
+  (* Mirror the state space. *)
+  for _ = 1 to Nfa.n_states a - 1 do
+    ignore (Nfa.fresh_state b)
+  done;
+  Nfa.set_initial b (Nfa.initial a);
+  for s = 0 to Nfa.n_states a - 1 do
+    let closure = eps_closure a s in
+    Hashtbl.iter
+      (fun u d ->
+        List.iter
+          (fun (tr : Nfa.transition) ->
+            match tr.lbl with
+            | Nfa.Eps -> ()
+            | lbl -> Nfa.add_transition b s lbl (tr.cost + d) tr.dst)
+          (Nfa.out a u);
+        match Nfa.final_weight a u with
+        | Some w -> Nfa.set_final b s (d + w)
+        | None -> ())
+      closure
+  done;
+  Nfa.normalize b;
+  b

@@ -1,0 +1,16 @@
+(** Weighted ε-transition removal.
+
+    APPROX deletion operations are encoded as positively-weighted
+    ε-transitions, so removal must take costs into account: the ε-closure of
+    a state is computed with Dijkstra's algorithm over the ε-subgraph, and a
+    state acquires (a) a copy of every non-ε transition reachable through the
+    closure, with the closure distance added to its cost, and (b) a final
+    weight when the closure reaches a final state — the paper's observation
+    (§3.3, citing the Handbook of Weighted Automata) that "the removal of
+    ε-transitions may result in final states having an additional, positive
+    weight". *)
+
+val remove : Nfa.t -> Nfa.t
+(** [remove a] returns an equivalent automaton without ε-transitions.  The
+    state numbering is preserved; unreachable states keep their (now unused)
+    numbering.  The result is {!Nfa.normalize}d. *)

@@ -1,0 +1,130 @@
+type dir = Rpq_regex.Regex.dir = Fwd | Bwd
+
+type tlabel =
+  | Eps
+  | Sym of dir * int
+  | Any
+  | Any_dir of dir
+  | Sub_closure of dir * int array
+  | Type_to of int
+
+type transition = { lbl : tlabel; cost : int; dst : int }
+
+type t = {
+  mutable out : transition list array;
+  mutable state_count : int;
+  mutable initial : int;
+  finals : (int, int) Hashtbl.t;
+}
+
+let create () =
+  { out = Array.make 8 []; state_count = 1; initial = 0; finals = Hashtbl.create 8 }
+
+let fresh_state t =
+  let cap = Array.length t.out in
+  if t.state_count >= cap then begin
+    let out = Array.make (2 * cap) [] in
+    Array.blit t.out 0 out 0 t.state_count;
+    t.out <- out
+  end;
+  let s = t.state_count in
+  t.state_count <- t.state_count + 1;
+  s
+
+let n_states t = t.state_count
+let initial t = t.initial
+
+let check_state t s ctx =
+  if s < 0 || s >= t.state_count then invalid_arg (Printf.sprintf "Nfa.%s: unknown state %d" ctx s)
+
+let set_initial t s =
+  check_state t s "set_initial";
+  t.initial <- s
+
+let add_transition t src lbl cost dst =
+  check_state t src "add_transition";
+  check_state t dst "add_transition";
+  if cost < 0 then invalid_arg "Nfa.add_transition: negative cost";
+  t.out.(src) <- { lbl; cost; dst } :: t.out.(src)
+
+let set_final t s weight =
+  check_state t s "set_final";
+  if weight < 0 then invalid_arg "Nfa.set_final: negative weight";
+  match Hashtbl.find_opt t.finals s with
+  | Some w when w <= weight -> ()
+  | _ -> Hashtbl.replace t.finals s weight
+
+let clear_final t s = Hashtbl.remove t.finals s
+let is_final t s = Hashtbl.mem t.finals s
+let final_weight t s = Hashtbl.find_opt t.finals s
+
+let finals t =
+  Hashtbl.fold (fun s w acc -> (s, w) :: acc) t.finals [] |> List.sort compare
+
+let out t s =
+  check_state t s "out";
+  t.out.(s)
+
+let iter_transitions t f =
+  for s = 0 to t.state_count - 1 do
+    List.iter (fun tr -> f s tr) t.out.(s)
+  done
+
+let n_transitions t =
+  let n = ref 0 in
+  iter_transitions t (fun _ _ -> incr n);
+  !n
+
+(* Sort each state's transitions so identical labels are adjacent, and keep
+   only the cheapest transition for a given (label, destination) pair: the
+   others can never contribute a smaller distance in the product automaton. *)
+let normalize t =
+  let key tr = (tr.lbl, tr.dst) in
+  for s = 0 to t.state_count - 1 do
+    let sorted =
+      List.stable_sort
+        (fun a b ->
+          let c = compare (key a) (key b) in
+          if c <> 0 then c else compare a.cost b.cost)
+        t.out.(s)
+    in
+    let rec dedup = function
+      | a :: (b :: _ as rest) when key a = key b -> dedup (a :: List.tl rest)
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    t.out.(s) <- dedup sorted
+  done
+
+let has_eps t =
+  let found = ref false in
+  iter_transitions t (fun _ tr -> match tr.lbl with Eps -> found := true | _ -> ());
+  !found
+
+let copy t =
+  {
+    out = Array.map (fun l -> l) (Array.sub t.out 0 (Array.length t.out));
+    state_count = t.state_count;
+    initial = t.initial;
+    finals = Hashtbl.copy t.finals;
+  }
+
+let pp_tlabel name ppf = function
+  | Eps -> Format.pp_print_string ppf "eps"
+  | Sym (Fwd, a) -> Format.pp_print_string ppf (name a)
+  | Sym (Bwd, a) -> Format.fprintf ppf "%s-" (name a)
+  | Any -> Format.pp_print_char ppf '*'
+  | Any_dir Fwd -> Format.pp_print_char ppf '_'
+  | Any_dir Bwd -> Format.pp_print_string ppf "_-"
+  | Sub_closure (d, ls) ->
+    Format.fprintf ppf "{%s}%s"
+      (String.concat "," (Array.to_list (Array.map name ls)))
+      (match d with Fwd -> "" | Bwd -> "-")
+  | Type_to c -> Format.fprintf ppf "type->#%d" c
+
+let pp ?(name = string_of_int) ppf t =
+  Format.fprintf ppf "@[<v>states=%d initial=%d@," t.state_count t.initial;
+  List.iter (fun (s, w) -> Format.fprintf ppf "final %d (weight %d)@," s w) (finals t);
+  iter_transitions t (fun s tr ->
+      Format.fprintf ppf "%d --%a/%d--> %d@," s (pp_tlabel name) tr.lbl tr.cost tr.dst);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,79 @@
+(** Weighted non-deterministic finite automata over edge-label alphabets.
+
+    This is the paper's automaton representation (§3.3): a set of weighted
+    transitions [(s, a, c, t)] where [s]/[t] are states, [a] a transition
+    label and [c] a non-negative cost, plus weighted final states (the extra
+    final weight appears when ε-transitions of positive cost are removed, cf.
+    Droste–Kuich–Vogler).
+
+    Transition labels generalise plain symbols to the forms the APPROX and
+    RELAX transformations need. *)
+
+type dir = Rpq_regex.Regex.dir = Fwd | Bwd
+
+type tlabel =
+  | Eps  (** ε — consumed by {!Eps.remove} before evaluation *)
+  | Sym of dir * int  (** one edge with the given interned label *)
+  | Any
+      (** the wildcard [*]: any label in [Sigma ∪ {type}], either direction —
+          the compact encoding of APPROX insertion/substitution transitions *)
+  | Any_dir of dir
+      (** any label, fixed direction — the regex wildcard [_] / [_-] *)
+  | Sub_closure of dir * int array
+      (** any label among the given set: a relaxed super-property matches the
+          RDFS down-closure of its sub-properties *)
+  | Type_to of int
+      (** a [type] edge whose target is the given class-node oid — RELAX
+          rule (ii), replacing a property by [type] into its domain/range *)
+
+type transition = { lbl : tlabel; cost : int; dst : int }
+
+type t
+
+val create : unit -> t
+(** An automaton with a single (initial, non-final) state 0. *)
+
+val fresh_state : t -> int
+
+val n_states : t -> int
+
+val initial : t -> int
+
+val set_initial : t -> int -> unit
+
+val add_transition : t -> int -> tlabel -> int -> int -> unit
+(** [add_transition a src lbl cost dst].
+    @raise Invalid_argument if [cost < 0]. *)
+
+val set_final : t -> int -> int -> unit
+(** [set_final a s weight] marks [s] final; if already final the minimum
+    weight is kept. *)
+
+val clear_final : t -> int -> unit
+
+val is_final : t -> int -> bool
+
+val final_weight : t -> int -> int option
+
+val finals : t -> (int * int) list
+(** All [(state, weight)] pairs, sorted by state. *)
+
+val out : t -> int -> transition list
+(** Transitions leaving a state — the paper's [NextStates]. *)
+
+val iter_transitions : t -> (int -> transition -> unit) -> unit
+
+val n_transitions : t -> int
+
+val normalize : t -> unit
+(** Normalises the internal transition lists: sorts each state's transitions
+    by label (so that identical labels are adjacent, enabling the [Succ]
+    neighbour-cache of §3.4) and drops dominated duplicates (same label and
+    destination at higher cost). *)
+
+val has_eps : t -> bool
+
+val copy : t -> t
+
+val pp : ?name:(int -> string) -> Format.formatter -> t -> unit
+(** Debug printer; [name] renders interned label ids. *)

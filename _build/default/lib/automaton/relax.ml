@@ -1,0 +1,33 @@
+let transform ~beta ~gamma ~ontology ~class_node m =
+  let a = Nfa.copy m in
+  let originals = ref [] in
+  Nfa.iter_transitions m (fun s tr -> originals := (s, tr) :: !originals);
+  let relax_property s (tr : Nfa.transition) d p =
+    (* Rule (i): super-properties, transitively, at beta per step. *)
+    List.iter
+      (fun (q, depth) ->
+        if depth > 0 then begin
+          let closure = Array.of_list (Ontology.sub_properties_closure ontology q) in
+          Nfa.add_transition a s (Nfa.Sub_closure (d, closure)) (tr.cost + (depth * beta)) tr.dst
+        end)
+      (Ontology.property_ancestors ontology p);
+    (* Rule (ii): type edge into the domain (forward) / range (backward). *)
+    let target_class =
+      match (d : Nfa.dir) with
+      | Fwd -> Ontology.domain ontology p
+      | Bwd -> Ontology.range ontology p
+    in
+    match target_class with
+    | Some c -> (
+      match class_node c with
+      | Some oid -> Nfa.add_transition a s (Nfa.Type_to oid) (tr.cost + gamma) tr.dst
+      | None -> ())
+    | None -> ()
+  in
+  List.iter
+    (fun (s, (tr : Nfa.transition)) ->
+      match tr.lbl with
+      | Nfa.Sym (d, p) when Ontology.is_property ontology p -> relax_property s tr d p
+      | Nfa.Sym _ | Nfa.Eps | Nfa.Any | Nfa.Any_dir _ | Nfa.Sub_closure _ | Nfa.Type_to _ -> ())
+    !originals;
+  a

@@ -1,0 +1,32 @@
+(** The RELAX transformation: [M_R → M^K_R].
+
+    Ontology-driven relaxation (Poulovassilis–Wood, ISWC 2010) rewrites query
+    labels using RDFS entailment over the ontology [K]:
+
+    - {b rule (i), properties} (cost [beta] per step): a property [p] may be
+      replaced by any (transitive) super-property [q] at cost
+      [depth(p,q) × beta].  Because a query label [q] then matches every edge
+      whose label is RDFS-entailed to be a [q]-edge, the added transition
+      carries the {e down-closure} of [q] ({!Nfa.Sub_closure}).
+    - {b rule (ii), domain/range} (cost [gamma]): a forward [p]-edge may be
+      replaced by a [type] edge into [dom(p)]; a backward [p]-edge by a
+      [type] edge into [range(p)] (from [(x,p,y)] RDFS infers
+      [(x,type,dom p)] and [(y,type,range p)]).  The transition matches only
+      the specific class node ({!Nfa.Type_to}).
+
+    Rule (i) for {e classes} — replacing a class constant by a super-class —
+    does not touch the automaton: it is applied when seeding the conjunct
+    (procedure [Open] line 8, [GetAncestors]); see [Core.Conjunct]. *)
+
+val transform :
+  beta:int ->
+  gamma:int ->
+  ontology:Ontology.t ->
+  class_node:(int -> int option) ->
+  Nfa.t ->
+  Nfa.t
+(** [transform ~beta ~gamma ~ontology ~class_node m] returns [M^K_R].
+    [class_node] maps an interned class label to the oid of the class node in
+    the data graph (rule (ii) transitions are skipped for classes with no
+    node).  The input is not modified; the output may contain ε-transitions
+    if the input did. *)

@@ -1,0 +1,63 @@
+type symbol = Nfa.dir * int
+
+let matches (lbl : Nfa.tlabel) ((d, a) : symbol) =
+  match lbl with
+  | Nfa.Eps -> false
+  | Nfa.Sym (d', a') -> d = d' && a = a'
+  | Nfa.Any -> true
+  | Nfa.Any_dir d' -> d = d'
+  | Nfa.Sub_closure (d', ls) -> d = d' && Array.exists (fun l -> l = a) ls
+  | Nfa.Type_to _ -> false
+
+(* Dijkstra over configurations (state, position-in-word).  ε-transitions
+   stay at the same position; symbol transitions advance by one.  The
+   configuration space is tiny (|states| × (|w|+1)), so a sorted-list
+   frontier is plenty. *)
+let min_cost a w =
+  let word = Array.of_list w in
+  let len = Array.length word in
+  let n = Nfa.n_states a in
+  let dist = Array.make (n * (len + 1)) max_int in
+  let idx s pos = (s * (len + 1)) + pos in
+  let start = idx (Nfa.initial a) 0 in
+  dist.(start) <- 0;
+  let rec loop frontier =
+    match frontier with
+    | [] -> ()
+    | (d, s, pos) :: rest ->
+      if d > dist.(idx s pos) then loop rest
+      else begin
+        let push acc cost s' pos' =
+          if cost < dist.(idx s' pos') then begin
+            dist.(idx s' pos') <- cost;
+            List.merge compare [ (cost, s', pos') ] acc
+          end
+          else acc
+        in
+        let rest =
+          List.fold_left
+            (fun acc (tr : Nfa.transition) ->
+              match tr.lbl with
+              | Nfa.Eps -> push acc (d + tr.cost) tr.dst pos
+              | lbl ->
+                if pos < len && matches lbl word.(pos) then push acc (d + tr.cost) tr.dst (pos + 1)
+                else acc)
+            rest (Nfa.out a s)
+        in
+        loop rest
+      end
+  in
+  loop [ (0, Nfa.initial a, 0) ];
+  let best = ref None in
+  List.iter
+    (fun (s, weight) ->
+      let d = dist.(idx s len) in
+      if d < max_int then
+        let total = d + weight in
+        match !best with
+        | Some b when b <= total -> ()
+        | _ -> best := Some total)
+    (Nfa.finals a);
+  !best
+
+let accepts a w = min_cost a w <> None

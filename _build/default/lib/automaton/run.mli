@@ -1,0 +1,24 @@
+(** Reference word-level runner for weighted NFAs.
+
+    Evaluates the automaton over an explicit word of (direction, label)
+    symbols — i.e. over one concrete path of the data graph — returning the
+    minimum accepting cost.  The query engine never uses this (it explores
+    the product with the graph lazily); it exists as an executable
+    specification against which the engine and the APPROX/RELAX
+    transformations are property-tested. *)
+
+type symbol = Nfa.dir * int
+
+val matches : Nfa.tlabel -> symbol -> bool
+(** Word-level transition-label matching.  [Type_to _] never matches a bare
+    symbol (it constrains the target {e node}, which a word does not carry);
+    graph-dependent behaviour is tested through the engine instead. *)
+
+val min_cost : Nfa.t -> symbol list -> int option
+(** [min_cost a w] is the least total cost (transition costs plus final-state
+    weight) over all accepting runs of [a] on [w], or [None] if [w] is not
+    accepted.  Handles automata that still contain weighted ε-transitions. *)
+
+val accepts : Nfa.t -> symbol list -> bool
+(** [accepts a w = (min_cost a w = Some 0)] for unweighted automata;
+    in general, acceptance at any cost. *)

@@ -1,0 +1,1 @@
+lib/core/conjunct.ml: Array Automaton Dr_queue Exec_stats Graphstore Hashtbl List Ontology Options Query Rpq_regex Seeder

@@ -1,0 +1,1 @@
+lib/core/conjunct.mli: Automaton Exec_stats Graphstore Hashtbl Ontology Options Query

@@ -1,0 +1,1 @@
+lib/core/dr_queue.ml: Array

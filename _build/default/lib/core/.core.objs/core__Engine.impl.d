@@ -1,0 +1,1 @@
+lib/core/engine.ml: Conjunct Evaluator Exec_stats Format Graphstore Hashtbl List Options Printf Query Query_parser Ranked_join String

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Exec_stats Format Graphstore Ontology Options Query

@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Conjunct Exec_stats Graphstore Hashtbl List Ontology Options Query Rpq_regex

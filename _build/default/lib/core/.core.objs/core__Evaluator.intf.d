@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Conjunct Exec_stats Graphstore Ontology Options Query

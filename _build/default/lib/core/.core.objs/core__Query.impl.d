@@ -1,0 +1,1 @@
+lib/core/query.ml: Format List Printf Rpq_regex String

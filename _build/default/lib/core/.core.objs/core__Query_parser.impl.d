@@ -1,0 +1,1 @@
+lib/core/query_parser.ml: Buffer List Printf Query Rpq_regex String

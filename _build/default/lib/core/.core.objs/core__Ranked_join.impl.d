@@ -1,0 +1,1 @@
+lib/core/ranked_join.ml: Array Dr_queue Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/seeder.ml: Array Automaton Graphstore List Seq

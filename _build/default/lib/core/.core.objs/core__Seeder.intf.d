@@ -1,0 +1,1 @@
+lib/core/seeder.mli: Automaton Graphstore

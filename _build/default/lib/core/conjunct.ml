@@ -1,0 +1,221 @@
+module Graph = Graphstore.Graph
+module Interner = Graphstore.Interner
+module Nfa = Automaton.Nfa
+module Regex = Rpq_regex.Regex
+
+type answer = { x : int; y : int; dist : int }
+
+type tup = { v : int; n : int; s : int; fin : bool }
+(* [fin] is carried in the tuple (not only as the D_R key) so that the
+   final-priority ablation can disable priority popping without losing the
+   final/non-final distinction. *)
+
+type t = {
+  graph : Graph.t;
+  nfa : Nfa.t;
+  dr : tup Dr_queue.t;
+  visited : (int * int * int, unit) Hashtbl.t;
+  answers : (int * int, int) Hashtbl.t; (* (v, n) -> first emission distance *)
+  suppress : (int * int, int) Hashtbl.t option;
+  seeder : Seeder.t;
+  target : int option; (* final-state annotation: object constant's oid *)
+  same_var : bool; (* subject and object are the same variable *)
+  swap : bool; (* case 2: the conjunct was reversed *)
+  stats : Exec_stats.t;
+  ceiling : int option;
+  mutable was_pruned : bool;
+  opts : Options.t;
+}
+
+let stats t = t.stats
+let pruned t = t.was_pruned
+let automaton t = t.nfa
+
+(* RELAX class-ancestor seeds (Open, line 8): the node of every super-class
+   of [c], ordered most specific first, each at distance depth*beta.  The
+   paper's pseudocode seeds them at distance 0; the answer distances it then
+   reports (Fig. 5: RELAX answers at distances 1, 2, 3) show the relaxation
+   cost is in fact accounted for, so we seed at the true cost. *)
+let relax_ancestor_seeds ~graph ~ontology ~beta oid =
+  let interner = Graph.interner graph in
+  let label_id = Interner.intern interner (Graph.node_label graph oid) in
+  if not (Ontology.is_class ontology label_id) then [ (oid, 0) ]
+  else
+    List.filter_map
+      (fun (cls, depth) ->
+        match Graph.find_node graph (Interner.name interner cls) with
+        | Some node -> Some (node, depth * beta)
+        | None -> None)
+      (Ontology.ancestors_by_specificity ontology label_id)
+
+let open_ ~graph ~ontology ~options ?ceiling ?suppress (conjunct : Query.conjunct) =
+  (* Case 2: (?X, R, C) becomes (C, R-, ?X). *)
+  let subj, regex, obj, swap =
+    match (conjunct.subj, conjunct.obj) with
+    | Query.Var _, Query.Const _ ->
+      (conjunct.obj, Regex.reverse conjunct.regex, conjunct.subj, true)
+    | _ -> (conjunct.subj, conjunct.regex, conjunct.obj, false)
+  in
+  let mode = Options.compile_mode options conjunct.cmode in
+  let nfa = Automaton.Compile.conjunct_automaton ~graph ~ontology ~mode regex in
+  let seeder =
+    match subj with
+    | Query.Const c -> (
+      match Graph.find_node graph c with
+      | None -> Seeder.of_list [] (* unknown constant: no answers *)
+      | Some oid ->
+        if conjunct.cmode = Query.Relax then
+          Seeder.of_list
+            (relax_ancestor_seeds ~graph ~ontology ~beta:options.Options.costs.beta oid)
+        else Seeder.of_list [ (oid, 0) ])
+    | Query.Var _ ->
+      let batch_size =
+        if options.Options.batched_seeding then options.Options.batch_size else max_int
+      in
+      Seeder.of_initial_state ~graph ~nfa ~batch_size
+  in
+  let target =
+    match obj with
+    | Query.Const c -> Some (match Graph.find_node graph c with Some oid -> oid | None -> -1)
+    | Query.Var _ -> None
+  in
+  let same_var =
+    match (subj, obj) with Query.Var a, Query.Var b -> a = b | _ -> false
+  in
+  {
+    graph;
+    nfa;
+    dr = Dr_queue.create ();
+    visited = Hashtbl.create 1024;
+    answers = Hashtbl.create 64;
+    suppress;
+    seeder;
+    target;
+    same_var;
+    swap;
+    stats = Exec_stats.create ();
+    ceiling;
+    was_pruned = false;
+    opts = options;
+  }
+
+(* [NeighboursByEdge] (§3.4): nodes adjacent to [n] under a transition
+   label, observing directionality.  The wildcard [*] retrieves every edge
+   of [n] in both directions (the paper issues Neighbors over the generic
+   'edge' type plus 'type', both ways). *)
+let neighbours_by_edge t n (lbl : Nfa.tlabel) =
+  let dir_of : Nfa.dir -> Graph.dir = function Fwd -> Graph.Out | Bwd -> Graph.In in
+  match lbl with
+  | Nfa.Eps -> assert false (* the compiled automaton is ε-free *)
+  | Nfa.Sym (d, a) -> Graph.neighbors t.graph n a (dir_of d)
+  | Nfa.Any ->
+    let acc = ref [] in
+    Graph.iter_neighbors_any t.graph n (fun m -> acc := m :: !acc);
+    !acc
+  | Nfa.Any_dir d ->
+    List.concat_map (fun a -> Graph.neighbors t.graph n a (dir_of d)) (Graph.labels t.graph)
+  | Nfa.Sub_closure (d, ls) ->
+    List.concat_map
+      (fun a -> Graph.neighbors t.graph n a (dir_of d))
+      (Array.to_list ls)
+  | Nfa.Type_to c ->
+    if Graph.mem_edge t.graph n (Graph.type_label t.graph) c then [ c ] else []
+
+(* [Succ (s, n)]: transitions leaving (s, n) in the product automaton H_R.
+   Out-transitions are sorted by label (Nfa.normalize), so consecutive
+   identical labels reuse the neighbour list (the U-cache of §3.4).
+
+   Distance-aware retrieval prunes here, before the neighbour lookup: a
+   transition that would exceed the ψ ceiling never touches the graph store —
+   this is where the §4.3 optimisation saves its work. *)
+let succ t s n ~dist =
+  t.stats.succ_calls <- t.stats.succ_calls + 1;
+  let result = ref [] in
+  let prev : (Nfa.tlabel * int list) option ref = ref None in
+  List.iter
+    (fun (tr : Nfa.transition) ->
+      match t.ceiling with
+      | Some psi when dist + tr.cost > psi ->
+        t.was_pruned <- true;
+        t.stats.pruned <- t.stats.pruned + 1
+      | _ ->
+        let neighbours =
+          match !prev with
+          | Some (l, ns) when l = tr.lbl -> ns
+          | _ ->
+            let ns = neighbours_by_edge t n tr.lbl in
+            t.stats.edges_scanned <- t.stats.edges_scanned + List.length ns;
+            prev := Some (tr.lbl, ns);
+            ns
+        in
+        List.iter (fun m -> result := (tr.cost, tr.dst, m) :: !result) neighbours)
+    (Nfa.out t.nfa s);
+  !result
+
+let push t ~dist ~final tup =
+  match t.ceiling with
+  | Some psi when dist > psi ->
+    t.was_pruned <- true;
+    t.stats.pruned <- t.stats.pruned + 1
+  | _ ->
+    Dr_queue.push t.dr ~dist ~final:(final && t.opts.Options.final_priority) tup;
+    t.stats.pushes <- t.stats.pushes + 1;
+    if Dr_queue.size t.dr > t.stats.peak_queue then t.stats.peak_queue <- Dr_queue.size t.dr;
+    (match t.opts.Options.max_tuples with
+    | Some budget when t.stats.pushes > budget -> raise Options.Out_of_budget
+    | _ -> ())
+
+let refill_if_needed t =
+  (* Coroutine seeding (GetNext lines 14–17), performed before popping so
+     that distance-0 seeds always enter D_R ahead of higher-distance pops,
+     preserving the non-decreasing answer order. *)
+  while (not (Seeder.exhausted t.seeder)) && not (Dr_queue.has_at t.dr 0) do
+    let batch = Seeder.next_batch t.seeder in
+    if batch <> [] then begin
+      t.stats.batches <- t.stats.batches + 1;
+      t.stats.seeds <- t.stats.seeds + List.length batch;
+      List.iter
+        (fun (oid, dist) ->
+          push t ~dist ~final:false { v = oid; n = oid; s = Nfa.initial t.nfa; fin = false })
+        batch
+    end
+  done
+
+let already_answered t v n =
+  Hashtbl.mem t.answers (v, n)
+  || match t.suppress with Some tbl -> Hashtbl.mem tbl (v, n) | None -> false
+
+let annotation_matches t tup =
+  (match t.target with Some oid -> tup.n = oid | None -> true)
+  && ((not t.same_var) || tup.v = tup.n)
+
+let record_answer t tup dist =
+  Hashtbl.replace t.answers (tup.v, tup.n) dist;
+  (match t.suppress with Some tbl -> Hashtbl.replace tbl (tup.v, tup.n) dist | None -> ());
+  t.stats.answers <- t.stats.answers + 1;
+  if t.swap then { x = tup.n; y = tup.v; dist } else { x = tup.v; y = tup.n; dist }
+
+let rec get_next t =
+  refill_if_needed t;
+  match Dr_queue.pop t.dr with
+  | None -> None (* seeder exhausted too, or everything pruned *)
+  | Some (tup, dist, _) when tup.fin ->
+    t.stats.pops <- t.stats.pops + 1;
+    if already_answered t tup.v tup.n then get_next t else Some (record_answer t tup dist)
+  | Some (tup, dist, _) ->
+    t.stats.pops <- t.stats.pops + 1;
+    let key = (tup.v, tup.n, tup.s) in
+    if not (Hashtbl.mem t.visited key) then begin
+      Hashtbl.add t.visited key ();
+      List.iter
+        (fun (cost, s', m) ->
+          if not (Hashtbl.mem t.visited (tup.v, m, s')) then
+            push t ~dist:(dist + cost) ~final:false { v = tup.v; n = m; s = s'; fin = false })
+        (succ t tup.s tup.n ~dist);
+      match Nfa.final_weight t.nfa tup.s with
+      | Some weight
+        when annotation_matches t tup && not (already_answered t tup.v tup.n) ->
+        push t ~dist:(dist + weight) ~final:true { tup with fin = true }
+      | _ -> ()
+    end;
+    get_next t

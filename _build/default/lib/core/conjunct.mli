@@ -1,0 +1,66 @@
+(** Evaluation of a single query conjunct — the paper's [Open], [GetNext]
+    and [Succ] procedures (§3.3–§3.4).
+
+    A conjunct [(X, R, Y)] is evaluated by exploring the weighted product
+    automaton [H_R] of the conjunct's NFA and the data graph lazily, tuple by
+    tuple, returning answers [(v, n, d)] in non-decreasing distance [d].
+
+    The three initialisation cases of [Open]:
+    + [(C, R, ?Y)] — start from the node labelled [C]; under RELAX, if [C]
+      is a class, also start from every super-class node, most specific
+      first, at distance [depth × beta] ([GetAncestors]);
+    + [(?X, R, C)] — rewritten to [(C, R⁻, ?X)] (regex reversal, linear
+      time); answers are swapped back;
+    + [(?X, R, ?Y)] — seeds are delivered in batches by {!Seeder}.
+
+    Implementation notes mirroring §3.4:
+    - [D_R] pops minimum distance with final-tuple priority;
+    - a hashed [visited] set guarantees no [(v, n, s)] triple is processed
+      twice (tuples re-surfacing at higher distance are skipped);
+    - [Succ] groups the automaton's out-transitions by label and caches the
+      neighbour list between consecutive identical labels;
+    - seeds are pushed {e non-final} even when the initial state is final
+      with weight 0; the final-state re-queue of [GetNext] (line 13)
+      immediately surfaces the answer at the same distance while keeping the
+      tuple expandable.  (The paper's line 17 pushes such seeds as final
+      tuples only, which as written would prevent any further expansion —
+      we keep the behaviour and fix the bookkeeping.) *)
+
+type answer = {
+  x : int;  (** instantiation of the conjunct's subject position (node oid) *)
+  y : int;  (** instantiation of the object position *)
+  dist : int;
+}
+
+type t
+
+val open_ :
+  graph:Graphstore.Graph.t ->
+  ontology:Ontology.t ->
+  options:Options.t ->
+  ?ceiling:int ->
+  ?suppress:(int * int, int) Hashtbl.t ->
+  Query.conjunct ->
+  t
+(** Build the conjunct's automaton and initialise its data structures.
+
+    [ceiling] is the ψ bound of distance-aware retrieval: tuples with
+    distance above it are pruned (and recorded, see {!pruned}).
+
+    [suppress] is a set of already-emitted [(x, y) → dist] answers shared
+    across distance-aware restarts: matching pairs are neither re-emitted nor
+    re-counted. It is updated in place as answers are emitted. *)
+
+val get_next : t -> answer option
+(** The next answer in non-decreasing distance order, or [None] when the
+    conjunct is exhausted.
+    @raise Options.Out_of_budget when [options.max_tuples] is exceeded. *)
+
+val stats : t -> Exec_stats.t
+
+val pruned : t -> bool
+(** Whether the ψ ceiling suppressed at least one tuple; if false after
+    exhaustion, the evaluation was complete and no restart can find more. *)
+
+val automaton : t -> Automaton.Nfa.t
+(** The compiled (ε-free) automaton, for inspection and tests. *)

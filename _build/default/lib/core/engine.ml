@@ -1,0 +1,94 @@
+module Graph = Graphstore.Graph
+
+type answer = { bindings : (string * string) list; distance : int }
+
+type outcome = { answers : answer list; aborted : bool; stats : Exec_stats.t }
+
+let pp_answer ppf a =
+  Format.fprintf ppf "dist=%d %s" a.distance
+    (String.concat ", " (List.map (fun (v, x) -> Printf.sprintf "?%s=%s" v x) a.bindings))
+
+type stream = {
+  graph : Graph.t;
+  head : string list;
+  evaluators : Evaluator.t list;
+  pull : unit -> (Ranked_join.binding * int) option;
+  projected : (string list, unit) Hashtbl.t; (* dedup of projected bindings *)
+}
+
+(* A conjunct answer as a variable binding.  A conjunct with two constants
+   contributes an empty binding (its satisfaction is checked by the conjunct
+   evaluator itself). *)
+let binding_of_answer (c : Query.conjunct) (a : Conjunct.answer) =
+  let of_term term value =
+    match (term : Query.term) with Query.Var v -> [ (v, value) ] | Query.Const _ -> []
+  in
+  Ranked_join.binding_of (of_term c.subj a.x @ of_term c.obj a.y)
+
+let open_query ~graph ~ontology ?(options = Options.default) (q : Query.t) =
+  (match Query.validate q with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.open_query: " ^ msg));
+  let evaluators =
+    List.map (fun c -> (c, Evaluator.create ~graph ~ontology ~options c)) q.conjuncts
+  in
+  let stream_of (c, ev) () =
+    match Evaluator.next ev with
+    | Some a -> Some (binding_of_answer c a, a.Conjunct.dist)
+    | None -> None
+  in
+  let pull =
+    match evaluators with
+    | [ single ] -> stream_of single
+    | several ->
+      let join = Ranked_join.create (List.map stream_of several) in
+      fun () -> Ranked_join.next join
+  in
+  {
+    graph;
+    head = q.head;
+    evaluators = List.map snd evaluators;
+    pull;
+    projected = Hashtbl.create 64;
+  }
+
+let rec next st =
+  match st.pull () with
+  | None -> None
+  | Some (binding, distance) ->
+    let values =
+      List.map
+        (fun v ->
+          match List.assoc_opt v binding with
+          | Some oid -> Graph.node_label st.graph oid
+          | None -> assert false (* validate: head vars appear in the body *))
+        st.head
+    in
+    if Hashtbl.mem st.projected values then next st
+    else begin
+      Hashtbl.add st.projected values ();
+      Some { bindings = List.combine st.head values; distance }
+    end
+
+let stream_stats st =
+  let acc = Exec_stats.create () in
+  List.iter (fun ev -> Exec_stats.merge_into acc (Evaluator.stats ev)) st.evaluators;
+  acc
+
+let run ~graph ~ontology ?options ?(limit = max_int) q =
+  let st = open_query ~graph ~ontology ?options q in
+  let rec collect acc k =
+    if k <= 0 then (List.rev acc, false)
+    else
+      match next st with
+      | Some a -> collect (a :: acc) (k - 1)
+      | None -> (List.rev acc, false)
+      | exception Options.Out_of_budget -> (List.rev acc, true)
+  in
+  let answers, aborted = collect [] limit in
+  { answers; aborted; stats = stream_stats st }
+
+let run_string ~graph ~ontology ?options ?limit s =
+  match Query_parser.parse_result s with
+  | Error msg -> Error msg
+  | Ok q -> Ok (run ~graph ~ontology ?options ?limit q)

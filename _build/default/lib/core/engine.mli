@@ -1,0 +1,63 @@
+(** Whole-query evaluation: the public entry point of the Omega engine.
+
+    Evaluates a CRP query against a data graph and its ontology: each
+    conjunct is evaluated by {!Evaluator} (per its APPROX/RELAX operator and
+    the configured optimisations), multi-conjunct bodies are combined by
+    {!Ranked_join}, and the head projection is applied, deduplicating
+    projected bindings at their smallest total distance.
+
+    Answers stream in non-decreasing distance; {!run} materialises a prefix,
+    which is how the performance study retrieves "the top 100 answers" in
+    batches of 10. *)
+
+type answer = {
+  bindings : (string * string) list;
+      (** head variable → node label, in head order *)
+  distance : int;  (** total edit/relaxation distance of the combination *)
+}
+
+type outcome = {
+  answers : answer list;  (** in non-decreasing distance *)
+  aborted : bool;
+      (** true when evaluation hit [options.max_tuples] (the stand-in for the
+          paper's memory exhaustion); [answers] holds what was produced *)
+  stats : Exec_stats.t;  (** aggregated over all conjuncts *)
+}
+
+val pp_answer : Format.formatter -> answer -> unit
+
+type stream
+(** An open query evaluation producing answers on demand. *)
+
+val open_query :
+  graph:Graphstore.Graph.t ->
+  ontology:Ontology.t ->
+  ?options:Options.t ->
+  Query.t ->
+  stream
+(** @raise Invalid_argument if the query fails {!Query.validate}. *)
+
+val next : stream -> answer option
+(** @raise Options.Out_of_budget when the tuple budget is exceeded. *)
+
+val stream_stats : stream -> Exec_stats.t
+
+val run :
+  graph:Graphstore.Graph.t ->
+  ontology:Ontology.t ->
+  ?options:Options.t ->
+  ?limit:int ->
+  Query.t ->
+  outcome
+(** Evaluate, returning at most [limit] answers (default: all — beware of
+    APPROX queries, whose answer sets can be the full node-pair space).
+    Budget exhaustion is reported through [aborted] rather than raised. *)
+
+val run_string :
+  graph:Graphstore.Graph.t ->
+  ontology:Ontology.t ->
+  ?options:Options.t ->
+  ?limit:int ->
+  string ->
+  (outcome, string) result
+(** Parse with {!Query_parser} and {!run}. *)

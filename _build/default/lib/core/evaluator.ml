@@ -1,0 +1,127 @@
+module Regex = Rpq_regex.Regex
+
+(* Level-wise evaluation shared by distance-aware retrieval and alternation
+   decomposition: run each part (one sub-automaton; a single part for plain
+   distance-aware mode) with ceiling ψ, stream its answers lazily, then move
+   to the next part; when the level is done, bump ψ by φ and reorder the
+   parts by increasing answer count of the previous level (§4.3).  Answers
+   already emitted at earlier levels are suppressed via the shared [emitted]
+   table, so each (x, y) pair surfaces once, at its smallest distance.
+
+   With uniform operation costs (the paper's setting) every new answer at
+   level ψ has distance exactly ψ, so the global emission order is exact;
+   with heterogeneous costs answers within one level may interleave across
+   parts by at most φ - 1. *)
+type levelled = {
+  graph : Graphstore.Graph.t;
+  ontology : Ontology.t;
+  options : Options.t;
+  emitted : (int * int, int) Hashtbl.t;
+  phi : int;
+  mutable psi : int;
+  mutable remaining : Query.conjunct list; (* parts not yet run at this level *)
+  mutable current : (Conjunct.t * Query.conjunct) option;
+  mutable current_count : int;
+  mutable counts : (Query.conjunct * int) list; (* finished parts, this level *)
+  mutable level_complete : bool; (* no part pruned anything so far this level *)
+  mutable exhausted : bool;
+  stats : Exec_stats.t;
+}
+
+type t = Plain of Conjunct.t | Levelled of levelled
+
+let create ~graph ~ontology ~options (conjunct : Query.conjunct) =
+  let alternatives = Regex.top_level_alternatives conjunct.regex in
+  let decomposed = options.Options.decompose && List.length alternatives > 1 in
+  if decomposed || options.Options.distance_aware then begin
+    let parts =
+      if decomposed then List.map (fun regex -> { conjunct with Query.regex }) alternatives
+      else [ conjunct ]
+    in
+    Levelled
+      {
+        graph;
+        ontology;
+        options;
+        emitted = Hashtbl.create 64;
+        phi = Options.phi options conjunct.cmode;
+        psi = 0;
+        remaining = parts;
+        current = None;
+        current_count = 0;
+        counts = [];
+        level_complete = true;
+        exhausted = false;
+        stats = Exec_stats.create ();
+      }
+  end
+  else Plain (Conjunct.open_ ~graph ~ontology ~options conjunct)
+
+let finish_part lev eval part =
+  Exec_stats.merge_into lev.stats (Conjunct.stats eval);
+  lev.stats.restarts <- lev.stats.restarts + 1;
+  if Conjunct.pruned eval then lev.level_complete <- false;
+  lev.counts <- (part, lev.current_count) :: lev.counts;
+  lev.current <- None;
+  lev.current_count <- 0
+
+let rec next_levelled lev =
+  if lev.exhausted then None
+  else
+    match lev.current with
+    | Some (eval, part) -> (
+      match Conjunct.get_next eval with
+      | Some a ->
+        lev.current_count <- lev.current_count + 1;
+        Some a
+      | None ->
+        finish_part lev eval part;
+        next_levelled lev
+      | exception Options.Out_of_budget ->
+        Exec_stats.merge_into lev.stats (Conjunct.stats eval);
+        raise Options.Out_of_budget)
+    | None -> (
+      match lev.remaining with
+      | part :: rest ->
+        lev.remaining <- rest;
+        lev.current <-
+          Some
+            ( Conjunct.open_ ~graph:lev.graph ~ontology:lev.ontology ~options:lev.options
+                ~ceiling:lev.psi ~suppress:lev.emitted part,
+              part );
+        next_levelled lev
+      | [] ->
+        (* level finished *)
+        if lev.level_complete then begin
+          lev.exhausted <- true;
+          None
+        end
+        else begin
+          lev.remaining <-
+            List.map fst (List.stable_sort (fun (_, n1) (_, n2) -> compare n1 n2) (List.rev lev.counts));
+          lev.counts <- [];
+          lev.level_complete <- true;
+          lev.psi <- lev.psi + lev.phi;
+          next_levelled lev
+        end)
+
+let next = function
+  | Plain c -> Conjunct.get_next c
+  | Levelled lev -> next_levelled lev
+
+let take t k =
+  let rec loop acc k =
+    if k <= 0 then List.rev acc
+    else match next t with Some a -> loop (a :: acc) (k - 1) | None -> List.rev acc
+  in
+  loop [] k
+
+let stats = function
+  | Plain c -> Conjunct.stats c
+  | Levelled lev ->
+    let acc = Exec_stats.create () in
+    Exec_stats.merge_into acc lev.stats;
+    (match lev.current with
+    | Some (eval, _) -> Exec_stats.merge_into acc (Conjunct.stats eval)
+    | None -> ());
+    acc

@@ -1,0 +1,41 @@
+(** Conjunct evaluation strategies: plain, distance-aware, and
+    alternation-decomposed (§4.3).
+
+    - {b Plain} — one {!Conjunct} evaluation run to exhaustion (or budget).
+    - {b Distance-aware} ([options.distance_aware]) — evaluate with a cost
+      ceiling ψ = 0, then restart from scratch with ψ += φ (the smallest
+      positive operation cost) as long as more answers are required and the
+      previous run pruned something.  Answers already emitted are suppressed
+      across restarts.  This avoids processing tuples costlier than the
+      answers the user asked for, at the price of re-evaluation per level —
+      the paper notes it is "not suitable in cases where answers at high
+      cost are required".
+    - {b Decomposed} ([options.decompose], applicable when the regular
+      expression is a top-level alternation [R1 | R2 | …]) — each
+      alternative becomes a sub-automaton evaluated level-by-level as in
+      distance-aware mode; within each level the sub-automata are processed
+      in order of increasing answer count at the previous level (default
+      order at level 0), so cheap branches are drained first.  Falls back to
+      the other strategies when there is no top-level alternation.
+
+    All strategies yield answers in non-decreasing distance and dedupe
+    [(x, y)] pairs, keeping the smallest distance. *)
+
+type t
+
+val create :
+  graph:Graphstore.Graph.t ->
+  ontology:Ontology.t ->
+  options:Options.t ->
+  Query.conjunct ->
+  t
+
+val next : t -> Conjunct.answer option
+(** Next answer, or [None] when exhausted.
+    @raise Options.Out_of_budget when the tuple budget is exceeded. *)
+
+val take : t -> int -> Conjunct.answer list
+(** [take t k]: up to [k] further answers. *)
+
+val stats : t -> Exec_stats.t
+(** Counters aggregated over all runs/sub-automata so far. *)

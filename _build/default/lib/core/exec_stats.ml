@@ -1,0 +1,56 @@
+type t = {
+  mutable pushes : int;
+  mutable pops : int;
+  mutable succ_calls : int;
+  mutable edges_scanned : int;
+  mutable batches : int;
+  mutable seeds : int;
+  mutable answers : int;
+  mutable peak_queue : int;
+  mutable restarts : int;
+  mutable pruned : int;
+}
+
+let create () =
+  {
+    pushes = 0;
+    pops = 0;
+    succ_calls = 0;
+    edges_scanned = 0;
+    batches = 0;
+    seeds = 0;
+    answers = 0;
+    peak_queue = 0;
+    restarts = 0;
+    pruned = 0;
+  }
+
+let reset t =
+  t.pushes <- 0;
+  t.pops <- 0;
+  t.succ_calls <- 0;
+  t.edges_scanned <- 0;
+  t.batches <- 0;
+  t.seeds <- 0;
+  t.answers <- 0;
+  t.peak_queue <- 0;
+  t.restarts <- 0;
+  t.pruned <- 0
+
+let merge_into acc x =
+  acc.pushes <- acc.pushes + x.pushes;
+  acc.pops <- acc.pops + x.pops;
+  acc.succ_calls <- acc.succ_calls + x.succ_calls;
+  acc.edges_scanned <- acc.edges_scanned + x.edges_scanned;
+  acc.batches <- acc.batches + x.batches;
+  acc.seeds <- acc.seeds + x.seeds;
+  acc.answers <- acc.answers + x.answers;
+  acc.peak_queue <- max acc.peak_queue x.peak_queue;
+  acc.restarts <- acc.restarts + x.restarts;
+  acc.pruned <- acc.pruned + x.pruned
+
+let pp ppf t =
+  Format.fprintf ppf
+    "pushes=%d pops=%d succ=%d edges=%d batches=%d seeds=%d answers=%d peak=%d restarts=%d pruned=%d"
+    t.pushes t.pops t.succ_calls t.edges_scanned t.batches t.seeds t.answers t.peak_queue t.restarts
+    t.pruned

@@ -1,0 +1,29 @@
+(** Execution counters, collected per conjunct evaluation.
+
+    These are the quantities the paper reasons with when explaining the
+    performance study ("a large number of intermediate results being
+    generated … converted into tuples in GetNext and added to D_R"), so the
+    benchmark harness reports them alongside wall-clock times. *)
+
+type t = {
+  mutable pushes : int;  (** tuples added to [D_R] *)
+  mutable pops : int;  (** tuples removed from [D_R] *)
+  mutable succ_calls : int;  (** invocations of [Succ] *)
+  mutable edges_scanned : int;  (** neighbours returned across all [Succ] calls *)
+  mutable batches : int;  (** seed batches delivered by the coroutine *)
+  mutable seeds : int;  (** initial nodes added *)
+  mutable answers : int;  (** answers emitted *)
+  mutable peak_queue : int;  (** high-water mark of [D_R] *)
+  mutable restarts : int;  (** distance-aware re-evaluations *)
+  mutable pruned : int;  (** pushes suppressed by the ψ ceiling *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val merge_into : t -> t -> unit
+(** [merge_into acc x] adds [x]'s counters into [acc] ([peak_queue] takes the
+    max). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type costs = { ins : int; del : int; sub : int; beta : int; gamma : int }
+
+type t = {
+  costs : costs;
+  batch_size : int;
+  distance_aware : bool;
+  decompose : bool;
+  max_tuples : int option;
+  final_priority : bool;
+  batched_seeding : bool;
+}
+
+exception Out_of_budget
+
+let default_costs = { ins = 1; del = 1; sub = 1; beta = 1; gamma = 1 }
+
+let default =
+  {
+    costs = default_costs;
+    batch_size = 100;
+    distance_aware = false;
+    decompose = false;
+    max_tuples = None;
+    final_priority = true;
+    batched_seeding = true;
+  }
+
+let phi t (mode : Query.mode) =
+  let pos x = if x > 0 then [ x ] else [] in
+  let candidates =
+    match mode with
+    | Query.Exact -> []
+    | Query.Approx -> pos t.costs.ins @ pos t.costs.del @ pos t.costs.sub
+    | Query.Relax -> pos t.costs.beta @ pos t.costs.gamma
+  in
+  match candidates with [] -> 1 | c :: cs -> List.fold_left min c cs
+
+let compile_mode t (mode : Query.mode) =
+  match mode with
+  | Query.Exact -> Automaton.Compile.Exact
+  | Query.Approx ->
+    Automaton.Compile.Approx { ins = t.costs.ins; del = t.costs.del; sub = t.costs.sub }
+  | Query.Relax -> Automaton.Compile.Relax { beta = t.costs.beta; gamma = t.costs.gamma }

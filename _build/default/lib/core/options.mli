@@ -1,0 +1,57 @@
+(** Evaluation options: edit/relaxation costs and the physical optimisations
+    of §3.3–§4.3. *)
+
+type costs = {
+  ins : int;  (** APPROX insertion cost (paper: 1) *)
+  del : int;  (** APPROX deletion cost (paper: 1) *)
+  sub : int;  (** APPROX substitution cost (paper: 1) *)
+  beta : int;  (** RELAX rule (i) cost per step (paper: 1) *)
+  gamma : int;  (** RELAX rule (ii) cost (paper: 1) *)
+}
+
+type t = {
+  costs : costs;
+  batch_size : int;
+      (** how many initial nodes the seeding coroutine delivers per batch for
+          [(?X, R, ?Y)] conjuncts (paper default: 100) *)
+  distance_aware : bool;
+      (** §4.3 "retrieving answers by distance": evaluate with a cost ceiling
+          ψ = 0, φ, 2φ, … restarting from scratch at each increment *)
+  decompose : bool;
+      (** §4.3 "replacing alternation by disjunction": split a top-level
+          alternation into sub-automata, adaptively ordered *)
+  max_tuples : int option;
+      (** abort (raising {!Out_of_budget}) once this many tuples have been
+          added to [D_R] — a deterministic stand-in for the paper's 6 GB
+          memory exhaustion ('?' entries of Fig. 10) *)
+  final_priority : bool;
+      (** ablation switch (default true): pop final tuples before non-final
+          ones at equal distance.  The paper reports that this refinement
+          "improved the performance of most of our queries, and also ensured
+          that some queries, which had previously failed by running out of
+          memory, completed" (§3.3) — disabling it lets the benchmark
+          harness quantify that claim. *)
+  batched_seeding : bool;
+      (** ablation switch (default true): deliver [(?X, R, ?Y)] seeds in
+          coroutine batches of [batch_size].  When false, all seeds enter
+          [D_R] up-front (the paper reports batching "reduced the execution
+          time of some queries by half", §3.3). *)
+}
+
+exception Out_of_budget
+(** Raised by conjunct evaluation when [max_tuples] is exceeded. *)
+
+val default_costs : costs
+(** All five costs are 1, as in the performance study (§4.1). *)
+
+val default : t
+(** [default_costs], batch size 100, no optimisations, no budget. *)
+
+val phi : t -> Query.mode -> int
+(** [phi t mode] is the smallest positive cost of the operations enabled by
+    [mode] — the ψ increment of distance-aware retrieval.  1 for [Exact]
+    (arbitrary; exact answers all have distance 0). *)
+
+val compile_mode : t -> Query.mode -> Automaton.Compile.mode
+(** The automaton transformation corresponding to a conjunct's operator under
+    these costs. *)

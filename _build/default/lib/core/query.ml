@@ -1,0 +1,63 @@
+module Regex = Rpq_regex.Regex
+
+type term = Const of string | Var of string
+
+type mode = Exact | Approx | Relax
+
+type conjunct = { cmode : mode; subj : term; regex : Regex.t; obj : term }
+
+type t = { head : string list; conjuncts : conjunct list }
+
+let conjunct ?(mode = Exact) subj regex obj = { cmode = mode; subj; regex; obj }
+
+let conjunct_vars c =
+  let of_term = function Var v -> [ v ] | Const _ -> [] in
+  let vs = of_term c.subj @ of_term c.obj in
+  List.fold_left (fun acc v -> if List.mem v acc then acc else acc @ [ v ]) [] vs
+
+let vars t =
+  List.fold_left
+    (fun acc c ->
+      List.fold_left (fun acc v -> if List.mem v acc then acc else acc @ [ v ]) acc (conjunct_vars c))
+    [] t.conjuncts
+
+let validate t =
+  if t.conjuncts = [] then Error "a CRP query needs at least one conjunct"
+  else if t.head = [] then Error "a CRP query needs at least one head variable"
+  else
+    let body_vars = vars t in
+    match List.find_opt (fun z -> not (List.mem z body_vars)) t.head with
+    | Some z -> Error (Printf.sprintf "head variable ?%s does not appear in the body" z)
+    | None -> Ok ()
+
+let make ~head conjuncts =
+  let t = { head; conjuncts } in
+  match validate t with Ok () -> t | Error msg -> invalid_arg ("Query.make: " ^ msg)
+
+let single ?(mode = Exact) subj regex obj =
+  let c = conjunct ~mode subj regex obj in
+  let head = conjunct_vars c in
+  let head = if head = [] then invalid_arg "Query.single: no variables" else head in
+  { head; conjuncts = [ c ] }
+
+let pp_term ppf = function
+  | Const c -> Format.pp_print_string ppf c
+  | Var v -> Format.fprintf ppf "?%s" v
+
+let pp_mode ppf = function
+  | Exact -> ()
+  | Approx -> Format.pp_print_string ppf "APPROX "
+  | Relax -> Format.pp_print_string ppf "RELAX "
+
+let pp_conjunct ppf c =
+  Format.fprintf ppf "%a(%a, %a, %a)" pp_mode c.cmode pp_term c.subj Regex.pp c.regex pp_term c.obj
+
+let pp ppf t =
+  Format.fprintf ppf "(%s) <- %a"
+    (String.concat ", " (List.map (fun v -> "?" ^ v) t.head))
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_conjunct)
+    t.conjuncts
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,52 @@
+(** Conjunctive regular path (CRP) queries with flexible operators.
+
+    A query has the form (§2)
+    {v
+      (Z1, …, Zm) <- (X1, R1, Y1), …, (Xn, Rn, Yn)
+    v}
+    where each [Xi]/[Yi] is a variable or a node constant, each [Ri] a
+    regular expression over edge labels, each [Zi] a variable of the body,
+    and each conjunct may be prefixed with [APPROX] or [RELAX]. *)
+
+type term =
+  | Const of string  (** a node label in the data graph *)
+  | Var of string  (** written [?name] in the concrete syntax *)
+
+type mode = Exact | Approx | Relax
+
+type conjunct = {
+  cmode : mode;
+  subj : term;
+  regex : Rpq_regex.Regex.t;
+  obj : term;
+}
+
+type t = {
+  head : string list;  (** projected variables [Z1 … Zm] *)
+  conjuncts : conjunct list;
+}
+
+val conjunct : ?mode:mode -> term -> Rpq_regex.Regex.t -> term -> conjunct
+(** Build a conjunct; [mode] defaults to [Exact]. *)
+
+val single : ?mode:mode -> term -> Rpq_regex.Regex.t -> term -> t
+(** A one-conjunct query projecting all its variables. *)
+
+val make : head:string list -> conjunct list -> t
+(** @raise Invalid_argument if the query is ill-formed (see {!validate}). *)
+
+val conjunct_vars : conjunct -> string list
+(** Variables of a conjunct, subject first, deduplicated. *)
+
+val vars : t -> string list
+(** All body variables, in first-occurrence order. *)
+
+val validate : t -> (unit, string) result
+(** Checks the paper's well-formedness conditions: at least one conjunct, a
+    non-empty head, and every head variable appearing in the body. *)
+
+val pp_term : Format.formatter -> term -> unit
+val pp_mode : Format.formatter -> mode -> unit
+val pp_conjunct : Format.formatter -> conjunct -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

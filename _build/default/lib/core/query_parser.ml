@@ -1,0 +1,98 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+let trim = String.trim
+
+(* Split [s] on commas that are not nested inside parentheses. *)
+let split_top_level s =
+  let parts = ref [] and buf = Buffer.create 32 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map trim !parts
+
+let parse_term s =
+  let s = trim s in
+  if s = "" then fail "empty term"
+  else if s.[0] = '?' then begin
+    let name = String.sub s 1 (String.length s - 1) in
+    if name = "" then fail "empty variable name";
+    Query.Var name
+  end
+  else Query.Const s
+
+let parse_regex s =
+  match Rpq_regex.Parser.parse_result s with
+  | Ok r -> r
+  | Error msg -> fail "bad regular expression %S: %s" s msg
+
+(* A conjunct is [MODE? ( term , regex , term )]. *)
+let parse_conjunct s =
+  let s = trim s in
+  let cmode, rest =
+    if String.length s >= 6 && String.uppercase_ascii (String.sub s 0 6) = "APPROX" then
+      (Query.Approx, trim (String.sub s 6 (String.length s - 6)))
+    else if String.length s >= 5 && String.uppercase_ascii (String.sub s 0 5) = "RELAX" then
+      (Query.Relax, trim (String.sub s 5 (String.length s - 5)))
+    else (Query.Exact, s)
+  in
+  let n = String.length rest in
+  if n < 2 || rest.[0] <> '(' || rest.[n - 1] <> ')' then
+    fail "conjunct must be parenthesised: %S" s;
+  let inner = String.sub rest 1 (n - 2) in
+  match split_top_level inner with
+  | [ subj; regex; obj ] ->
+    Query.conjunct
+      ~mode:cmode (parse_term subj) (parse_regex regex) (parse_term obj)
+  | parts -> fail "conjunct needs exactly 3 components, got %d: %S" (List.length parts) s
+
+let parse_head s =
+  let s = trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '(' || s.[n - 1] <> ')' then fail "head must be parenthesised: %S" s;
+  let inner = String.sub s 1 (n - 2) in
+  List.map
+    (fun part ->
+      match parse_term part with
+      | Query.Var v -> v
+      | Query.Const c -> fail "head must contain variables only, got %S" c)
+    (split_top_level inner)
+
+(* Conjuncts in the body are themselves separated by top-level commas only
+   when each conjunct's parentheses are balanced, which [split_top_level]
+   guarantees. *)
+let find_arrow s =
+  let n = String.length s in
+  let rec scan i =
+    if i + 1 >= n then fail "missing '<-' between head and body"
+    else if s.[i] = '<' && s.[i + 1] = '-' then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let parse s =
+  let idx = find_arrow s in
+  let head = parse_head (String.sub s 0 idx) in
+  let body = String.sub s (idx + 2) (String.length s - idx - 2) in
+  let conjuncts = List.map parse_conjunct (split_top_level body) in
+  let q = Query.{ head; conjuncts } in
+  (match Query.validate q with Ok () -> () | Error msg -> fail "%s" msg);
+  q
+
+let parse_result s =
+  match parse s with q -> Ok q | exception Error msg -> Error msg
+
+let parse_conjunct s = parse_conjunct s

@@ -1,0 +1,24 @@
+(** Parser for the paper's concrete query syntax, e.g.
+    {v
+      (?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)
+      (?X, ?Y) <- (?X, job.type, ?Y), RELAX (?Y, sc*, ?Z)
+    v}
+
+    - the head is a parenthesised, comma-separated list of [?variables];
+    - each conjunct is [(term, regex, term)], optionally prefixed by
+      [APPROX] or [RELAX];
+    - a term is a [?variable] or a constant — any text up to the next
+      top-level comma, so node labels may contain spaces
+      ([Work Episode, type-, ?X]); surrounding whitespace is trimmed;
+    - the regex component uses {!Rpq_regex.Parser}'s grammar. *)
+
+exception Error of string
+
+val parse : string -> Query.t
+(** @raise Error on malformed input. *)
+
+val parse_result : string -> (Query.t, string) result
+
+val parse_conjunct : string -> Query.conjunct
+(** Parse a single conjunct such as [APPROX (UK, locatedIn-, ?X)].
+    @raise Error on malformed input. *)

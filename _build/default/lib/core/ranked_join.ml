@@ -1,0 +1,143 @@
+type binding = (string * int) list
+
+let binding_of pairs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  let rec check = function
+    | (a, va) :: ((b, vb) :: _ as rest) ->
+      if a = b then
+        if va = vb then check rest
+        else invalid_arg (Printf.sprintf "Ranked_join.binding_of: ?%s bound twice" a)
+      else check rest
+    | _ -> ()
+  in
+  check sorted;
+  List.sort_uniq compare sorted
+
+let compatible b1 b2 =
+  List.for_all
+    (fun (v, x) -> match List.assoc_opt v b2 with Some y -> x = y | None -> true)
+    b1
+
+let merge b1 b2 = List.sort_uniq compare (b1 @ b2)
+
+type input = {
+  pull : unit -> (binding * int) option;
+  mutable seen : (binding * int) list;
+  mutable top : int option; (* smallest distance seen *)
+  mutable last : int; (* largest distance seen *)
+  mutable exhausted : bool;
+}
+
+type t = {
+  inputs : input array;
+  buffer : (binding * int) Dr_queue.t; (* keyed by total distance *)
+  emitted : (binding, unit) Hashtbl.t;
+}
+
+let create streams =
+  if streams = [] then invalid_arg "Ranked_join.create: no streams";
+  {
+    inputs =
+      Array.of_list
+        (List.map
+           (fun pull -> { pull; seen = []; top = None; last = 0; exhausted = false })
+           streams);
+    buffer = Dr_queue.create ();
+    emitted = Hashtbl.create 64;
+  }
+
+(* Lower bound on the total distance of any joined combination that uses at
+   least one answer not yet pulled. *)
+let threshold t =
+  let bound = ref max_int in
+  Array.iteri
+    (fun i input ->
+      if not input.exhausted then begin
+        let others_ok = ref true and others_sum = ref 0 in
+        Array.iteri
+          (fun j other ->
+            if i <> j then
+              match other.top with
+              | Some d -> others_sum := !others_sum + d
+              | None -> others_ok := false (* nothing pulled yet: no bound via i *))
+          t.inputs;
+        if !others_ok && input.last + !others_sum < !bound then bound := input.last + !others_sum
+      end)
+    t.inputs;
+  !bound
+
+(* All join combinations of [fresh] (from input [idx]) with the seen answers
+   of every other input. *)
+let combinations t idx fresh fresh_dist =
+  let n = Array.length t.inputs in
+  let rec extend j acc_binding acc_dist combos =
+    if j = n then (acc_binding, acc_dist) :: combos
+    else if j = idx then extend (j + 1) acc_binding acc_dist combos
+    else
+      List.fold_left
+        (fun combos (b, d) ->
+          if compatible acc_binding b then extend (j + 1) (merge acc_binding b) (acc_dist + d) combos
+          else combos)
+        combos t.inputs.(j).seen
+  in
+  extend 0 fresh fresh_dist []
+
+let pull_one t idx =
+  let input = t.inputs.(idx) in
+  match input.pull () with
+  | None -> input.exhausted <- true
+  | Some (b, d) ->
+    input.seen <- (b, d) :: input.seen;
+    input.last <- max input.last d;
+    (match input.top with Some top when top <= d -> () | _ -> input.top <- Some d);
+    List.iter
+      (fun (binding, total) -> Dr_queue.push t.buffer ~dist:total ~final:false (binding, total))
+      (combinations t idx b d)
+
+let next_source t =
+  (* The non-exhausted input with the smallest last-seen distance; inputs
+     that have produced nothing yet are served first so every stream gets a
+     first pull. *)
+  let best = ref (-1) in
+  Array.iteri
+    (fun i input ->
+      if not input.exhausted then
+        match !best with
+        | -1 -> best := i
+        | b ->
+          let weight j = if t.inputs.(j).top = None then min_int else t.inputs.(j).last in
+          if weight i < weight b then best := i)
+    t.inputs;
+  !best
+
+let rec next t =
+  let releasable =
+    match Dr_queue.min_distance t.buffer with
+    | Some d -> d <= threshold t
+    | None -> false
+  in
+  if releasable then begin
+    match Dr_queue.pop t.buffer with
+    | Some ((binding, total), _, _) ->
+      if Hashtbl.mem t.emitted binding then next t
+      else begin
+        Hashtbl.add t.emitted binding ();
+        Some (binding, total)
+      end
+    | None -> assert false
+  end
+  else
+    match next_source t with
+    | -1 -> (
+      (* every input exhausted: flush the buffer *)
+      match Dr_queue.pop t.buffer with
+      | Some ((binding, total), _, _) ->
+        if Hashtbl.mem t.emitted binding then next t
+        else begin
+          Hashtbl.add t.emitted binding ();
+          Some (binding, total)
+        end
+      | None -> None)
+    | idx ->
+      pull_one t idx;
+      next t

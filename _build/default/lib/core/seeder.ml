@@ -1,0 +1,97 @@
+module Graph = Graphstore.Graph
+module Oid_set = Graphstore.Oid_set
+module Nfa = Automaton.Nfa
+
+type t = {
+  mutable candidates : int Seq.t; (* lazily produced, possibly with duplicates *)
+  delivered : Oid_set.t;
+  batch_size : int;
+  mutable fixed : (int * int) list option; (* Some: constant-subject seeds *)
+  mutable finished : bool;
+}
+
+let of_list seeds =
+  {
+    candidates = Seq.empty;
+    delivered = Oid_set.create ();
+    batch_size = max_int;
+    fixed = Some seeds;
+    finished = false;
+  }
+
+(* Nodes carrying an edge compatible with [lbl], as a sequence.  The oid sets
+   are materialised per label (the Sparksee Heads/Tails calls of §3.3), but
+   consumed lazily so unneeded batches cost nothing downstream. *)
+let nodes_with_edge graph (lbl : Nfa.tlabel) : int Seq.t =
+  let set_seq set = List.to_seq (Oid_set.to_list set) in
+  let all_labels f =
+    List.to_seq (Graph.labels graph) |> Seq.concat_map (fun l -> set_seq (f l))
+  in
+  match lbl with
+  | Nfa.Eps -> Seq.empty (* removed before evaluation *)
+  | Nfa.Sym (Fwd, a) -> set_seq (Graph.tails_by_label graph a)
+  | Nfa.Sym (Bwd, a) -> set_seq (Graph.heads_by_label graph a)
+  | Nfa.Any -> all_labels (Graph.tails_and_heads graph)
+  | Nfa.Any_dir Fwd -> all_labels (Graph.tails_by_label graph)
+  | Nfa.Any_dir Bwd -> all_labels (Graph.heads_by_label graph)
+  | Nfa.Sub_closure (d, ls) ->
+    let per_label a =
+      match (d : Nfa.dir) with
+      | Fwd -> set_seq (Graph.tails_by_label graph a)
+      | Bwd -> set_seq (Graph.heads_by_label graph a)
+    in
+    Seq.concat_map per_label (Array.to_seq ls)
+  | Nfa.Type_to c -> List.to_seq (Graph.neighbors graph c (Graph.type_label graph) In)
+
+let all_nodes graph : int Seq.t = Seq.init (Graph.n_nodes graph) (fun oid -> oid)
+
+let of_initial_state ~graph ~nfa ~batch_size =
+  let s0 = Nfa.initial nfa in
+  let by_start_labels =
+    Seq.concat_map
+      (fun (tr : Nfa.transition) -> nodes_with_edge graph tr.lbl)
+      (List.to_seq (Nfa.out nfa s0))
+  in
+  let candidates =
+    match Nfa.final_weight nfa s0 with
+    | Some 0 -> all_nodes graph
+    | Some _ -> Seq.append by_start_labels (all_nodes graph)
+    | None -> by_start_labels
+  in
+  {
+    candidates;
+    delivered = Oid_set.create ();
+    batch_size = max 1 batch_size;
+    fixed = None;
+    finished = false;
+  }
+
+let next_batch t =
+  match t.fixed with
+  | Some seeds ->
+    t.fixed <- None;
+    t.finished <- true;
+    List.filter (fun (oid, _) -> Oid_set.add_new t.delivered oid) seeds
+  | None ->
+    if t.finished then []
+    else begin
+      let batch = ref [] and count = ref 0 in
+      let rec pull seq =
+        if !count >= t.batch_size then t.candidates <- seq
+        else
+          match seq () with
+          | Seq.Nil ->
+            t.candidates <- Seq.empty;
+            t.finished <- true
+          | Seq.Cons (oid, rest) ->
+            if Oid_set.add_new t.delivered oid then begin
+              batch := (oid, 0) :: !batch;
+              incr count
+            end;
+            pull rest
+      in
+      pull t.candidates;
+      List.rev !batch
+    end
+
+let exhausted t = t.finished && t.fixed = None

@@ -1,0 +1,39 @@
+(** Incremental production of a conjunct's initial nodes (§3.3).
+
+    For a conjunct [(?X, R, ?Y)] the traversal may need to start from a large
+    set of nodes.  The paper implements the seeding functions as coroutines
+    delivering batches of 100 nodes; nodes never needed to answer the query
+    are then never added to [D_R] (reported to halve some execution times).
+
+    The three seeding regimes of procedure [Open], lines 14–23:
+    - initial state final with weight 0 — every node of [G] matches [R] with
+      the empty path, so all nodes are seeded ([All_nodes]);
+    - initial state final with positive weight — nodes carrying an edge
+      compatible with some initial transition first, then the remaining nodes
+      of [G] ([GetAllNodesByLabel]);
+    - initial state non-final — only nodes carrying a compatible edge
+      ([GetAllStartNodesByLabel]).
+
+    Seeds are [(node, distance)] pairs: the distance is 0 except for the
+    RELAX class-ancestor seeds of line 8, which carry
+    [depth × beta].  A {!Graphstore.Oid_set} keeps delivered seeds distinct
+    (the paper's Sparksee set operations), so a node reachable through
+    several seed stages is delivered once, at its first (cheapest) stage. *)
+
+type t
+
+val of_list : (int * int) list -> t
+(** Fixed seeds — conjuncts whose subject is a constant (cases 1–2 of
+    [Open]).  Delivered as a single batch, in the given order. *)
+
+val of_initial_state :
+  graph:Graphstore.Graph.t -> nfa:Automaton.Nfa.t -> batch_size:int -> t
+(** Seeding for [(?X, R, ?Y)] conjuncts, per the regimes above. *)
+
+val next_batch : t -> (int * int) list
+(** The next batch of fresh seeds; [[]] once exhausted.  Batches respect
+    [batch_size] (the last may be shorter). *)
+
+val exhausted : t -> bool
+(** True once no further seeds will be produced ([next_batch] would return
+    [[]]). *)

@@ -1,0 +1,1 @@
+lib/datagen/l4all.ml: Array Core Graphstore List Ontology Printf Rng

@@ -1,0 +1,1 @@
+lib/datagen/l4all.mli: Core Graphstore Ontology

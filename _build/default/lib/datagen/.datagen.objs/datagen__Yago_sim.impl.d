@@ -1,0 +1,1 @@
+lib/datagen/yago_sim.ml: Array Core Graphstore List Ontology Printf Rng Zipf

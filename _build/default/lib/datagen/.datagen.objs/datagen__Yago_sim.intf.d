@@ -1,0 +1,1 @@
+lib/datagen/yago_sim.mli: Core Graphstore Ontology

@@ -1,0 +1,318 @@
+module Graph = Graphstore.Graph
+
+type scale = L1 | L2 | L3 | L4
+
+let all_scales = [ L1; L2; L3; L4 ]
+
+let timelines = function L1 -> 143 | L2 -> 1_201 | L3 -> 5_221 | L4 -> 11_416
+
+let scale_name = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | L4 -> "L4"
+
+(* ------------------------------------------------------------------ *)
+(* Ontology vocabulary                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let episode_tree =
+  [
+    ("Work Episode", [ "Full-time Work Episode"; "Part-time Work Episode"; "Self-employment Episode" ]);
+    ("Study Episode", [ "College Episode"; "University Episode"; "Training Episode" ]);
+    ("Other Episode", [ "Gap Episode"; "Voluntary Episode" ]);
+  ]
+
+let subject_mids =
+  [
+    "Mathematical and Computer Sciences";
+    "Engineering";
+    "Business and Administrative Studies";
+    "Languages";
+    "Creative Arts and Design";
+    "Social Studies";
+    "Biological Sciences";
+    "Education Studies";
+  ]
+
+let subject_leaves mid =
+  if mid = "Mathematical and Computer Sciences" then
+    [
+      "Information Systems"; "Computer Science"; "Software Engineering"; "Artificial Intelligence";
+      "Mathematics"; "Statistics"; "Operational Research"; "Informatics";
+    ]
+  else List.init 8 (fun k -> Printf.sprintf "%s: Area %d" mid (k + 1))
+
+(* Occupation: depth 4, four children per internal node.  Two pinned leaf
+   groups carry the query-set occupations. *)
+let occupation_group i j k =
+  if (i, j, k) = (0, 0, 0) then
+    [ "Software Professionals"; "Web Designers"; "Database Administrators"; "IT Technicians" ]
+  else if (i, j, k) = (1, 0, 0) then
+    [ "Librarians"; "Archivists"; "Curators"; "Records Managers" ]
+  else List.init 4 (fun l -> Printf.sprintf "Occupation %d.%d.%d.%d" i j k (l + 1))
+
+let level_tree =
+  [
+    ("Entry Level Qualifications",
+     [ "Entry Certificate"; "Skills for Life"; "Functional Skills Entry"; "Award Entry" ]);
+    ("Intermediate Qualifications",
+     [ "BTEC Introductory Diploma"; "GCSE Grades A-C"; "NVQ Level 2"; "BTEC First Diploma" ]);
+    ("Advanced Qualifications",
+     [ "A Level"; "BTEC National Diploma"; "NVQ Level 3"; "Access to HE Diploma" ]);
+    ("Higher Education Qualifications",
+     [ "Foundation Degree"; "Bachelors Degree"; "Masters Degree"; "Doctorate" ]);
+  ]
+
+let sector_leaves =
+  [
+    "Agriculture"; "Mining"; "Manufacturing"; "Energy"; "Water Supply"; "Construction"; "Retail";
+    "Transport"; "Hospitality"; "Information and Communication"; "Finance"; "Real Estate";
+    "Professional Services"; "Administrative Services"; "Public Administration"; "Education Sector";
+    "Health and Social Work"; "Arts and Entertainment"; "Other Services"; "Domestic Work";
+    "Extraterritorial Organisations";
+  ]
+
+let build_ontology interner =
+  let k = Ontology.create interner in
+  List.iter
+    (fun (mid, leaves) ->
+      Ontology.add_subclass k mid "Episode";
+      List.iter (fun leaf -> Ontology.add_subclass k leaf mid) leaves)
+    episode_tree;
+  List.iter
+    (fun mid ->
+      Ontology.add_subclass k mid "Subject";
+      List.iter (fun leaf -> Ontology.add_subclass k leaf mid) (subject_leaves mid))
+    subject_mids;
+  for i = 0 to 3 do
+    let level1 = Printf.sprintf "Occupation Group %d" (i + 1) in
+    Ontology.add_subclass k level1 "Occupation";
+    for j = 0 to 3 do
+      let level2 = Printf.sprintf "Occupation Group %d.%d" (i + 1) (j + 1) in
+      Ontology.add_subclass k level2 level1;
+      for kk = 0 to 3 do
+        let level3 = Printf.sprintf "Occupation Group %d.%d.%d" (i + 1) (j + 1) (kk + 1) in
+        Ontology.add_subclass k level3 level2;
+        List.iter (fun leaf -> Ontology.add_subclass k leaf level3) (occupation_group i j kk)
+      done
+    done
+  done;
+  List.iter
+    (fun (mid, leaves) ->
+      Ontology.add_subclass k mid "Education Qualification Level";
+      List.iter (fun leaf -> Ontology.add_subclass k leaf mid) leaves)
+    level_tree;
+  List.iter (fun leaf -> Ontology.add_subclass k leaf "Industry Sector") sector_leaves;
+  Ontology.add_subproperty k "next" "isEpisodeLink";
+  Ontology.add_subproperty k "prereq" "isEpisodeLink";
+  Ontology.add_domain k "next" "Episode";
+  Ontology.add_range k "next" "Episode";
+  Ontology.add_domain k "prereq" "Episode";
+  Ontology.add_range k "prereq" "Episode";
+  Ontology.add_domain k "job" "Episode";
+  Ontology.add_range k "job" "Occupation";
+  Ontology.add_domain k "qualif" "Episode";
+  Ontology.add_range k "qualif" "Subject";
+  Ontology.add_range k "level" "Education Qualification Level";
+  Ontology.add_range k "industry" "Industry Sector";
+  k
+
+(* ------------------------------------------------------------------ *)
+(* Base timeline specifications                                        *)
+(* ------------------------------------------------------------------ *)
+
+type link = Next | Prereq
+
+type episode_spec = {
+  kind : [ `Work | `Study ];
+  episode_leaf : string;
+  event_leaf : string; (* occupation (work) or subject (study) *)
+  extra_leaf : string; (* industry sector (work) or qualification level (study) *)
+  link : link option; (* link from this episode to its successor *)
+}
+
+let work_episode_leaves = List.assoc "Work Episode" episode_tree
+let study_episode_leaves = List.assoc "Study Episode" episode_tree
+
+let all_occupation_leaves =
+  List.concat
+    (List.concat
+       (List.init 4 (fun i -> List.concat (List.init 4 (fun j -> List.init 4 (occupation_group i j)))))
+    |> List.map (fun x -> x))
+
+let all_subject_leaves = List.concat_map subject_leaves subject_mids
+
+let intermediate_levels = List.assoc "Intermediate Qualifications" level_tree
+
+let non_intermediate_levels =
+  List.concat_map (fun (mid, leaves) -> if mid = "Intermediate Qualifications" then [] else leaves) level_tree
+
+(* Study-episode qualification levels: the "Intermediate" sibling group —
+   which contains BTEC Introductory Diploma — is only ever used on episodes
+   with no outgoing prereq link, so that query Q12 has no exact answers at
+   any scale while its RELAX version (which climbs to the sibling levels'
+   common parent) finds some. *)
+let pick_level rng ~has_prereq_out =
+  if has_prereq_out then Rng.pick_list rng non_intermediate_levels
+  else if Rng.bool rng 0.4 then Rng.pick_list rng intermediate_levels
+  else Rng.pick_list rng non_intermediate_levels
+
+let pick_occupation rng =
+  (* "Software Professionals" is deliberately common (the paper's Q3 returns
+     58 answers already at L1); the long tail is uniform. *)
+  if Rng.bool rng 0.4 then "Software Professionals" else Rng.pick_list rng all_occupation_leaves
+
+let pick_subject rng =
+  if Rng.bool rng 0.35 then "Information Systems" else Rng.pick_list rng all_subject_leaves
+
+(* The 21 base timelines.  Timelines 0–4 are the "detailed" ones (12
+   episodes); 5–20 the "realistic" ones (6–10).  Two are pinned:
+   - timeline 4 carries the unique Q9 pattern: episode 1 -next-> 2 -next->
+     3 -prereq-> 4, everything after linked by next, so
+     (Alumni 4 Episode 1_1, prereq*.next+.prereq, ?X) has exactly one
+     answer;
+   - timeline 7 is the only base carrying "Librarians" work episodes, which
+     keeps Q10/Q11 answer counts low on small graphs. *)
+let base_timelines seed : episode_spec array array =
+  let rng = Rng.create seed in
+  Array.init 21 (fun t ->
+      let len = if t < 5 then 12 else 6 + (t mod 5) in
+      let study_prefix = if t = 7 then 0 else len / 2 in
+      Array.init len (fun j ->
+          let kind = if j < study_prefix then `Study else `Work in
+          let is_last = j = len - 1 in
+          let link =
+            if is_last then None
+            else if t = 4 then Some (if j = 2 then Prereq else Next)
+            else if t = 7 then Some Next
+            else if kind = `Study && j + 1 < study_prefix && Rng.bool rng 0.5 then Some Prereq
+            else Some Next
+          in
+          let episode_leaf =
+            match kind with
+            | `Work -> Rng.pick_list rng work_episode_leaves
+            | `Study -> Rng.pick_list rng study_episode_leaves
+          in
+          let event_leaf =
+            match kind with
+            | `Work -> if t = 7 && j mod 2 = 0 then "Librarians" else pick_occupation rng
+            | `Study -> pick_subject rng
+          in
+          let extra_leaf =
+            match kind with
+            | `Work -> Rng.pick_list rng sector_leaves
+            | `Study -> pick_level rng ~has_prereq_out:(link = Some Prereq)
+          in
+          { kind; episode_leaf; event_leaf; extra_leaf; link }))
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Rotate [leaf] to its [v]-th sibling (cyclically) — the paper's synthetic
+   duplication.  Qualification levels are exempt so the Q12 invariant above
+   survives scaling. *)
+let rotate_sibling ontology interner leaf v =
+  if v = 0 then leaf
+  else
+    let id = Graphstore.Interner.intern interner leaf in
+    match Ontology.super_classes ontology id with
+    | [] -> leaf
+    | parent :: _ -> (
+      let siblings = Ontology.sub_classes ontology parent in
+      match List.length siblings with
+      | 0 | 1 -> leaf
+      | n -> (
+        let rec index i = function
+          | [] -> 0
+          | x :: rest -> if x = id then i else index (i + 1) rest
+        in
+        let i = index 0 siblings in
+        let rotated = List.nth siblings ((i + v) mod n) in
+        Graphstore.Interner.name interner rotated))
+
+(* Materialised classification: an edge to the leaf class and to each of its
+   ancestors (the transitive closure the paper attributes the growing class
+   degrees to). *)
+let classify g ontology ~edge_label node leaf =
+  let interner = Graph.interner g in
+  let id = Graphstore.Interner.intern interner leaf in
+  List.iter
+    (fun (cls, _) ->
+      let class_node = Graph.add_node g (Graphstore.Interner.name interner cls) in
+      Graph.add_edge_s g node edge_label class_node)
+    (Ontology.ancestors_by_specificity ontology id)
+
+let add_class_nodes g ontology =
+  let interner = Graph.interner g in
+  List.iter
+    (fun cls -> ignore (Graph.add_node g (Graphstore.Interner.name interner cls)))
+    (Ontology.classes ontology)
+
+let generate ?(seed = 1404) ~timelines () =
+  let g = Graph.create ~initial_nodes:(timelines * 24) () in
+  let ontology = build_ontology (Graph.interner g) in
+  add_class_nodes g ontology;
+  let bases = base_timelines seed in
+  let interner = Graph.interner g in
+  for t = 0 to timelines - 1 do
+    let base = bases.(t mod 21) in
+    let v = t / 21 in
+    let episode_name j = Printf.sprintf "Alumni %d Episode %d_1" t (j + 1) in
+    let episodes = Array.mapi (fun j _ -> Graph.add_node g (episode_name j)) base in
+    Array.iteri
+      (fun j spec ->
+        let episode = episodes.(j) in
+        let episode_leaf = rotate_sibling ontology interner spec.episode_leaf v in
+        classify g ontology ~edge_label:"type" episode episode_leaf;
+        (match spec.link with
+        | Some Next -> Graph.add_edge_s g episode "next" episodes.(j + 1)
+        | Some Prereq -> Graph.add_edge_s g episode "prereq" episodes.(j + 1)
+        | None -> ());
+        match spec.kind with
+        | `Work ->
+          let event = Graph.add_node g (Printf.sprintf "Alumni %d Job %d" t (j + 1)) in
+          Graph.add_edge_s g episode "job" event;
+          classify g ontology ~edge_label:"type" event (rotate_sibling ontology interner spec.event_leaf v);
+          classify g ontology ~edge_label:"industry" event
+            (rotate_sibling ontology interner spec.extra_leaf v)
+        | `Study ->
+          let event = Graph.add_node g (Printf.sprintf "Alumni %d Qualif %d" t (j + 1)) in
+          Graph.add_edge_s g episode "qualif" event;
+          classify g ontology ~edge_label:"type" event (rotate_sibling ontology interner spec.event_leaf v);
+          (* levels are not rotated: see pick_level *)
+          classify g ontology ~edge_label:"level" event spec.extra_leaf)
+      base
+  done;
+  (g, ontology)
+
+let generate_scale ?seed s = generate ?seed ~timelines:(timelines s) ()
+
+(* ------------------------------------------------------------------ *)
+(* The Fig. 4 query set                                                *)
+(* ------------------------------------------------------------------ *)
+
+let queries =
+  [
+    (1, "(Work Episode, type-, ?X)");
+    (2, "(Information Systems, type-.qualif-, ?X)");
+    (3, "(Software Professionals, type-.job-, ?X)");
+    (4, "(?X, job.type, ?Y)");
+    (5, "(?X, next+, ?Y)");
+    (6, "(?X, prereq+, ?Y)");
+    (7, "(?X, next+|(prereq+.next), ?Y)");
+    (8, "(Mathematical and Computer Sciences, type.prereq+, ?X)");
+    (9, "(Alumni 4 Episode 1_1, prereq*.next+.prereq, ?X)");
+    (10, "(Librarians, type-, ?X)");
+    (11, "(Librarians, type-.job-.next, ?X)");
+    (12, "(BTEC Introductory Diploma, level-.qualif-.prereq, ?X)");
+  ]
+
+let stress_queries = [ 3; 8; 9; 10; 11; 12 ]
+
+let query_text id (mode : Core.Query.mode) =
+  match List.assoc_opt id queries with
+  | None -> invalid_arg (Printf.sprintf "L4all.query_text: unknown query %d" id)
+  | Some conjunct ->
+    let prefix =
+      match mode with Core.Query.Exact -> "" | Core.Query.Approx -> "APPROX " | Core.Query.Relax -> "RELAX "
+    in
+    let head = if id >= 4 && id <= 7 then "(?X, ?Y)" else "(?X)" in
+    Printf.sprintf "%s <- %s%s" head prefix conjunct

@@ -1,0 +1,59 @@
+(** The L4All workload (§4.1): lifelong-learner timelines.
+
+    The generator reproduces the paper's data-construction procedure:
+
+    - an ontology with the five class hierarchies of Fig. 2 (Episode,
+      Subject, Occupation, Education Qualification Level, Industry Sector)
+      and the property hierarchy [next, prereq sp isEpisodeLink];
+    - 21 base timelines (5 "detailed", 16 "realistic"), each a chronological
+      chain of work/study episodes: every episode is [type]d by an Episode
+      leaf class, linked to its successor by [next] or [prereq], and linked
+      by [job]/[qualif] to an occupational/educational event node, itself
+      classified ([type] into Occupation/Subject, [industry] into a sector,
+      [level] into a qualification level);
+    - scaling by the paper's own synthetic procedure: timeline [t ≥ 21]
+      duplicates base [t mod 21] with every leaf classification rotated to
+      the [(t / 21)]-th sibling class ("altering the classification of each
+      episode to be a sibling class of its original class, for as many
+      sibling classes as are present").
+
+    Class membership edges ([type], [level], [industry]) are materialised
+    transitively up their hierarchies — the paper attributes the growing
+    degree of general class nodes to this transitive closure.
+
+    Pinned features make the Fig. 4 query set meaningful at every scale:
+    timeline 4's link structure gives query Q9 exactly one exact answer;
+    timeline 7 carries the rare "Librarians" episodes (Q10/Q11); "BTEC
+    Introductory Diploma" episodes never precede a [prereq] link, so Q12 has
+    no exact answers while its RELAX version has some.  Exact answer counts
+    differ from Fig. 5 (the real 21 timelines are not available) but their
+    growth patterns — which drive the Fig. 6–8 execution-time shapes — are
+    preserved; see EXPERIMENTS.md. *)
+
+type scale = L1 | L2 | L3 | L4
+
+val all_scales : scale list
+
+val timelines : scale -> int
+(** 143 / 1,201 / 5,221 / 11,416 — the paper's Fig. 3 row. *)
+
+val scale_name : scale -> string
+
+val generate : ?seed:int -> timelines:int -> unit -> Graphstore.Graph.t * Ontology.t
+(** Deterministic for a given [seed] (default 1404). *)
+
+val generate_scale : ?seed:int -> scale -> Graphstore.Graph.t * Ontology.t
+
+(** {1 The Fig. 4 query set} *)
+
+val queries : (int * string) list
+(** [(1, "(Work Episode, type-, ?X)"); …] — the twelve conjuncts of Fig. 4,
+    without operator prefix. *)
+
+val query_text : int -> Core.Query.mode -> string
+(** [query_text 3 Approx] is ["(?X) <- APPROX (Software Professionals,
+    type-.job-, ?X)"].  Queries 4–7 have two variables and project both.
+    @raise Invalid_argument for ids outside 1–12. *)
+
+val stress_queries : int list
+(** [[3; 8; 9; 10; 11; 12]] — the queries reported in Figs. 5–8. *)

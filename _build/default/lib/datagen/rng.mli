@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The workload generators must produce identical graphs for identical
+    seeds on every run and platform, so they use this self-contained
+    generator instead of [Stdlib.Random] (whose default algorithm changed
+    across OCaml releases). *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val int : t -> int -> int
+(** [int t bound]: uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound]: uniform in [\[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p]: true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element. @raise Invalid_argument on an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val split : t -> t
+(** A new generator seeded from this one's stream — lets sub-generators
+    evolve independently of call order elsewhere. *)

@@ -1,0 +1,356 @@
+module Graph = Graphstore.Graph
+
+type params = { scale : float; seed : int }
+
+let default_params = { scale = 0.02; seed = 2015 }
+
+(* Entity populations at scale 1.0 (approximating YAGO CORE). *)
+let scaled s full floor = max floor (int_of_float (float_of_int full *. s))
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let taxonomy_mids =
+  [
+    "wordnet_person"; "wordnet_location"; "wordnet_organization"; "wordnet_event";
+    "wordnet_artifact"; "wordnet_abstraction";
+  ]
+  @ List.init 24 (fun k -> Printf.sprintf "wordnet_branch_%d" (k + 1))
+
+(* Pinned leaves needed by the query set and the entity wiring. *)
+let pinned_leaves =
+  [
+    ("wordnet_city", "wordnet_location");
+    ("wordnet_country", "wordnet_location");
+    ("wordnet_village", "wordnet_location");
+    ("wordnet_ziggurat", "wordnet_artifact");
+    ("wordnet_castle", "wordnet_artifact");
+    ("wordnet_room", "wordnet_artifact");
+    ("wordnet_movie", "wordnet_artifact");
+    ("wordnet_university", "wordnet_organization");
+    ("wordnet_club", "wordnet_organization");
+    ("wordnet_battle", "wordnet_event");
+    ("wordnet_conference", "wordnet_event");
+    ("wordnet_prize", "wordnet_abstraction");
+    ("wordnet_currency", "wordnet_abstraction");
+    ("wordnet_commodity", "wordnet_abstraction");
+    ("wordnet_language", "wordnet_abstraction");
+  ]
+
+let person_leaves =
+  [ "wordnet_scientist"; "wordnet_politician"; "wordnet_actor"; "wordnet_musician" ]
+  @ List.init 16 (fun k -> Printf.sprintf "wordnet_person_kind_%d" (k + 1))
+
+let build_taxonomy k ~leaves_per_mid =
+  List.iter (fun mid -> Ontology.add_subclass k mid "wordnet_entity") taxonomy_mids;
+  List.iter (fun (leaf, mid) -> Ontology.add_subclass k leaf mid) pinned_leaves;
+  List.iter (fun leaf -> Ontology.add_subclass k leaf "wordnet_person") person_leaves;
+  (* Generic leaves pad every mid towards the YAGO-like fan-out. *)
+  List.iter
+    (fun mid ->
+      for j = 1 to leaves_per_mid do
+        Ontology.add_subclass k (Printf.sprintf "%s_kind_g%d" mid j) mid
+      done)
+    taxonomy_mids
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The two property hierarchies: 6 and 2 sub-properties (§4.2).  The larger
+   one is the paper's Example 3 hierarchy: location-flavoured properties
+   under relationLocatedByObject. *)
+let build_property_hierarchies k =
+  List.iter
+    (fun p -> Ontology.add_subproperty k p "relationLocatedByObject")
+    [ "gradFrom"; "happenedIn"; "participatedIn"; "locatedIn"; "isLocatedIn"; "wasBornIn" ];
+  List.iter (fun p -> Ontology.add_subproperty k p "personalRelation") [ "influences"; "interestedIn" ];
+  Ontology.add_domain k "gradFrom" "wordnet_person";
+  Ontology.add_range k "gradFrom" "wordnet_university";
+  Ontology.add_domain k "wasBornIn" "wordnet_person";
+  Ontology.add_range k "wasBornIn" "wordnet_city";
+  Ontology.add_domain k "hasCurrency" "wordnet_country";
+  Ontology.add_range k "hasCurrency" "wordnet_currency";
+  Ontology.add_domain k "actedIn" "wordnet_actor";
+  Ontology.add_range k "actedIn" "wordnet_movie";
+  Ontology.add_domain k "playsFor" "wordnet_person";
+  Ontology.add_range k "playsFor" "wordnet_club"
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let generate ?(params = default_params) () =
+  let { scale; seed } = params in
+  let rng = Rng.create seed in
+  let g = Graph.create ~initial_nodes:(scaled scale 3_110_056 4096) () in
+  let k = Ontology.create (Graph.interner g) in
+  let leaves_per_mid = scaled scale 900 10 in
+  build_taxonomy k ~leaves_per_mid;
+  build_property_hierarchies k;
+  (* Class nodes must exist in the data graph for typed instances and for
+     RELAX's GetAncestors seeding. *)
+  List.iter
+    (fun cls -> ignore (Graph.add_node g (Graphstore.Interner.name (Graph.interner g) cls)))
+    (Ontology.classes k);
+  let classify node leaf =
+    let interner = Graph.interner g in
+    let id = Graphstore.Interner.intern interner leaf in
+    List.iter
+      (fun (cls, _) ->
+        Graph.add_edge_s g node "type" (Graph.add_node g (Graphstore.Interner.name interner cls)))
+      (Ontology.ancestors_by_specificity k id)
+  in
+
+  (* --- populations ------------------------------------------------- *)
+  let n_persons = scaled scale 1_200_000 600
+  and n_cities = scaled scale 50_000 120
+  and n_countries = 200
+  and n_institutions = scaled scale 15_000 60
+  and n_events = scaled scale 60_000 200
+  and n_buildings = scaled scale 600 12
+  and n_movies = scaled scale 60_000 120
+  and n_clubs = scaled scale 10_000 40
+  and n_prizes = scaled scale 2_000 25
+  and n_currencies = 150
+  and n_commodities = 300
+  and n_languages = 100 in
+
+  let make prefix pick_leaf n =
+    Array.init n (fun i ->
+        let node = Graph.add_node g (Printf.sprintf "%s_%d" prefix i) in
+        classify node (pick_leaf i);
+        node)
+  in
+  let persons = make "Person" (fun _ -> Rng.pick_list rng person_leaves) n_persons in
+  let cities = make "City" (fun _ -> "wordnet_city") n_cities in
+  let countries = make "Country" (fun _ -> "wordnet_country") n_countries in
+  let institutions = make "University" (fun _ -> "wordnet_university") n_institutions in
+  let events =
+    make "Event" (fun i -> if i mod 2 = 0 then "wordnet_battle" else "wordnet_conference") n_events
+  in
+  let buildings =
+    make "Building" (fun i -> if i mod 2 = 0 then "wordnet_ziggurat" else "wordnet_castle") n_buildings
+  in
+  let movies = make "Movie" (fun _ -> "wordnet_movie") n_movies in
+  let clubs = make "Club" (fun _ -> "wordnet_club") n_clubs in
+  let prizes = make "Prize" (fun _ -> "wordnet_prize") n_prizes in
+  let currencies = make "Currency" (fun _ -> "wordnet_currency") n_currencies in
+  let commodities = make "Commodity" (fun _ -> "wordnet_commodity") n_commodities in
+  let languages = make "Language" (fun _ -> "wordnet_language") n_languages in
+
+  (* Zipf-skewed hubs: the first-ranked city/country/institution are the
+     biggest, which is where the pinned landmarks live. *)
+  let city_z = Zipf.create ~n:n_cities ~alpha:0.9 in
+  let country_z = Zipf.create ~n:n_countries ~alpha:1.0 in
+  let inst_z = Zipf.create ~n:n_institutions ~alpha:0.9 in
+  let club_z = Zipf.create ~n:n_clubs ~alpha:0.9 in
+  let pick_city () = cities.(Zipf.sample city_z rng) in
+  let pick_country () = countries.(Zipf.sample country_z rng) in
+  let pick_institution () = institutions.(Zipf.sample inst_z rng) in
+  let edge src lbl dst = Graph.add_edge_s g src lbl dst in
+
+  (* --- geography ---------------------------------------------------- *)
+  Array.iter (fun city -> edge city "locatedIn" (pick_country ())) cities;
+  Array.iteri
+    (fun i city ->
+      (* flight-style mesh with hubs, for Q5's large fan-out *)
+      let connections = 2 + Rng.int rng 6 in
+      for _ = 1 to connections do
+        let other = cities.(Zipf.sample city_z rng) in
+        if other <> city then edge city "isConnectedTo" other
+      done;
+      ignore i)
+    cities;
+  Array.iter
+    (fun inst ->
+      let city = pick_city () in
+      edge inst "locatedIn" city;
+      if Rng.bool rng 0.5 then edge inst "locatedIn" (pick_country ()))
+    institutions;
+  Array.iteri
+    (fun i b ->
+      (* Ziggurats (even indices) sit at dedicated ancient sites with no
+         other connections, matching their sparse neighbourhoods in YAGO —
+         this keeps Q3's distance-1 APPROX answers rare.  Castles (odd
+         indices) are in well-connected cities and contain rooms: nothing is
+         located inside a ziggurat, so Q3 is empty exactly, but its RELAX
+         version (which climbs to the buildings' common super-class) finds
+         the rooms at distance one, as in the paper. *)
+      if i mod 2 = 0 then begin
+        let site = Graph.add_node g (Printf.sprintf "Ancient_Site_%d" i) in
+        classify site "wordnet_village";
+        edge b "isLocatedIn" site
+      end
+      else begin
+        edge b "isLocatedIn" (if Rng.bool rng 0.7 then pick_city () else pick_country ());
+        ignore i
+      end;
+      if i mod 2 = 1 then
+        for r = 1 to 15 + Rng.int rng 10 do
+          let room = Graph.add_node g (Printf.sprintf "Room_%d_of_Building_%d" r i) in
+          classify room "wordnet_room";
+          edge room "locatedIn" b
+        done)
+    buildings;
+  Array.iter
+    (fun ev ->
+      edge ev "isLocatedIn" (pick_country ());
+      edge ev "happenedIn" (if Rng.bool rng 0.98 then pick_city () else Rng.pick rng buildings))
+    events;
+
+  (* --- people -------------------------------------------------------- *)
+  Array.iter
+    (fun p ->
+      if Rng.bool rng 0.6 then edge p "wasBornIn" (pick_city ());
+      if Rng.bool rng 0.15 then edge p "bornIn" (pick_city ());
+      if Rng.bool rng 0.3 then edge p "livesIn" (pick_city ());
+      (* some people live "in a country" directly, as in YAGO *)
+      if Rng.bool rng 0.02 then edge p "livesIn" (pick_country ());
+      if Rng.bool rng 0.2 then edge p "isCitizenOf" (pick_country ());
+      if Rng.bool rng 0.2 then edge p "diedIn" (pick_city ());
+      if Rng.bool rng 0.25 then edge p "marriedTo" (Rng.pick rng persons);
+      if Rng.bool rng 0.3 then
+        for _ = 1 to 1 + Rng.int rng 2 do
+          edge p "hasChild" (Rng.pick rng persons)
+        done;
+      if Rng.bool rng 0.25 then edge p "gradFrom" (pick_institution ());
+      if Rng.bool rng 0.02 then edge p "hasWonPrize" (Rng.pick rng prizes);
+      if Rng.bool rng 0.03 then edge p "playsFor" (clubs.(Zipf.sample club_z rng));
+      if Rng.bool rng 0.05 then edge p "participatedIn" (Rng.pick rng events);
+      if Rng.bool rng 0.1 then edge p "worksAt" (pick_institution ());
+      if Rng.bool rng 0.02 then edge p "hasAcademicAdvisor" (Rng.pick rng persons);
+      if Rng.bool rng 0.02 then edge p "interestedIn" (Rng.pick rng movies);
+      if Rng.bool rng 0.01 then edge p "influences" (Rng.pick rng persons))
+    persons;
+
+  (* [married] forms disjoint pairs only — no chains — so query Q4's
+     [married.married+] sub-path has no exact matches at any scale. *)
+  let half = Array.length persons / 2 in
+  for i = 0 to (n_persons / 100) - 1 do
+    let a = persons.(i * 2) and b = persons.((i * 2) + 1) in
+    if i * 2 + 1 < half then edge a "married" b
+  done;
+
+  (* --- movies, trade, countries -------------------------------------- *)
+  Array.iter
+    (fun m ->
+      edge (Rng.pick rng persons) "directed" m;
+      for _ = 1 to 3 + Rng.int rng 8 do
+        edge (Rng.pick rng persons) "actedIn" m
+      done;
+      if Rng.bool rng 0.3 then edge (Rng.pick rng persons) "created" m;
+      if Rng.bool rng 0.3 then edge (Rng.pick rng persons) "wrote" m;
+      if Rng.bool rng 0.3 then edge (Rng.pick rng persons) "produced" m)
+    movies;
+  Array.iteri
+    (fun i c ->
+      edge c "hasCurrency" currencies.(i mod n_currencies);
+      edge c "hasCapital" (pick_city ());
+      edge c "hasOfficialLanguage" languages.(i mod n_languages);
+      for _ = 1 to 2 + Rng.int rng 6 do
+        edge c "imports" (Rng.pick rng commodities)
+      done;
+      for _ = 1 to 2 + Rng.int rng 6 do
+        edge c "exports" (Rng.pick rng commodities)
+      done;
+      if Rng.bool rng 0.4 then edge c "dealsWith" (pick_country ());
+      (* countries own castles (odd indices), never ziggurats: a country's
+         huge locatedIn fan-in would otherwise flood Q3's distance-1 answers *)
+      (if Rng.bool rng 0.1 then
+         let b = Rng.int rng (Array.length buildings / 2) in
+         edge c "owns" buildings.((2 * b) + 1));
+      (* literal-valued YAGO properties, represented as value nodes *)
+      let value suffix = Graph.add_node g (Printf.sprintf "Value_%s_%d" suffix i) in
+      edge c "hasWebsite" (value "website");
+      edge c "hasMotto" (value "motto");
+      edge c "hasArea" (value "area");
+      edge c "hasPopulation" (value "population");
+      if i + 1 < n_countries then edge c "hasNeighbor" countries.(i + 1))
+    countries;
+
+  (* --- pinned landmarks ---------------------------------------------- *)
+  (* UK: the top-ranked country, renamed.  Note: nodes already exist, so we
+     pin by dedicated nodes instead where renaming would be needed. *)
+  let uk = Graph.add_node g "UK" in
+  classify uk "wordnet_country";
+  edge uk "hasCurrency" currencies.(0);
+  (* a share of cities, institutions, events is UK-based *)
+  Array.iteri (fun i c -> if i mod 7 = 3 then edge c "locatedIn" uk) cities;
+  Array.iteri (fun i inst -> if i mod 5 = 2 then edge inst "locatedIn" uk) institutions;
+  Array.iteri (fun i ev -> if i mod 6 = 1 then edge ev "isLocatedIn" uk) events;
+  Array.iteri (fun i b -> if i mod 6 = 3 then edge b "isLocatedIn" uk) buildings;
+  Array.iteri (fun i p -> if i mod 83 = 7 then edge p "livesIn" uk) persons;
+
+  (* Halle (Q1): a city with plenty of born-in links. *)
+  let halle = Graph.add_node g "Halle_Saxony-Anhalt" in
+  classify halle "wordnet_city";
+  edge halle "locatedIn" countries.(1);
+  Array.iteri
+    (fun i p ->
+      if i mod 997 = 11 then begin
+        edge p "bornIn" halle;
+        if Rng.bool rng 0.5 then edge p "marriedTo" (Rng.pick rng persons)
+      end)
+    persons;
+
+  (* Li Peng (Q2): two children, both graduates of a dedicated university
+     with a large alumni body of which exactly two won a prize. *)
+  let li_peng = Graph.add_node g "Li_Peng" in
+  classify li_peng "wordnet_politician";
+  let li_university = Graph.add_node g "Li_University" in
+  classify li_university "wordnet_university";
+  edge li_university "locatedIn" (pick_city ());
+  let child name =
+    let c = Graph.add_node g name in
+    classify c "wordnet_politician";
+    edge li_peng "hasChild" c;
+    edge c "gradFrom" li_university;
+    c
+  in
+  ignore (child "Li_Child_1");
+  ignore (child "Li_Child_2");
+  let alumni_count = max 150 (scaled scale 4_000 150) in
+  for i = 0 to alumni_count - 1 do
+    let a = Graph.add_node g (Printf.sprintf "Li_Alumnus_%d" i) in
+    classify a "wordnet_scientist";
+    edge a "gradFrom" li_university;
+    edge a "wasBornIn" (pick_city ());
+    if i < 2 then edge a "hasWonPrize" prizes.(i mod n_prizes)
+  done;
+
+  (* Annie Haslam (Q8): a musician among many, with movies to reach. *)
+  let annie = Graph.add_node g "Annie Haslam" in
+  classify annie "wordnet_musician";
+  edge annie "actedIn" (Rng.pick rng movies);
+  (g, k)
+
+(* ------------------------------------------------------------------ *)
+(* The Fig. 9 query set                                                *)
+(* ------------------------------------------------------------------ *)
+
+let queries =
+  [
+    (1, "(Halle_Saxony-Anhalt, bornIn-.marriedTo.hasChild, ?X)");
+    (2, "(Li_Peng, hasChild.gradFrom.gradFrom-.hasWonPrize, ?X)");
+    (3, "(wordnet_ziggurat, type-.locatedIn-, ?X)");
+    (4, "(?X, directed.married.married+.playsFor, ?Y)");
+    (5, "(?X, isConnectedTo.wasBornIn, ?Y)");
+    (6, "(?X, imports.exports-, ?Y)");
+    (7, "(wordnet_city, type-.happenedIn-.participatedIn-, ?X)");
+    (8, "(Annie Haslam, type.type-.actedIn, ?X)");
+    (9, "(UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)");
+  ]
+
+let stress_queries = [ 2; 3; 4; 5; 9 ]
+
+let query_text id (mode : Core.Query.mode) =
+  match List.assoc_opt id queries with
+  | None -> invalid_arg (Printf.sprintf "Yago_sim.query_text: unknown query %d" id)
+  | Some conjunct ->
+    let prefix =
+      match mode with Core.Query.Exact -> "" | Core.Query.Approx -> "APPROX " | Core.Query.Relax -> "RELAX "
+    in
+    let head = if id = 4 || id = 5 || id = 6 then "(?X, ?Y)" else "(?X)" in
+    Printf.sprintf "%s <- %s%s" head prefix conjunct

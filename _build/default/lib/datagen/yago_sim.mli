@@ -1,0 +1,47 @@
+(** A YAGO-shaped synthetic knowledge graph (§4.2).
+
+    The original study imported YAGO's SIMPLETAX + CORE dumps (3.11M nodes,
+    17.04M edges); those dumps are not redistributable here, so this
+    generator produces a graph with the same structural signature, which is
+    what drives the paper's Fig. 10/11 behaviour:
+
+    - one class taxonomy of depth 2 with very large fan-out (the paper
+      reports average fan-out 933.43 at full size; it scales with the graph);
+    - 38 properties including [type], two property hierarchies with 6 and 2
+      sub-properties ([relationLocatedByObject] over the location-flavoured
+      properties, as in the paper's Example 3, and a small second one);
+    - entity populations (people, cities, countries, institutions, events,
+      buildings, movies, clubs, prizes, …) wired by the 20 properties the
+      Fig. 9 query set touches, with Zipf-skewed hub degrees, plus filler
+      properties to reach 38;
+    - pinned landmarks so the constants of Fig. 9 exist and behave as in the
+      paper: [Li_Peng]'s two-hop neighbourhood gives query Q2 exactly two
+      exact answers; [UK] is the highest-ranked country;
+      [Halle_Saxony-Anhalt] a high-rank city; [wordnet_ziggurat] a class of
+      buildings that nothing is located in (Q3's exact answer set is empty);
+      no [married] chains exist (Q4 returns nothing exactly).
+
+    Everything is deterministic in [seed] and scales linearly in [scale]
+    (1.0 ≈ the full YAGO size; the default 0.02 keeps the benchmark harness
+    under a minute per query). *)
+
+type params = {
+  scale : float;
+  seed : int;
+}
+
+val default_params : params
+(** [{ scale = 0.02; seed = 2015 }]. *)
+
+val generate : ?params:params -> unit -> Graphstore.Graph.t * Ontology.t
+
+(** {1 The Fig. 9 query set} *)
+
+val queries : (int * string) list
+(** The nine conjuncts of Fig. 9, without operator prefix. *)
+
+val query_text : int -> Core.Query.mode -> string
+(** @raise Invalid_argument for ids outside 1–9. *)
+
+val stress_queries : int list
+(** [[2; 3; 4; 5; 9]] — the queries reported in Figs. 10–11. *)

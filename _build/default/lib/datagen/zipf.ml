@@ -1,0 +1,25 @@
+type t = { cumulative : float array }
+
+let create ~n ~alpha =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if alpha < 0. then invalid_arg "Zipf.create: alpha must be non-negative";
+  let cumulative = Array.make n 0. in
+  let total = ref 0. in
+  for k = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (k + 1)) alpha);
+    cumulative.(k) <- !total
+  done;
+  Array.iteri (fun k v -> cumulative.(k) <- v /. !total) cumulative;
+  { cumulative }
+
+(* Binary search for the first rank whose cumulative mass covers u. *)
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let n t = Array.length t.cumulative

@@ -1,0 +1,16 @@
+(** Zipf-distributed rank sampling.
+
+    Real knowledge graphs such as YAGO have heavily skewed degree
+    distributions; the YAGO-shaped generator draws hub entities (big cities,
+    famous universities, well-connected airports) with this sampler. *)
+
+type t
+
+val create : n:int -> alpha:float -> t
+(** Distribution over ranks [0 … n-1] with P(rank k) ∝ (k+1)^-alpha.
+    @raise Invalid_argument if [n <= 0] or [alpha < 0]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank (0 is the most popular). *)
+
+val n : t -> int

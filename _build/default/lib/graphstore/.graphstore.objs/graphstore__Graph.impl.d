@@ -1,0 +1,1 @@
+lib/graphstore/graph.ml: Array Format Hashtbl Interner List Oid_set Printf

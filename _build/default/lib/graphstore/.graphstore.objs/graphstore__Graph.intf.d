@@ -1,0 +1,1 @@
+lib/graphstore/graph.mli: Format Interner Oid_set

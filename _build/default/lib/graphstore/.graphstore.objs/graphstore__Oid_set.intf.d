@@ -1,0 +1,1 @@
+lib/graphstore/oid_set.mli:

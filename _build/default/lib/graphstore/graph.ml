@@ -1,0 +1,209 @@
+type dir = Out | In | Both
+
+(* Per-label adjacency: label id -> (node oid -> neighbour oids).  The two
+   arrays are indexed by interned label id and grown on demand; an absent
+   hashtable means no edge with that label exists yet. *)
+type t = {
+  interner : Interner.t;
+  type_label : int;
+  mutable node_labels : string array;
+  mutable node_count : int;
+  node_index : (string, int) Hashtbl.t;
+  mutable adj_out : (int, int list ref) Hashtbl.t option array;
+  mutable adj_in : (int, int list ref) Hashtbl.t option array;
+  mutable edge_count : int;
+  mutable label_counts : int array; (* label id -> number of edges *)
+}
+
+let create ?(initial_nodes = 1024) () =
+  let interner = Interner.create () in
+  let type_label = Interner.intern interner "type" in
+  {
+    interner;
+    type_label;
+    node_labels = Array.make (max 1 initial_nodes) "";
+    node_count = 0;
+    node_index = Hashtbl.create initial_nodes;
+    adj_out = Array.make 16 None;
+    adj_in = Array.make 16 None;
+    edge_count = 0;
+    label_counts = Array.make 16 0;
+  }
+
+let interner t = t.interner
+let type_label t = t.type_label
+
+let add_node t label =
+  match Hashtbl.find_opt t.node_index label with
+  | Some oid -> oid
+  | None ->
+    let cap = Array.length t.node_labels in
+    if t.node_count >= cap then begin
+      let labels = Array.make (2 * cap) "" in
+      Array.blit t.node_labels 0 labels 0 t.node_count;
+      t.node_labels <- labels
+    end;
+    let oid = t.node_count in
+    t.node_labels.(oid) <- label;
+    t.node_count <- t.node_count + 1;
+    Hashtbl.add t.node_index label oid;
+    oid
+
+let grow_adj t label =
+  let cap = Array.length t.adj_out in
+  if label >= cap then begin
+    let n = max (2 * cap) (label + 1) in
+    let out = Array.make n None and inn = Array.make n None and counts = Array.make n 0 in
+    Array.blit t.adj_out 0 out 0 cap;
+    Array.blit t.adj_in 0 inn 0 cap;
+    Array.blit t.label_counts 0 counts 0 cap;
+    t.adj_out <- out;
+    t.adj_in <- inn;
+    t.label_counts <- counts
+  end
+
+let table_of arr label =
+  match arr.(label) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    arr.(label) <- Some tbl;
+    tbl
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some cell -> cell := v :: !cell
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let check_oid t oid ctx =
+  if oid < 0 || oid >= t.node_count then
+    invalid_arg (Printf.sprintf "Graph.%s: unknown oid %d" ctx oid)
+
+let add_edge t src label dst =
+  check_oid t src "add_edge";
+  check_oid t dst "add_edge";
+  grow_adj t label;
+  push (table_of t.adj_out label) src dst;
+  push (table_of t.adj_in label) dst src;
+  t.edge_count <- t.edge_count + 1;
+  t.label_counts.(label) <- t.label_counts.(label) + 1
+
+let add_edge_s t src label dst = add_edge t src (Interner.intern t.interner label) dst
+
+let find_node t label = Hashtbl.find_opt t.node_index label
+
+let node_label t oid =
+  check_oid t oid "node_label";
+  t.node_labels.(oid)
+
+let n_nodes t = t.node_count
+let n_edges t = t.edge_count
+
+let labels t =
+  let acc = ref [] in
+  for label = Array.length t.label_counts - 1 downto 0 do
+    if t.label_counts.(label) > 0 then acc := label :: !acc
+  done;
+  !acc
+
+let adjacent arr label oid =
+  if label < 0 || label >= Array.length arr then []
+  else
+    match arr.(label) with
+    | None -> []
+    | Some tbl -> ( match Hashtbl.find_opt tbl oid with Some cell -> !cell | None -> [])
+
+let neighbors t n label dir =
+  match dir with
+  | Out -> adjacent t.adj_out label n
+  | In -> adjacent t.adj_in label n
+  | Both -> adjacent t.adj_out label n @ adjacent t.adj_in label n
+
+let iter_neighbors t n label dir f =
+  match dir with
+  | Out -> List.iter f (adjacent t.adj_out label n)
+  | In -> List.iter f (adjacent t.adj_in label n)
+  | Both ->
+    List.iter f (adjacent t.adj_out label n);
+    List.iter f (adjacent t.adj_in label n)
+
+let iter_neighbors_any t n f =
+  let visit arr =
+    Array.iteri
+      (fun _label tbl ->
+        match tbl with
+        | None -> ()
+        | Some tbl -> (
+          match Hashtbl.find_opt tbl n with
+          | Some cell -> List.iter f !cell
+          | None -> ()))
+      arr
+  in
+  visit t.adj_out;
+  visit t.adj_in
+
+let mem_edge t src label dst = List.exists (fun v -> v = dst) (adjacent t.adj_out label src)
+
+let keys_of arr label =
+  let set = Oid_set.create () in
+  if label >= 0 && label < Array.length arr then begin
+    match arr.(label) with
+    | None -> ()
+    | Some tbl -> Hashtbl.iter (fun oid _ -> Oid_set.add set oid) tbl
+  end;
+  set
+
+let tails_by_label t label = keys_of t.adj_out label
+let heads_by_label t label = keys_of t.adj_in label
+
+let tails_and_heads t label =
+  let set = tails_by_label t label in
+  Oid_set.union_into set (heads_by_label t label);
+  set
+
+let out_degree t n label = List.length (adjacent t.adj_out label n)
+let in_degree t n label = List.length (adjacent t.adj_in label n)
+
+let iter_nodes t f =
+  for oid = 0 to t.node_count - 1 do
+    f oid
+  done
+
+let iter_edges t f =
+  Array.iteri
+    (fun label tbl ->
+      match tbl with
+      | None -> ()
+      | Some tbl -> Hashtbl.iter (fun src cell -> List.iter (fun dst -> f src label dst) !cell) tbl)
+    t.adj_out
+
+type stats = {
+  nodes : int;
+  edges : int;
+  distinct_labels : int;
+  max_out_degree : int;
+  max_in_degree : int;
+}
+
+let stats t =
+  let max_deg arr =
+    let best = ref 0 in
+    Array.iter
+      (fun tbl ->
+        match tbl with
+        | None -> ()
+        | Some tbl -> Hashtbl.iter (fun _ cell -> best := max !best (List.length !cell)) tbl)
+      arr;
+    !best
+  in
+  {
+    nodes = t.node_count;
+    edges = t.edge_count;
+    distinct_labels = List.length (labels t);
+    max_out_degree = max_deg t.adj_out;
+    max_in_degree = max_deg t.adj_in;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "nodes=%d edges=%d labels=%d max_out=%d max_in=%d" s.nodes s.edges
+    s.distinct_labels s.max_out_degree s.max_in_degree

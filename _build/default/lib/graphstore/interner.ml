@@ -1,0 +1,41 @@
+type t = {
+  mutable names : string array;
+  mutable count : int;
+  ids : (string, int) Hashtbl.t;
+}
+
+let create ?(initial_capacity = 64) () =
+  { names = Array.make (max 1 initial_capacity) ""; count = 0; ids = Hashtbl.create initial_capacity }
+
+let grow t =
+  let cap = Array.length t.names in
+  if t.count >= cap then begin
+    let names = Array.make (2 * cap) "" in
+    Array.blit t.names 0 names 0 t.count;
+    t.names <- names
+  end
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+    grow t;
+    let id = t.count in
+    t.names.(id) <- s;
+    t.count <- t.count + 1;
+    Hashtbl.add t.ids s id;
+    id
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Interner.name: unknown id %d" id)
+  else t.names.(id)
+
+let cardinal t = t.count
+
+let iter t f =
+  for id = 0 to t.count - 1 do
+    f id t.names.(id)
+  done

@@ -1,0 +1,31 @@
+(** String interning: a bijection between strings and dense non-negative
+    integer identifiers.
+
+    Edge labels and other frequently-compared strings are interned once and
+    manipulated as [int]s thereafter, which keeps the hot paths of the query
+    engine allocation-free.  One interner is owned by each
+    {!Graph.t}; the ontology shares it so that property identifiers agree
+    across the data graph and the ontology. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+(** A fresh, empty interner. *)
+
+val intern : t -> string -> int
+(** [intern t s] returns the identifier of [s], allocating a fresh one if [s]
+    has not been seen before.  Identifiers are dense: the k-th distinct string
+    receives id [k-1]. *)
+
+val find : t -> string -> int option
+(** [find t s] is the identifier of [s] if it has been interned. *)
+
+val name : t -> int -> string
+(** [name t id] is the string with identifier [id].
+    @raise Invalid_argument if [id] has not been allocated. *)
+
+val cardinal : t -> int
+(** Number of distinct strings interned so far. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** [iter t f] applies [f id name] to every interned string, in id order. *)

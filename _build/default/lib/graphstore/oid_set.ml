@@ -1,0 +1,71 @@
+type t = {
+  mutable bits : Bytes.t;
+  mutable cardinal : int;
+}
+
+let create ?(capacity = 1024) () =
+  { bits = Bytes.make ((max capacity 8 + 7) / 8) '\000'; cardinal = 0 }
+
+let ensure t oid =
+  let needed = (oid / 8) + 1 in
+  let cap = Bytes.length t.bits in
+  if needed > cap then begin
+    let bits = Bytes.make (max needed (2 * cap)) '\000' in
+    Bytes.blit t.bits 0 bits 0 cap;
+    t.bits <- bits
+  end
+
+let mem t oid =
+  if oid < 0 then invalid_arg "Oid_set.mem: negative oid";
+  let byte = oid / 8 in
+  byte < Bytes.length t.bits
+  && Char.code (Bytes.unsafe_get t.bits byte) land (1 lsl (oid land 7)) <> 0
+
+let add_new t oid =
+  if oid < 0 then invalid_arg "Oid_set.add_new: negative oid";
+  ensure t oid;
+  let byte = oid / 8 in
+  let mask = 1 lsl (oid land 7) in
+  let v = Char.code (Bytes.unsafe_get t.bits byte) in
+  if v land mask <> 0 then false
+  else begin
+    Bytes.unsafe_set t.bits byte (Char.chr (v lor mask));
+    t.cardinal <- t.cardinal + 1;
+    true
+  end
+
+let add t oid = ignore (add_new t oid)
+
+let remove t oid =
+  if mem t oid then begin
+    let byte = oid / 8 in
+    let mask = 1 lsl (oid land 7) in
+    let v = Char.code (Bytes.get t.bits byte) in
+    Bytes.set t.bits byte (Char.chr (v land lnot mask));
+    t.cardinal <- t.cardinal - 1
+  end
+
+let cardinal t = t.cardinal
+
+let is_empty t = t.cardinal = 0
+
+let iter t f =
+  let n = Bytes.length t.bits in
+  for byte = 0 to n - 1 do
+    let v = Char.code (Bytes.unsafe_get t.bits byte) in
+    if v <> 0 then
+      for bit = 0 to 7 do
+        if v land (1 lsl bit) <> 0 then f ((byte * 8) + bit)
+      done
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun oid -> acc := oid :: !acc);
+  List.rev !acc
+
+let union_into dst src = iter src (fun oid -> add dst oid)
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.cardinal <- 0

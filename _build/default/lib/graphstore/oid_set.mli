@@ -1,0 +1,39 @@
+(** Growable bit-sets over node object identifiers (oids).
+
+    Sparksee exposes set operations over oid collections backed by bitmap
+    vectors (Martinez-Bazan et al., IDEAS 2012); the paper's seeding functions
+    ([GetAllNodesByLabel], [GetAllStartNodesByLabel]) rely on them to keep the
+    set of already-emitted seed nodes distinct.  This module is the
+    corresponding substrate: a dense bitmap over oids with the operations the
+    engine needs. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty set.  [capacity] is a hint for the largest expected oid. *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+(** [add t oid] inserts [oid]; the set grows transparently. *)
+
+val add_new : t -> int -> bool
+(** [add_new t oid] inserts [oid] and reports whether it was absent — the
+    common test-and-set used for dedup. *)
+
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val iter : t -> (int -> unit) -> unit
+(** Iterate over members in increasing oid order. *)
+
+val to_list : t -> int list
+(** Members in increasing oid order. *)
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds all members of [src] to [dst]. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/ntriples/nt.ml: Buffer Fun Graphstore List Ontology String

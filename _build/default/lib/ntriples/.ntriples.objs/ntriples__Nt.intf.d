@@ -1,0 +1,1 @@
+lib/ntriples/nt.mli: Graphstore Ontology

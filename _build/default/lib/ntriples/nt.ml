@@ -1,0 +1,149 @@
+module Graph = Graphstore.Graph
+module Interner = Graphstore.Interner
+
+exception Parse_error of string * int
+
+(* Reserved predicates: the four ontology edge labels of E_K (§2) plus a
+   marker for isolated nodes (which plain triples cannot express). *)
+let p_sc = "sc"
+let p_sp = "sp"
+let p_dom = "dom"
+let p_range = "range"
+let p_node = "node"
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '>' | '\\' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    s
+
+let write_triple oc s p o =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '<';
+  escape buf s;
+  Buffer.add_string buf "> <";
+  escape buf p;
+  Buffer.add_string buf "> <";
+  escape buf o;
+  Buffer.add_string buf "> .";
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n'
+
+let write_graph oc g =
+  let interner = Graph.interner g in
+  let touched = Graphstore.Oid_set.create ~capacity:(Graph.n_nodes g) () in
+  Graph.iter_edges g (fun src label dst ->
+      Graphstore.Oid_set.add touched src;
+      Graphstore.Oid_set.add touched dst;
+      write_triple oc (Graph.node_label g src) (Interner.name interner label) (Graph.node_label g dst));
+  Graph.iter_nodes g (fun oid ->
+      if not (Graphstore.Oid_set.mem touched oid) then
+        let l = Graph.node_label g oid in
+        write_triple oc l p_node l)
+
+let write_ontology oc k =
+  let interner = Ontology.interner k in
+  let name = Interner.name interner in
+  List.iter
+    (fun cls -> List.iter (fun super -> write_triple oc (name cls) p_sc (name super)) (Ontology.super_classes k cls))
+    (Ontology.classes k);
+  List.iter
+    (fun p ->
+      List.iter (fun super -> write_triple oc (name p) p_sp (name super)) (Ontology.super_properties k p);
+      (match Ontology.domain k p with Some c -> write_triple oc (name p) p_dom (name c) | None -> ());
+      match Ontology.range k p with Some c -> write_triple oc (name p) p_range (name c) | None -> ())
+    (Ontology.properties k)
+
+let save path ~graph ~ontology =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      write_graph oc graph;
+      write_ontology oc ontology)
+
+(* --- parsing ------------------------------------------------------- *)
+
+type cursor = { line : string; mutable pos : int; lineno : int }
+
+let fail c msg = raise (Parse_error (msg, c.lineno))
+
+let skip_ws c =
+  let n = String.length c.line in
+  while c.pos < n && (c.line.[c.pos] = ' ' || c.line.[c.pos] = '\t') do
+    c.pos <- c.pos + 1
+  done
+
+let term c =
+  skip_ws c;
+  let n = String.length c.line in
+  if c.pos >= n || c.line.[c.pos] <> '<' then fail c "expected '<'";
+  c.pos <- c.pos + 1;
+  let buf = Buffer.create 32 in
+  let rec scan () =
+    if c.pos >= n then fail c "unterminated term"
+    else
+      match c.line.[c.pos] with
+      | '>' -> c.pos <- c.pos + 1
+      | '\\' ->
+        if c.pos + 1 >= n then fail c "dangling escape";
+        Buffer.add_char buf c.line.[c.pos + 1];
+        c.pos <- c.pos + 2;
+        scan ()
+      | ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        scan ()
+  in
+  scan ();
+  Buffer.contents buf
+
+let parse_line lineno line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then None
+  else begin
+    let c = { line = trimmed; pos = 0; lineno } in
+    let s = term c in
+    let p = term c in
+    let o = term c in
+    skip_ws c;
+    if c.pos >= String.length c.line || c.line.[c.pos] <> '.' then fail c "expected terminating '.'";
+    Some (s, p, o)
+  end
+
+let read ic =
+  let g = Graph.create () in
+  let k = Ontology.create (Graph.interner g) in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       match parse_line !lineno line with
+       | None -> ()
+       | Some (s, p, o) ->
+         if p = p_sc then begin
+           Ontology.add_subclass k s o;
+           ignore (Graph.add_node g s);
+           ignore (Graph.add_node g o)
+         end
+         else if p = p_sp then Ontology.add_subproperty k s o
+         else if p = p_dom then Ontology.add_domain k s o
+         else if p = p_range then Ontology.add_range k s o
+         else if p = p_node then ignore (Graph.add_node g s)
+         else begin
+           let src = Graph.add_node g s in
+           let dst = Graph.add_node g o in
+           Graph.add_edge_s g src p dst
+         end
+     done
+   with End_of_file -> ());
+  (g, k)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

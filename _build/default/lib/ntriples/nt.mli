@@ -1,0 +1,41 @@
+(** On-disk persistence for data graphs and ontologies, in an N-Triples-like
+    line format.
+
+    The paper's data model is RDF minus blank nodes, so a triple-per-line
+    text format round-trips it exactly:
+
+    {v
+      <node label> <edge label> <node label> .
+      <sub class>  <sc>         <super class> .
+      <sub prop>   <sp>         <super prop> .
+      <property>   <dom>        <class> .
+      <property>   <range>      <class> .
+    v}
+
+    Each term is enclosed in angle brackets; [>] and [\\] inside labels are
+    backslash-escaped.  Ontology triples use the reserved predicates [sc],
+    [sp], [dom], [range] (§2: these are disjoint from the graph alphabet),
+    and may be mixed freely with data triples in one file. *)
+
+exception Parse_error of string * int
+(** [(message, line_number)]. *)
+
+(** {1 Writing} *)
+
+val write_graph : out_channel -> Graphstore.Graph.t -> unit
+
+val write_ontology : out_channel -> Ontology.t -> unit
+
+val save :
+  string -> graph:Graphstore.Graph.t -> ontology:Ontology.t -> unit
+(** [save path ~graph ~ontology] writes both into one file. *)
+
+(** {1 Reading} *)
+
+val read : in_channel -> Graphstore.Graph.t * Ontology.t
+(** Parse a (possibly mixed) triple stream into a fresh graph and ontology
+    sharing one interner.  Nodes mentioned only in ontology triples become
+    graph nodes too (they are class nodes of [V_G ∩ V_K]).
+    @raise Parse_error on malformed lines. *)
+
+val load : string -> Graphstore.Graph.t * Ontology.t

@@ -1,0 +1,157 @@
+module Interner = Graphstore.Interner
+
+type t = {
+  interner : Interner.t;
+  sc_up : (int, int list ref) Hashtbl.t;
+  sc_down : (int, int list ref) Hashtbl.t;
+  sp_up : (int, int list ref) Hashtbl.t;
+  sp_down : (int, int list ref) Hashtbl.t;
+  dom : (int, int) Hashtbl.t;
+  rng : (int, int) Hashtbl.t;
+  class_set : (int, unit) Hashtbl.t;
+  property_set : (int, unit) Hashtbl.t;
+}
+
+let create interner =
+  {
+    interner;
+    sc_up = Hashtbl.create 64;
+    sc_down = Hashtbl.create 64;
+    sp_up = Hashtbl.create 16;
+    sp_down = Hashtbl.create 16;
+    dom = Hashtbl.create 16;
+    rng = Hashtbl.create 16;
+    class_set = Hashtbl.create 64;
+    property_set = Hashtbl.create 16;
+  }
+
+let interner t = t.interner
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some cell -> if not (List.mem v !cell) then cell := v :: !cell
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let mark tbl id = if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id ()
+
+let add_subclass t sub super =
+  let sub = Interner.intern t.interner sub and super = Interner.intern t.interner super in
+  push t.sc_up sub super;
+  push t.sc_down super sub;
+  mark t.class_set sub;
+  mark t.class_set super
+
+let add_subproperty t sub super =
+  let sub = Interner.intern t.interner sub and super = Interner.intern t.interner super in
+  push t.sp_up sub super;
+  push t.sp_down super sub;
+  mark t.property_set sub;
+  mark t.property_set super
+
+let add_domain t property class_ =
+  let p = Interner.intern t.interner property and c = Interner.intern t.interner class_ in
+  Hashtbl.replace t.dom p c;
+  mark t.property_set p;
+  mark t.class_set c
+
+let add_range t property class_ =
+  let p = Interner.intern t.interner property and c = Interner.intern t.interner class_ in
+  Hashtbl.replace t.rng p c;
+  mark t.property_set p;
+  mark t.class_set c
+
+let is_class t id = Hashtbl.mem t.class_set id
+let is_property t id = Hashtbl.mem t.property_set id
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+let classes t = sorted_keys t.class_set
+let properties t = sorted_keys t.property_set
+
+let immediate tbl id =
+  match Hashtbl.find_opt tbl id with
+  | Some cell -> List.sort compare !cell
+  | None -> []
+
+let super_classes t id = immediate t.sc_up id
+let sub_classes t id = immediate t.sc_down id
+let super_properties t id = immediate t.sp_up id
+let sub_properties t id = immediate t.sp_down id
+
+(* Breadth-first walk up [up], recording the first (smallest) depth at which
+   each ancestor is reached.  The result is ordered by increasing depth, i.e.
+   increasing generality — exactly the order the paper's GetAncestors needs
+   so that more specific classes are processed first. *)
+let ancestors_with_depth up start =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.add seen start 0;
+  let out = ref [ (start, 0) ] in
+  let frontier = ref [ start ] in
+  let depth = ref 0 in
+  while !frontier <> [] do
+    incr depth;
+    let next = ref [] in
+    List.iter
+      (fun id ->
+        List.iter
+          (fun parent ->
+            if not (Hashtbl.mem seen parent) then begin
+              Hashtbl.add seen parent !depth;
+              out := (parent, !depth) :: !out;
+              next := parent :: !next
+            end)
+          (immediate up id))
+      !frontier;
+    frontier := List.sort compare !next
+  done;
+  List.stable_sort (fun (a, da) (b, db) -> if da <> db then compare da db else compare a b) (List.rev !out)
+
+let ancestors_by_specificity t c = ancestors_with_depth t.sc_up c
+let property_ancestors t p = ancestors_with_depth t.sp_up p
+
+let descendants down start =
+  List.map fst (ancestors_with_depth down start)
+
+let class_descendants t c = descendants t.sc_down c
+let sub_properties_closure t p = descendants t.sp_down p
+
+let domain t p = Hashtbl.find_opt t.dom p
+let range t p = Hashtbl.find_opt t.rng p
+
+type hierarchy_stats = { root : int; members : int; depth : int; avg_fanout : float }
+
+let roots_of set up down =
+  Hashtbl.fold
+    (fun id () acc ->
+      let has_parent = Hashtbl.mem up id in
+      let has_child = Hashtbl.mem down id in
+      if (not has_parent) && has_child then id :: acc else acc)
+    set []
+  |> List.sort compare
+
+let class_roots t = roots_of t.class_set t.sc_up t.sc_down
+let property_roots t = roots_of t.property_set t.sp_up t.sp_down
+
+let hierarchy_stats down root =
+  let members = ref 0 and depth = ref 0 and internal = ref 0 and children = ref 0 in
+  let rec walk id d =
+    incr members;
+    if d > !depth then depth := d;
+    let kids = immediate down id in
+    if kids <> [] then begin
+      incr internal;
+      children := !children + List.length kids;
+      List.iter (fun kid -> walk kid (d + 1)) kids
+    end
+  in
+  walk root 0;
+  let avg_fanout = if !internal = 0 then 0. else float_of_int !children /. float_of_int !internal in
+  { root; members = !members; depth = !depth; avg_fanout }
+
+let class_hierarchy_stats t root = hierarchy_stats t.sc_down root
+let property_hierarchy_stats t root = hierarchy_stats t.sp_down root
+
+let pp_hierarchy_stats interner ppf s =
+  Format.fprintf ppf "%-34s depth=%d members=%d avg-fanout=%.2f" (Interner.name interner s.root)
+    s.depth s.members s.avg_fanout

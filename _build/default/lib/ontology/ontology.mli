@@ -1,0 +1,105 @@
+(** The ontology [K = (V_K, E_K)] accompanying a data graph.
+
+    [E_K ⊆ V_K × {sc, sp, dom, range} × V_K] captures the RDFS fragment the
+    paper supports: [rdfs:subClassOf] ([sc]), [rdfs:subPropertyOf] ([sp]),
+    [rdfs:domain] ([dom]) and [rdfs:range] ([range]).
+
+    Classes and properties are identified by the same interned label ids as
+    the data graph (the interner is shared), so the RELAX automaton
+    transformation can translate ontology entailments directly into
+    automaton transitions.
+
+    The RELAX operator uses three views of [K]:
+    - {!ancestors_by_specificity}: super-classes of a class node in order of
+      increasing generality, each with its relaxation depth — used when
+      seeding a RELAXed conjunct whose subject is a class constant
+      (procedure [Open], line 8);
+    - {!property_ancestors}: super-properties with depths — relaxation rule
+      (i) at cost [depth × β];
+    - {!sub_properties_closure}: the RDFS down-closure of a property — a
+      super-property label in a relaxed query matches any edge whose label is
+      entailed to be a sub-property of it. *)
+
+type t
+
+val create : Graphstore.Interner.t -> t
+(** An empty ontology sharing the graph's interner. *)
+
+val interner : t -> Graphstore.Interner.t
+
+(** {1 Construction} *)
+
+val add_subclass : t -> string -> string -> unit
+(** [add_subclass k sub super] records [sub sc super] (immediate). *)
+
+val add_subproperty : t -> string -> string -> unit
+(** [add_subproperty k sub super] records [sub sp super] (immediate). *)
+
+val add_domain : t -> string -> string -> unit
+(** [add_domain k property class_] records [property dom class_]. *)
+
+val add_range : t -> string -> string -> unit
+
+(** {1 Membership} *)
+
+val is_class : t -> int -> bool
+(** [is_class k id]: does [id] name a class node of [V_K]? *)
+
+val is_property : t -> int -> bool
+
+val classes : t -> int list
+val properties : t -> int list
+
+(** {1 Class hierarchy} *)
+
+val super_classes : t -> int -> int list
+(** Immediate super-classes. *)
+
+val sub_classes : t -> int -> int list
+(** Immediate sub-classes. *)
+
+val ancestors_by_specificity : t -> int -> (int * int) list
+(** [ancestors_by_specificity k c] returns [(class, depth)] pairs for [c] and
+    every (transitive) super-class, ordered by increasing depth — i.e. most
+    specific first, starting with [(c, 0)].  Ties are broken by id for
+    determinism. *)
+
+val class_descendants : t -> int -> int list
+(** [c] plus all transitive sub-classes. *)
+
+(** {1 Property hierarchy} *)
+
+val super_properties : t -> int -> int list
+
+val sub_properties : t -> int -> int list
+
+val property_ancestors : t -> int -> (int * int) list
+(** Like {!ancestors_by_specificity} but over [sp]; includes [(p, 0)]. *)
+
+val sub_properties_closure : t -> int -> int list
+(** [p] plus all transitive sub-properties (the labels a relaxed
+    super-property transition must match). *)
+
+val domain : t -> int -> int option
+val range : t -> int -> int option
+
+(** {1 Hierarchy statistics (paper Fig. 2 / §4.2)} *)
+
+type hierarchy_stats = {
+  root : int;
+  members : int;
+  depth : int; (** longest root-to-leaf path length *)
+  avg_fanout : float; (** average number of children of non-leaf members *)
+}
+
+val class_roots : t -> int list
+(** Classes with no super-class but at least one sub-class. *)
+
+val property_roots : t -> int list
+
+val class_hierarchy_stats : t -> int -> hierarchy_stats
+(** Statistics of the class hierarchy rooted at the given class. *)
+
+val property_hierarchy_stats : t -> int -> hierarchy_stats
+
+val pp_hierarchy_stats : Graphstore.Interner.t -> Format.formatter -> hierarchy_stats -> unit

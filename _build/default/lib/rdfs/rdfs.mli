@@ -1,0 +1,36 @@
+(** RDFS forward-chaining saturation of a data graph.
+
+    The alternative to query-time relaxation is to {e materialise} the RDFS
+    entailments into the data graph and run exact queries — the classic
+    space/time trade-off the RELAX operator is designed to avoid.  This
+    module implements the materialisation so the trade-off can be measured
+    (benchmark section [ABL]) and so generators can produce graphs with
+    transitive [type] closure (the paper's L4All data has it: "the degree of
+    the class nodes … increases … owing to transitive closure").
+
+    Rules implemented (on the §2 data model):
+    - {b rdfs9} — [(x, type, C)] and [C sc D] entail [(x, type, D)];
+    - {b rdfs7} — [(x, p, y)] and [p sp q] entail [(x, q, y)];
+    - {b rdfs2} — [(x, p, y)] and [p dom C] entail [(x, type, C)];
+    - {b rdfs3} — [(x, p, y)] and [p range C] entail [(y, type, C)].
+
+    Saturation is idempotent: running it twice adds nothing (tested). *)
+
+type stats = {
+  type_edges_added : int;  (** from rdfs9 + rdfs2 + rdfs3 *)
+  property_edges_added : int;  (** from rdfs7 *)
+}
+
+val saturate :
+  ?subclass:bool ->
+  ?subproperty:bool ->
+  ?domain_range:bool ->
+  Graphstore.Graph.t ->
+  Ontology.t ->
+  stats
+(** [saturate g k] adds every entailed edge to [g] in place (duplicates are
+    not added).  The three rule families can be toggled; all default to
+    [true].  Class nodes named in [k] but absent from [g] are created when a
+    rule needs them. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,99 @@
+exception Error of string * int
+
+type state = { input : string; mutable pos : int }
+
+let fail st msg = raise (Error (msg, st.pos))
+
+let is_label_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let skip_ws st =
+  let n = String.length st.input in
+  while st.pos < n && (st.input.[st.pos] = ' ' || st.input.[st.pos] = '\t') do
+    st.pos <- st.pos + 1
+  done
+
+let peek st =
+  skip_ws st;
+  if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let label st =
+  let start = st.pos in
+  let n = String.length st.input in
+  while st.pos < n && is_label_char st.input.[st.pos] do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let rec alt st =
+  let left = seq st in
+  match peek st with
+  | Some '|' ->
+    advance st;
+    Regex.Alt (left, alt st)
+  | _ -> left
+
+and seq st =
+  let left = post st in
+  match peek st with
+  | Some '.' ->
+    advance st;
+    Regex.Seq (left, seq st)
+  | _ -> left
+
+and post st =
+  let rec apply r =
+    match peek st with
+    | Some '-' ->
+      advance st;
+      apply (Regex.reverse r)
+    | Some '*' ->
+      advance st;
+      apply (Regex.star r)
+    | Some '+' ->
+      advance st;
+      apply (Regex.plus r)
+    | _ -> r
+  in
+  apply (atom st)
+
+and atom st =
+  match peek st with
+  | Some '(' ->
+    advance st;
+    let r = alt st in
+    expect st ')';
+    r
+  | Some '<' ->
+    advance st;
+    let word = label st in
+    if word <> "eps" then fail st "expected <eps>";
+    expect st '>';
+    Regex.Eps
+  | Some c when is_label_char c ->
+    let word = label st in
+    if word = "_" then Regex.any else Regex.Lbl (Regex.Fwd, word)
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+  | None -> fail st "unexpected end of expression"
+
+let parse input =
+  let st = { input; pos = 0 } in
+  let r = alt st in
+  skip_ws st;
+  if st.pos <> String.length input then fail st "trailing input";
+  r
+
+let parse_result input =
+  match parse input with
+  | r -> Ok r
+  | exception Error (msg, pos) -> Error (Printf.sprintf "parse error at %d: %s" pos msg)

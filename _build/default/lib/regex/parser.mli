@@ -1,0 +1,22 @@
+(** Parser for the paper's concrete regular-expression syntax.
+
+    Grammar (whitespace between tokens is ignored):
+    {v
+      alt    ::= seq ('|' seq)*
+      seq    ::= post ('.' post)*
+      post   ::= atom ('-' | '*' | '+')*
+      atom   ::= label | '_' | '<eps>' | '(' alt ')'
+      label  ::= [A-Za-z0-9_'][A-Za-z0-9_']*   (not just '_')
+    v}
+    A postfix ['-'] on a label is the inverse traversal [a-]; on a compound
+    atom it reverses the whole sub-expression (so [(R)-] is [Regex.reverse R],
+    which coincides with [a-] for single labels). *)
+
+exception Error of string * int
+(** [Error (message, position)]: syntax error at byte offset [position]. *)
+
+val parse : string -> Regex.t
+(** @raise Error on malformed input. *)
+
+val parse_result : string -> (Regex.t, string) result
+(** Like {!parse} but returns a human-readable error instead of raising. *)

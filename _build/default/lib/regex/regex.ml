@@ -1,0 +1,108 @@
+type dir = Fwd | Bwd
+
+type t =
+  | Eps
+  | Lbl of dir * string
+  | Any of dir
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+
+let eps = Eps
+let lbl a = Lbl (Fwd, a)
+let inv a = Lbl (Bwd, a)
+let any = Any Fwd
+let any_bwd = Any Bwd
+
+let seq r1 r2 =
+  match (r1, r2) with
+  | Eps, r | r, Eps -> r
+  | _ -> Seq (r1, r2)
+
+let alt r1 r2 = if r1 = r2 then r1 else Alt (r1, r2)
+
+let star = function
+  | Eps -> Eps
+  | Star _ as r -> r
+  | Plus r -> Star r
+  | r -> Star r
+
+let plus = function
+  | Eps -> Eps
+  | (Star _ | Plus _) as r -> r
+  | r -> Plus r
+
+(* Right-associated, matching the parser's associativity. *)
+let seq_list rs = List.fold_right seq rs Eps
+
+let alt_list = function
+  | [] -> invalid_arg "Regex.alt_list: empty"
+  | rs -> List.fold_right alt (List.filteri (fun i _ -> i < List.length rs - 1) rs)
+            (List.nth rs (List.length rs - 1))
+
+let flip = function Fwd -> Bwd | Bwd -> Fwd
+
+let rec reverse = function
+  | Eps -> Eps
+  | Lbl (d, a) -> Lbl (flip d, a)
+  | Any d -> Any (flip d)
+  | Seq (r1, r2) -> Seq (reverse r2, reverse r1)
+  | Alt (r1, r2) -> Alt (reverse r1, reverse r2)
+  | Star r -> Star (reverse r)
+  | Plus r -> Plus (reverse r)
+
+let rec nullable = function
+  | Eps | Star _ -> true
+  | Lbl _ | Any _ -> false
+  | Seq (r1, r2) -> nullable r1 && nullable r2
+  | Alt (r1, r2) -> nullable r1 || nullable r2
+  | Plus r -> nullable r
+
+let labels r =
+  let rec collect acc = function
+    | Eps | Any _ -> acc
+    | Lbl (_, a) -> a :: acc
+    | Seq (r1, r2) | Alt (r1, r2) -> collect (collect acc r1) r2
+    | Star r | Plus r -> collect acc r
+  in
+  List.sort_uniq compare (collect [] r)
+
+let rec size = function
+  | Eps | Lbl _ | Any _ -> 1
+  | Seq (r1, r2) | Alt (r1, r2) -> 1 + size r1 + size r2
+  | Star r | Plus r -> 1 + size r
+
+let rec top_level_alternatives = function
+  | Alt (r1, r2) -> top_level_alternatives r1 @ top_level_alternatives r2
+  | r -> [ r ]
+
+let equal (a : t) (b : t) = a = b
+let compare = Stdlib.compare
+
+(* Printing uses the paper's concrete syntax with minimal parenthesisation:
+   alternation < concatenation < closure. *)
+let rec pp_alt ppf = function
+  | Alt (r1, r2) -> Format.fprintf ppf "%a|%a" pp_alt r1 pp_alt r2
+  | r -> pp_seq ppf r
+
+and pp_seq ppf = function
+  | Seq (r1, r2) -> Format.fprintf ppf "%a.%a" pp_seq r1 pp_seq r2
+  | Alt _ as r -> Format.fprintf ppf "(%a)" pp_alt r
+  | r -> pp_post ppf r
+
+and pp_post ppf = function
+  | Star r -> Format.fprintf ppf "%a*" pp_atom r
+  | Plus r -> Format.fprintf ppf "%a+" pp_atom r
+  | r -> pp_atom ppf r
+
+and pp_atom ppf = function
+  | Eps -> Format.pp_print_string ppf "<eps>"
+  | Lbl (Fwd, a) -> Format.pp_print_string ppf a
+  | Lbl (Bwd, a) -> Format.fprintf ppf "%s-" a
+  | Any Fwd -> Format.pp_print_char ppf '_'
+  | Any Bwd -> Format.pp_print_string ppf "_-"
+  | (Seq _ | Alt _ | Star _ | Plus _) as r -> Format.fprintf ppf "(%a)" pp_alt r
+
+let pp = pp_alt
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,76 @@
+(** Regular expressions over edge labels — the [R] in a query conjunct
+    [(X, R, Y)].
+
+    The grammar is the paper's (§2):
+    {v
+      R := ε | a | a- | _ | (R1 . R2) | (R1 | R2) | R* | R+
+    v}
+    where [a] ranges over [Sigma ∪ {type}], [a-] traverses an [a]-edge
+    backwards, and [_] is the disjunction of all labels. *)
+
+type dir = Fwd | Bwd
+
+type t =
+  | Eps  (** the empty word ε *)
+  | Lbl of dir * string  (** a single edge traversal, forwards or backwards *)
+  | Any of dir
+      (** the wildcard [_]: any label.  The paper's [_] is the forward
+          disjunction of all constants; the backward form [_-] arises from
+          {!reverse} and is accepted by the parser for closure. *)
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+
+(** {1 Smart constructors}
+    These perform the cheap simplifications ([ε . r = r], [ε* = ε], …) that
+    keep generated automata small without changing the denoted language. *)
+
+val eps : t
+val lbl : string -> t
+val inv : string -> t
+(** [inv a] is [a-]. *)
+
+val any : t
+(** Forward wildcard [_]. *)
+
+(** [any_bwd] is the backward wildcard [_-]. *)
+val any_bwd : t
+val seq : t -> t -> t
+val alt : t -> t -> t
+val star : t -> t
+val plus : t -> t
+val seq_list : t list -> t
+val alt_list : t list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+(** {1 Operations} *)
+
+val reverse : t -> t
+(** [reverse r] denotes the reversed language with each step's direction
+    flipped: a path matches [reverse r] from [y] to [x] iff it matches [r]
+    from [x] to [y].  Used to transform a conjunct [(?X, R, C)] into
+    [(C, R-, ?X)] (Open, case 2) — linear time, as in the paper. *)
+
+val nullable : t -> bool
+(** Does the language contain ε? *)
+
+val labels : t -> string list
+(** Distinct labels mentioned, sorted. *)
+
+val size : t -> int
+(** Number of AST nodes (a proxy for automaton size). *)
+
+val top_level_alternatives : t -> t list
+(** [top_level_alternatives r] flattens the outermost alternation:
+    [R1|R2|R3] gives [[R1; R2; R3]], anything else gives [[r]].  This is the
+    decomposition used by the "replacing alternation by disjunction"
+    optimisation (§4.3). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's concrete syntax; [to_string] of the result reparses
+    to an equal AST (tested). *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_automaton.ml: Alcotest Array Automaton Graphstore List Ontology Printf QCheck2 QCheck_alcotest Rpq_regex String

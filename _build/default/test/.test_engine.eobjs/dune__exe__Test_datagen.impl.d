@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Core Datagen Graphstore Lazy List Ontology Option Printf

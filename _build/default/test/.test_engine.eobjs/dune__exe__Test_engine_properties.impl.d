@@ -1,0 +1,1 @@
+test/test_engine_properties.ml: Alcotest Array Automaton Core Graphstore Hashtbl List Ontology Printf QCheck2 QCheck_alcotest Rpq_regex

@@ -1,0 +1,1 @@
+test/test_graphstore.ml: Alcotest Graphstore Hashtbl List Printf QCheck2 QCheck_alcotest

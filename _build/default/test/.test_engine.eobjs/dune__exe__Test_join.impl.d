@@ -1,0 +1,1 @@
+test/test_join.ml: Alcotest Core Hashtbl List QCheck2 QCheck_alcotest

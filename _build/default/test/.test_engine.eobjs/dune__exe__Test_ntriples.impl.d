@@ -1,0 +1,1 @@
+test/test_ntriples.ml: Alcotest Core Datagen Filename Fun Graphstore List Ntriples Ontology Option Sys

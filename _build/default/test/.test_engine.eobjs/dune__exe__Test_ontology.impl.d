@@ -1,0 +1,1 @@
+test/test_ontology.ml: Alcotest Graphstore List Ontology Option

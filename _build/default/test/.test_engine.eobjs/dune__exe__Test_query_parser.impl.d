@@ -1,0 +1,1 @@
+test/test_query_parser.ml: Alcotest Core List Rpq_regex

@@ -1,0 +1,1 @@
+test/test_rdfs.ml: Alcotest Core Graphstore List Ontology Option Rdfs

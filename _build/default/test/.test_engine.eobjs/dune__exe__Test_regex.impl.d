@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest List QCheck2 QCheck_alcotest Rpq_regex String

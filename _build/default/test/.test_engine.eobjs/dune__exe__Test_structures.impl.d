@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Automaton Core Graphstore List QCheck2 QCheck_alcotest

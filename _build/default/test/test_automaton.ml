@@ -1,0 +1,324 @@
+(* Tests for the weighted-automaton substrate: Thompson construction,
+   weighted ε-removal, the APPROX/RELAX transformations, and the reference
+   word runner — including property tests for the edit-distance semantics. *)
+
+module R = Rpq_regex.Regex
+module P = Rpq_regex.Parser
+module Nfa = Automaton.Nfa
+module Build = Automaton.Build
+module Eps = Automaton.Eps
+module Approx = Automaton.Approx
+module Relax = Automaton.Relax
+module Run = Automaton.Run
+
+let check = Alcotest.check
+
+(* A fixed little alphabet for word tests. *)
+let interner = Graphstore.Interner.create ()
+let intern = Graphstore.Interner.intern interner
+let ids = List.map intern [ "a"; "b"; "c"; "d"; "e" ]
+let id name = intern name
+
+let nfa_of s = Build.of_regex ~intern (P.parse s)
+let exact s = Eps.remove (nfa_of s)
+let approx ?(ins = 1) ?(del = 1) ?(sub = 1) s = Eps.remove (Approx.transform ~ins ~del ~sub (nfa_of s))
+
+let fwd n : Run.symbol = (Nfa.Fwd, id n)
+let bwd n : Run.symbol = (Nfa.Bwd, id n)
+
+(* --- construction + ε-removal: language tests ------------------------ *)
+
+let accepts_cases =
+  [
+    ("a", [ fwd "a" ], true);
+    ("a", [ fwd "b" ], false);
+    ("a", [ bwd "a" ], false);
+    ("a-", [ bwd "a" ], true);
+    ("a-", [ fwd "a" ], false);
+    ("<eps>", [], true);
+    ("<eps>", [ fwd "a" ], false);
+    ("a.b", [ fwd "a"; fwd "b" ], true);
+    ("a.b", [ fwd "b"; fwd "a" ], false);
+    ("a|b", [ fwd "b" ], true);
+    ("a|b", [ fwd "c" ], false);
+    ("a*", [], true);
+    ("a*", [ fwd "a"; fwd "a"; fwd "a" ], true);
+    ("a+", [], false);
+    ("a+", [ fwd "a" ], true);
+    ("_", [ fwd "e" ], true);
+    ("_", [ bwd "e" ], false);
+    ("_-", [ bwd "e" ], true);
+    ("(a|b)*.c", [ fwd "a"; fwd "b"; fwd "c" ], true);
+    ("(a|b)*.c", [ fwd "c" ], true);
+    ("(a|b)*.c", [ fwd "a" ], false);
+    ("(a.b)+", [ fwd "a"; fwd "b"; fwd "a"; fwd "b" ], true);
+    ("(a.b)+", [ fwd "a"; fwd "b"; fwd "a" ], false);
+  ]
+
+let test_acceptance () =
+  List.iter
+    (fun (re, w, expected) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s on %d-symbol word" re (List.length w))
+        expected
+        (Run.accepts (exact re) w))
+    accepts_cases
+
+let test_eps_removal_equivalence () =
+  (* ε-removal preserves the language (cost 0 everywhere for exact). *)
+  List.iter
+    (fun (re, w, expected) ->
+      check Alcotest.bool (re ^ " pre-removal") expected (Run.accepts (nfa_of re) w);
+      check Alcotest.(option int) (re ^ " cost")
+        (if expected then Some 0 else None)
+        (Run.min_cost (exact re) w))
+    accepts_cases
+
+let test_eps_removal_no_eps () =
+  List.iter
+    (fun (re, _, _) -> check Alcotest.bool (re ^ " eps-free") false (Nfa.has_eps (exact re)))
+    accepts_cases
+
+(* random word generator over the 5-letter alphabet, both directions *)
+let gen_word =
+  QCheck2.Gen.(
+    list_size (int_bound 8)
+      (map2
+         (fun dir l -> ((if dir then Nfa.Fwd else Nfa.Bwd), List.nth ids l))
+         bool (int_bound 4)))
+
+let gen_regex_string =
+  (* regexes assembled from a fixed set of combinators, as strings *)
+  QCheck2.Gen.(
+    sized (fun n ->
+        let rec gen n =
+          if n <= 1 then
+            oneof [ return "a"; return "b"; return "c"; return "a-"; return "b-"; return "_" ]
+          else
+            oneof
+              [
+                map2 (fun x y -> Printf.sprintf "(%s.%s)" x y) (gen (n / 2)) (gen (n / 2));
+                map2 (fun x y -> Printf.sprintf "(%s|%s)" x y) (gen (n / 2)) (gen (n / 2));
+                map (Printf.sprintf "(%s)*") (gen (n / 2));
+                map (Printf.sprintf "(%s)+") (gen (n / 2));
+              ]
+        in
+        gen (min n 12)))
+
+let eps_removal_equiv_prop =
+  QCheck2.Test.make ~name:"ε-removal preserves min-cost on random regex/word" ~count:300
+    QCheck2.Gen.(pair gen_regex_string gen_word)
+    (fun (re, w) ->
+      let with_eps = nfa_of re in
+      Run.min_cost with_eps w = Run.min_cost (Eps.remove with_eps) w)
+
+(* --- APPROX: edit-distance semantics --------------------------------- *)
+
+let test_approx_exact_zero () =
+  check Alcotest.(option int) "exact word costs 0" (Some 0)
+    (Run.min_cost (approx "a.b") [ fwd "a"; fwd "b" ])
+
+let test_approx_substitution () =
+  check Alcotest.(option int) "one substitution" (Some 1)
+    (Run.min_cost (approx "a.b") [ fwd "a"; fwd "c" ]);
+  check Alcotest.(option int) "direction flip is a substitution" (Some 1)
+    (Run.min_cost (approx "a.b") [ fwd "a"; bwd "b" ])
+
+let test_approx_deletion () =
+  check Alcotest.(option int) "drop one label" (Some 1) (Run.min_cost (approx "a.b") [ fwd "a" ]);
+  check Alcotest.(option int) "drop both" (Some 2) (Run.min_cost (approx "a.b") [])
+
+let test_approx_insertion () =
+  check Alcotest.(option int) "one extra symbol" (Some 1)
+    (Run.min_cost (approx "a.b") [ fwd "a"; fwd "c"; fwd "b" ]);
+  check Alcotest.(option int) "extra at the start" (Some 1)
+    (Run.min_cost (approx "a") [ fwd "d"; fwd "a" ])
+
+let test_approx_costs_respected () =
+  let a = approx ~ins:5 ~del:3 ~sub:2 "a.b" in
+  check Alcotest.(option int) "substitution cost" (Some 2) (Run.min_cost a [ fwd "a"; fwd "c" ]);
+  check Alcotest.(option int) "deletion cost" (Some 3) (Run.min_cost a [ fwd "a" ]);
+  check Alcotest.(option int) "insertion cost" (Some 5)
+    (Run.min_cost a [ fwd "a"; fwd "c"; fwd "b" ]);
+  (* a mismatch may choose the cheapest repair: sub (2) vs del+ins (8) *)
+  check Alcotest.(option int) "cheapest script" (Some 4) (Run.min_cost a [ fwd "c"; fwd "d" ])
+
+(* Reference Levenshtein between two symbol words (unit costs). *)
+let levenshtein u v =
+  let u = Array.of_list u and v = Array.of_list v in
+  let n = Array.length u and m = Array.length v in
+  let d = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = 0 to n do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to m do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to n do
+    for j = 1 to m do
+      let cost = if u.(i - 1) = v.(j - 1) then 0 else 1 in
+      d.(i).(j) <- min (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1)) (d.(i - 1).(j - 1) + cost)
+    done
+  done;
+  d.(n).(m)
+
+(* For a regex that denotes a single word (concatenation of symbols), the
+   APPROX automaton's min cost must equal the Levenshtein distance. *)
+let approx_equals_levenshtein =
+  QCheck2.Test.make ~name:"APPROX cost = Levenshtein on single-word regexes" ~count:300
+    QCheck2.Gen.(pair (list_size (int_bound 6) (int_bound 4)) gen_word)
+    (fun (pattern, w) ->
+      let symbols = List.map (fun i -> List.nth [ "a"; "b"; "c"; "d"; "e" ] i) pattern in
+      let re = if symbols = [] then "<eps>" else String.concat "." symbols in
+      let a = approx re in
+      let target = List.map (fun s -> (Nfa.Fwd, id s)) symbols in
+      Run.min_cost a w = Some (levenshtein target w))
+
+(* Mutating an accepted word k times costs at most k. *)
+let approx_bounded_by_edits =
+  QCheck2.Test.make ~name:"k edits cost at most k" ~count:300
+    QCheck2.Gen.(triple gen_regex_string gen_word (int_bound 3))
+    (fun (re, w, k) ->
+      let exact_nfa = exact re in
+      match Run.min_cost exact_nfa w with
+      | None -> QCheck2.assume_fail ()
+      | Some 0 ->
+        (* apply k substitutions at random positions (deterministic here:
+           rotate each symbol's label) *)
+        let arr = Array.of_list w in
+        let edits = min k (Array.length arr) in
+        for i = 0 to edits - 1 do
+          let d, l = arr.(i) in
+          arr.(i) <- (d, List.nth ids ((l + 1) mod 5))
+        done;
+        let mutated = Array.to_list arr in
+        let cost = Run.min_cost (approx re) mutated in
+        (match cost with Some c -> c <= edits | None -> false)
+      | Some _ -> QCheck2.assume_fail ())
+
+(* --- RELAX ------------------------------------------------------------ *)
+
+let relax_fixture () =
+  let k = Ontology.create interner in
+  Ontology.add_subproperty k "a" "p";
+  Ontology.add_subproperty k "b" "p";
+  Ontology.add_subproperty k "p" "top";
+  Ontology.add_domain k "a" "A";
+  Ontology.add_range k "a" "B";
+  k
+
+let relax ?(beta = 1) ?(gamma = 1) ?(class_node = fun _ -> None) k s =
+  Eps.remove (Relax.transform ~beta ~gamma ~ontology:k ~class_node (nfa_of s))
+
+let test_relax_superproperty_closure () =
+  let k = relax_fixture () in
+  let a = relax k "a" in
+  (* relaxing a -> p matches b (p's down-closure) at cost 1 *)
+  check Alcotest.(option int) "own label still 0" (Some 0) (Run.min_cost a [ fwd "a" ]);
+  check Alcotest.(option int) "sibling via parent" (Some 1) (Run.min_cost a [ fwd "b" ]);
+  check Alcotest.(option int) "unrelated" None (Run.min_cost a [ fwd "c" ])
+
+let test_relax_transitive_cost () =
+  let k = relax_fixture () in
+  let a = relax ~beta:2 k "a" in
+  (* two steps up (a -> p -> top) cost 2*beta; top's closure includes a,b,p *)
+  check Alcotest.(option int) "one step" (Some 2) (Run.min_cost a [ fwd "b" ]);
+  (* the label p itself is matched by relaxing one step (p's closure has p) *)
+  check Alcotest.(option int) "parent label" (Some 2) (Run.min_cost a [ fwd "p" ])
+
+let test_relax_direction_preserved () =
+  let k = relax_fixture () in
+  let a = relax k "a-" in
+  check Alcotest.(option int) "backward sibling" (Some 1) (Run.min_cost a [ bwd "b" ]);
+  check Alcotest.(option int) "forward sibling rejected" None (Run.min_cost a [ fwd "b" ])
+
+let test_relax_rule2_transitions () =
+  let k = relax_fixture () in
+  let a = Relax.transform ~beta:1 ~gamma:3 ~ontology:k ~class_node:(fun c ->
+              if Graphstore.Interner.name interner c = "A" then Some 77 else Some 88)
+            (nfa_of "a")
+  in
+  (* forward a: a Type_to(dom A = node 77) transition at cost 3 must exist *)
+  let found = ref false in
+  Nfa.iter_transitions a (fun _ tr ->
+      match tr.Nfa.lbl with
+      | Nfa.Type_to 77 when tr.Nfa.cost = 3 -> found := true
+      | _ -> ());
+  check Alcotest.bool "rule (ii) transition present" true !found
+
+let test_relax_ignores_non_properties () =
+  let k = relax_fixture () in
+  let plain = exact "c" in
+  let relaxed = relax k "c" in
+  check Alcotest.int "same transition count" (Nfa.n_transitions plain) (Nfa.n_transitions relaxed)
+
+(* --- Nfa odds and ends ------------------------------------------------ *)
+
+let test_nfa_normalize_dedup () =
+  let a = Nfa.create () in
+  let s1 = Nfa.fresh_state a in
+  Nfa.add_transition a 0 (Nfa.Sym (Nfa.Fwd, 1)) 5 s1;
+  Nfa.add_transition a 0 (Nfa.Sym (Nfa.Fwd, 1)) 2 s1;
+  Nfa.add_transition a 0 (Nfa.Sym (Nfa.Fwd, 1)) 7 s1;
+  Nfa.normalize a;
+  match Nfa.out a 0 with
+  | [ tr ] -> check Alcotest.int "kept the cheapest" 2 tr.Nfa.cost
+  | l -> Alcotest.failf "expected 1 transition, got %d" (List.length l)
+
+let test_nfa_final_weights () =
+  let a = Nfa.create () in
+  Nfa.set_final a 0 5;
+  Nfa.set_final a 0 3;
+  check Alcotest.(option int) "min weight kept" (Some 3) (Nfa.final_weight a 0);
+  Nfa.set_final a 0 9;
+  check Alcotest.(option int) "higher weight ignored" (Some 3) (Nfa.final_weight a 0);
+  Nfa.clear_final a 0;
+  check Alcotest.bool "cleared" false (Nfa.is_final a 0)
+
+let test_nfa_negative_cost_rejected () =
+  let a = Nfa.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Nfa.add_transition: negative cost") (fun () ->
+      Nfa.add_transition a 0 Nfa.Any (-1) 0)
+
+let test_approx_final_weight_from_deletion () =
+  (* deleting every label of "a.b" makes the initial state final with
+     weight 2 after ε-removal (Droste-Kuich-Vogler weighted finals) *)
+  let a = approx "a.b" in
+  check Alcotest.(option int) "initial final weight" (Some 2) (Nfa.final_weight a (Nfa.initial a))
+
+let () =
+  Alcotest.run "automaton"
+    [
+      ( "thompson+eps",
+        [
+          Alcotest.test_case "acceptance" `Quick test_acceptance;
+          Alcotest.test_case "eps-removal equivalence" `Quick test_eps_removal_equivalence;
+          Alcotest.test_case "eps-free output" `Quick test_eps_removal_no_eps;
+          QCheck_alcotest.to_alcotest eps_removal_equiv_prop;
+        ] );
+      ( "approx",
+        [
+          Alcotest.test_case "exact costs zero" `Quick test_approx_exact_zero;
+          Alcotest.test_case "substitution" `Quick test_approx_substitution;
+          Alcotest.test_case "deletion" `Quick test_approx_deletion;
+          Alcotest.test_case "insertion" `Quick test_approx_insertion;
+          Alcotest.test_case "configurable costs" `Quick test_approx_costs_respected;
+          Alcotest.test_case "deletion final weight" `Quick test_approx_final_weight_from_deletion;
+          QCheck_alcotest.to_alcotest approx_equals_levenshtein;
+          QCheck_alcotest.to_alcotest approx_bounded_by_edits;
+        ] );
+      ( "relax",
+        [
+          Alcotest.test_case "super-property closure" `Quick test_relax_superproperty_closure;
+          Alcotest.test_case "transitive cost" `Quick test_relax_transitive_cost;
+          Alcotest.test_case "direction preserved" `Quick test_relax_direction_preserved;
+          Alcotest.test_case "rule (ii) transitions" `Quick test_relax_rule2_transitions;
+          Alcotest.test_case "non-properties untouched" `Quick test_relax_ignores_non_properties;
+        ] );
+      ( "nfa",
+        [
+          Alcotest.test_case "normalize dedups" `Quick test_nfa_normalize_dedup;
+          Alcotest.test_case "final weights" `Quick test_nfa_final_weights;
+          Alcotest.test_case "negative cost rejected" `Quick test_nfa_negative_cost_rejected;
+        ] );
+    ]

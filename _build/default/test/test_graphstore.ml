@@ -1,0 +1,228 @@
+(* Unit and property tests for the graph store substrate: interner, oid
+   bitsets and the Sparksee-like adjacency API. *)
+
+module Interner = Graphstore.Interner
+module Oid_set = Graphstore.Oid_set
+module Graph = Graphstore.Graph
+
+let check = Alcotest.check
+
+(* --- Interner ------------------------------------------------------- *)
+
+let test_intern_dense_ids () =
+  let t = Interner.create () in
+  check Alcotest.int "first" 0 (Interner.intern t "a");
+  check Alcotest.int "second" 1 (Interner.intern t "b");
+  check Alcotest.int "repeat" 0 (Interner.intern t "a");
+  check Alcotest.int "cardinal" 2 (Interner.cardinal t)
+
+let test_intern_name_roundtrip () =
+  let t = Interner.create ~initial_capacity:1 () in
+  let words = List.init 100 (fun i -> Printf.sprintf "label-%d" i) in
+  let ids = List.map (Interner.intern t) words in
+  List.iter2 (fun w id -> check Alcotest.string "name" w (Interner.name t id)) words ids;
+  check Alcotest.(option int) "find known" (Some 42) (Interner.find t "label-42");
+  check Alcotest.(option int) "find unknown" None (Interner.find t "nope")
+
+let test_intern_bad_id () =
+  let t = Interner.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Interner.name: unknown id -1") (fun () ->
+      ignore (Interner.name t (-1)))
+
+let test_intern_iter_order () =
+  let t = Interner.create () in
+  List.iter (fun w -> ignore (Interner.intern t w)) [ "x"; "y"; "z" ];
+  let seen = ref [] in
+  Interner.iter t (fun id name -> seen := (id, name) :: !seen);
+  check
+    Alcotest.(list (pair int string))
+    "in id order"
+    [ (0, "x"); (1, "y"); (2, "z") ]
+    (List.rev !seen)
+
+(* --- Oid_set -------------------------------------------------------- *)
+
+let test_oid_set_basics () =
+  let s = Oid_set.create ~capacity:4 () in
+  check Alcotest.bool "empty" true (Oid_set.is_empty s);
+  Oid_set.add s 3;
+  Oid_set.add s 1000;
+  (* beyond capacity: grows *)
+  check Alcotest.bool "mem 3" true (Oid_set.mem s 3);
+  check Alcotest.bool "mem 1000" true (Oid_set.mem s 1000);
+  check Alcotest.bool "mem 4" false (Oid_set.mem s 4);
+  check Alcotest.int "cardinal" 2 (Oid_set.cardinal s);
+  check Alcotest.(list int) "sorted iteration" [ 3; 1000 ] (Oid_set.to_list s);
+  Oid_set.remove s 3;
+  check Alcotest.bool "removed" false (Oid_set.mem s 3);
+  check Alcotest.int "cardinal after remove" 1 (Oid_set.cardinal s);
+  Oid_set.clear s;
+  check Alcotest.bool "cleared" true (Oid_set.is_empty s)
+
+let test_oid_set_add_new () =
+  let s = Oid_set.create () in
+  check Alcotest.bool "fresh" true (Oid_set.add_new s 7);
+  check Alcotest.bool "dup" false (Oid_set.add_new s 7);
+  check Alcotest.int "cardinal" 1 (Oid_set.cardinal s)
+
+let test_oid_set_union () =
+  let a = Oid_set.create () and b = Oid_set.create () in
+  List.iter (Oid_set.add a) [ 1; 5; 9 ];
+  List.iter (Oid_set.add b) [ 5; 6 ];
+  Oid_set.union_into a b;
+  check Alcotest.(list int) "union" [ 1; 5; 6; 9 ] (Oid_set.to_list a)
+
+(* Model-based property: a random sequence of add/remove agrees with a
+   reference implementation over int sets. *)
+let oid_set_model =
+  QCheck2.Test.make ~name:"Oid_set agrees with a model set" ~count:200
+    QCheck2.Gen.(list (pair bool (int_bound 500)))
+    (fun ops ->
+      let s = Oid_set.create ~capacity:1 () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, x) ->
+          if add then begin
+            Oid_set.add s x;
+            Hashtbl.replace model x ()
+          end
+          else begin
+            Oid_set.remove s x;
+            Hashtbl.remove model x
+          end)
+        ops;
+      let expected = Hashtbl.fold (fun k () acc -> k :: acc) model [] |> List.sort compare in
+      Oid_set.to_list s = expected && Oid_set.cardinal s = List.length expected)
+
+(* --- Graph ---------------------------------------------------------- *)
+
+let small_graph () =
+  let g = Graph.create ~initial_nodes:2 () in
+  let a = Graph.add_node g "a"
+  and b = Graph.add_node g "b"
+  and c = Graph.add_node g "c" in
+  Graph.add_edge_s g a "p" b;
+  Graph.add_edge_s g b "p" c;
+  Graph.add_edge_s g a "q" c;
+  Graph.add_edge_s g c "type" a;
+  (g, a, b, c)
+
+let test_graph_nodes () =
+  let g, a, _, _ = small_graph () in
+  check Alcotest.int "n_nodes" 3 (Graph.n_nodes g);
+  check Alcotest.int "idempotent add" a (Graph.add_node g "a");
+  check Alcotest.int "n_nodes unchanged" 3 (Graph.n_nodes g);
+  check Alcotest.(option int) "find" (Some a) (Graph.find_node g "a");
+  check Alcotest.(option int) "find missing" None (Graph.find_node g "zzz");
+  check Alcotest.string "label" "a" (Graph.node_label g a)
+
+let test_graph_neighbors () =
+  let g, a, b, c = small_graph () in
+  let p = Interner.intern (Graph.interner g) "p" in
+  check Alcotest.(list int) "out" [ b ] (Graph.neighbors g a p Graph.Out);
+  check Alcotest.(list int) "in" [ a ] (Graph.neighbors g b p Graph.In);
+  check Alcotest.(list int) "both" [ c; a ] (Graph.neighbors g b p Graph.Both);
+  check Alcotest.(list int) "none" [] (Graph.neighbors g c p Graph.Out)
+
+let test_graph_neighbors_any () =
+  let g, a, _, _ = small_graph () in
+  let acc = ref [] in
+  Graph.iter_neighbors_any g a (fun m -> acc := m :: !acc);
+  (* a: out p->b, out q->c, in type<-c *)
+  check Alcotest.int "three incident edges" 3 (List.length !acc)
+
+let test_graph_heads_tails () =
+  let g, a, b, c = small_graph () in
+  let p = Interner.intern (Graph.interner g) "p" in
+  check Alcotest.(list int) "tails p" [ a; b ] (Oid_set.to_list (Graph.tails_by_label g p));
+  check Alcotest.(list int) "heads p" [ b; c ] (Oid_set.to_list (Graph.heads_by_label g p));
+  check
+    Alcotest.(list int)
+    "tails-and-heads p" [ a; b; c ]
+    (Oid_set.to_list (Graph.tails_and_heads g p))
+
+let test_graph_mem_edge_degrees () =
+  let g, a, b, c = small_graph () in
+  let p = Interner.intern (Graph.interner g) "p" in
+  check Alcotest.bool "mem" true (Graph.mem_edge g a p b);
+  check Alcotest.bool "not mem (reverse)" false (Graph.mem_edge g b p a);
+  check Alcotest.int "out degree" 1 (Graph.out_degree g a p);
+  check Alcotest.int "in degree" 1 (Graph.in_degree g c p);
+  check Alcotest.int "n_edges" 4 (Graph.n_edges g)
+
+let test_graph_labels_and_type () =
+  let g, _, _, _ = small_graph () in
+  let names =
+    List.map (Interner.name (Graph.interner g)) (Graph.labels g) |> List.sort compare
+  in
+  check Alcotest.(list string) "labels" [ "p"; "q"; "type" ] names;
+  check Alcotest.string "type label interned" "type"
+    (Interner.name (Graph.interner g) (Graph.type_label g))
+
+let test_graph_iter_edges () =
+  let g, _, _, _ = small_graph () in
+  let n = ref 0 in
+  Graph.iter_edges g (fun _ _ _ -> incr n);
+  check Alcotest.int "edge count" 4 !n
+
+let test_graph_stats () =
+  let g, _, _, _ = small_graph () in
+  let s = Graph.stats g in
+  check Alcotest.int "nodes" 3 s.Graph.nodes;
+  check Alcotest.int "edges" 4 s.Graph.edges;
+  check Alcotest.int "labels" 3 s.Graph.distinct_labels;
+  (* degrees are per label: a has one p-edge and one q-edge *)
+  check Alcotest.int "max out" 1 s.Graph.max_out_degree
+
+let test_graph_bad_oid () =
+  let g, _, _, _ = small_graph () in
+  Alcotest.check_raises "bad oid" (Invalid_argument "Graph.node_label: unknown oid 99") (fun () ->
+      ignore (Graph.node_label g 99))
+
+(* Property: adjacency is symmetric — m is an Out-neighbour of n under l
+   iff n is an In-neighbour of m under l, for random graphs. *)
+let graph_adjacency_symmetry =
+  QCheck2.Test.make ~name:"out/in adjacency symmetry" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 60) (triple (int_bound 9) (int_bound 2) (int_bound 9)))
+    (fun edges ->
+      let g = Graph.create () in
+      let node i = Graph.add_node g (string_of_int i) in
+      List.iter (fun (s, l, d) -> Graph.add_edge_s g (node s) (Printf.sprintf "l%d" l) (node d)) edges;
+      List.for_all
+        (fun (s, l, d) ->
+          let l = Interner.intern (Graph.interner g) (Printf.sprintf "l%d" l) in
+          let s = node s and d = node d in
+          List.mem d (Graph.neighbors g s l Graph.Out) && List.mem s (Graph.neighbors g d l Graph.In))
+        edges)
+
+let () =
+  Alcotest.run "graphstore"
+    [
+      ( "interner",
+        [
+          Alcotest.test_case "dense ids" `Quick test_intern_dense_ids;
+          Alcotest.test_case "name roundtrip" `Quick test_intern_name_roundtrip;
+          Alcotest.test_case "bad id" `Quick test_intern_bad_id;
+          Alcotest.test_case "iter order" `Quick test_intern_iter_order;
+        ] );
+      ( "oid_set",
+        [
+          Alcotest.test_case "basics" `Quick test_oid_set_basics;
+          Alcotest.test_case "add_new" `Quick test_oid_set_add_new;
+          Alcotest.test_case "union" `Quick test_oid_set_union;
+          QCheck_alcotest.to_alcotest oid_set_model;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "nodes" `Quick test_graph_nodes;
+          Alcotest.test_case "neighbors" `Quick test_graph_neighbors;
+          Alcotest.test_case "neighbors any" `Quick test_graph_neighbors_any;
+          Alcotest.test_case "heads/tails" `Quick test_graph_heads_tails;
+          Alcotest.test_case "mem_edge and degrees" `Quick test_graph_mem_edge_degrees;
+          Alcotest.test_case "labels and type" `Quick test_graph_labels_and_type;
+          Alcotest.test_case "iter_edges" `Quick test_graph_iter_edges;
+          Alcotest.test_case "stats" `Quick test_graph_stats;
+          Alcotest.test_case "bad oid" `Quick test_graph_bad_oid;
+          QCheck_alcotest.to_alcotest graph_adjacency_symmetry;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Tests for the incremental ranked join: binding algebra, join product
+   correctness against a brute-force reference, and total-distance ordering. *)
+
+module RJ = Core.Ranked_join
+
+let check = Alcotest.check
+
+(* --- binding algebra -------------------------------------------------- *)
+
+let test_binding_of () =
+  check
+    Alcotest.(list (pair string int))
+    "sorted" [ ("a", 1); ("b", 2) ]
+    (RJ.binding_of [ ("b", 2); ("a", 1) ]);
+  check
+    Alcotest.(list (pair string int))
+    "consistent duplicate collapsed" [ ("a", 1) ]
+    (RJ.binding_of [ ("a", 1); ("a", 1) ]);
+  Alcotest.check_raises "inconsistent"
+    (Invalid_argument "Ranked_join.binding_of: ?a bound twice") (fun () ->
+      ignore (RJ.binding_of [ ("a", 1); ("a", 2) ]))
+
+let test_compatible_merge () =
+  let b1 = RJ.binding_of [ ("x", 1); ("y", 2) ] in
+  let b2 = RJ.binding_of [ ("y", 2); ("z", 3) ] in
+  let b3 = RJ.binding_of [ ("y", 9) ] in
+  check Alcotest.bool "shared var equal" true (RJ.compatible b1 b2);
+  check Alcotest.bool "shared var differs" false (RJ.compatible b1 b3);
+  check Alcotest.bool "disjoint" true (RJ.compatible b2 (RJ.binding_of [ ("w", 0) ]));
+  check
+    Alcotest.(list (pair string int))
+    "merge" [ ("x", 1); ("y", 2); ("z", 3) ]
+    (RJ.merge b1 b2)
+
+(* --- streams ----------------------------------------------------------- *)
+
+let stream_of_list l =
+  let rest = ref l in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | x :: tl ->
+      rest := tl;
+      Some x
+
+let drain join =
+  let rec go acc = match RJ.next join with None -> List.rev acc | Some r -> go (r :: acc) in
+  go []
+
+let b pairs = RJ.binding_of pairs
+
+let test_two_way_join () =
+  let left = [ (b [ ("x", 1) ], 0); (b [ ("x", 2) ], 1) ] in
+  let right = [ (b [ ("x", 2); ("y", 5) ], 0); (b [ ("x", 1); ("y", 6) ], 2) ] in
+  let results = drain (RJ.create [ stream_of_list left; stream_of_list right ]) in
+  check Alcotest.int "two results" 2 (List.length results);
+  let totals = List.map snd results in
+  check Alcotest.(list int) "ordered totals" [ 1; 2 ] totals
+
+let test_empty_stream_kills_join () =
+  let left = [ (b [ ("x", 1) ], 0) ] in
+  let results = drain (RJ.create [ stream_of_list left; stream_of_list [] ]) in
+  check Alcotest.int "no results" 0 (List.length results)
+
+let test_cross_product_when_disjoint () =
+  let left = [ (b [ ("x", 1) ], 0); (b [ ("x", 2) ], 3) ] in
+  let right = [ (b [ ("y", 1) ], 1); (b [ ("y", 2) ], 2) ] in
+  let results = drain (RJ.create [ stream_of_list left; stream_of_list right ]) in
+  check Alcotest.int "2x2" 4 (List.length results);
+  check Alcotest.(list int) "totals sorted" [ 1; 2; 4; 5 ] (List.map snd results)
+
+let test_three_way_join () =
+  let s1 = [ (b [ ("x", 1) ], 0) ] in
+  let s2 = [ (b [ ("x", 1); ("y", 2) ], 1); (b [ ("x", 1); ("y", 3) ], 2) ] in
+  let s3 = [ (b [ ("y", 3); ("z", 9) ], 0); (b [ ("y", 2); ("z", 8) ], 4) ] in
+  let results = drain (RJ.create [ stream_of_list s1; stream_of_list s2; stream_of_list s3 ]) in
+  check Alcotest.int "two chains" 2 (List.length results);
+  check Alcotest.(list int) "totals" [ 2; 5 ] (List.map snd results)
+
+let test_duplicate_combination_emitted_once () =
+  (* two left answers merge into the same binding; keep the cheapest *)
+  let left = [ (b [ ("x", 1) ], 0); (b [ ("x", 1) ], 2) ] in
+  let right = [ (b [ ("x", 1); ("y", 5) ], 0) ] in
+  let results = drain (RJ.create [ stream_of_list left; stream_of_list right ]) in
+  check Alcotest.int "once" 1 (List.length results);
+  check Alcotest.int "at the cheapest total" 0 (snd (List.hd results))
+
+(* Reference: brute-force n-way join, sorted by total. *)
+let brute_force streams =
+  let rec product = function
+    | [] -> [ (RJ.binding_of [], 0) ]
+    | s :: rest ->
+      let tails = product rest in
+      List.concat_map
+        (fun (bind, dist) ->
+          List.filter_map
+            (fun (tb, td) ->
+              if RJ.compatible bind tb then Some (RJ.merge bind tb, dist + td) else None)
+            tails)
+        s
+  in
+  (* keep the cheapest total per binding, like the incremental join *)
+  let best = Hashtbl.create 16 in
+  List.iter
+    (fun (bind, total) ->
+      match Hashtbl.find_opt best bind with
+      | Some t when t <= total -> ()
+      | _ -> Hashtbl.replace best bind total)
+    (product streams);
+  Hashtbl.fold (fun bind total acc -> (bind, total) :: acc) best []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let gen_stream =
+  QCheck2.Gen.(
+    map
+      (fun l ->
+        (* sort by distance: streams must be non-decreasing *)
+        List.sort (fun (_, a) (_, b) -> compare a b)
+          (List.map (fun (x, y, d) -> (RJ.binding_of [ ("x", x); ("y", y) ], d)) l))
+      (list_size (int_bound 12) (triple (int_bound 3) (int_bound 3) (int_bound 6))))
+
+let join_matches_brute_force =
+  QCheck2.Test.make ~name:"incremental join = brute force (sets and totals)" ~count:200
+    QCheck2.Gen.(pair gen_stream gen_stream)
+    (fun (s1, s2) ->
+      let incremental = drain (RJ.create [ stream_of_list s1; stream_of_list s2 ]) in
+      let reference = brute_force [ s1; s2 ] in
+      let norm l = List.sort compare l in
+      norm incremental = norm reference
+      && (* and the emission order is non-decreasing in total *)
+      fst
+        (List.fold_left
+           (fun (ok, last) (_, t) -> (ok && t >= last, t))
+           (true, 0) incremental))
+
+let () =
+  Alcotest.run "ranked_join"
+    [
+      ( "bindings",
+        [
+          Alcotest.test_case "binding_of" `Quick test_binding_of;
+          Alcotest.test_case "compatible/merge" `Quick test_compatible_merge;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "two-way" `Quick test_two_way_join;
+          Alcotest.test_case "empty input" `Quick test_empty_stream_kills_join;
+          Alcotest.test_case "cross product" `Quick test_cross_product_when_disjoint;
+          Alcotest.test_case "three-way" `Quick test_three_way_join;
+          Alcotest.test_case "duplicate combination" `Quick test_duplicate_combination_emitted_once;
+          QCheck_alcotest.to_alcotest join_matches_brute_force;
+        ] );
+    ]

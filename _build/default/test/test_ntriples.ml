@@ -1,0 +1,131 @@
+(* Tests for the triple-file persistence layer: writing, parsing, escaping,
+   round-trips of data graphs and ontologies, and error reporting. *)
+
+module Graph = Graphstore.Graph
+module Nt = Ntriples.Nt
+
+let check = Alcotest.check
+
+let with_temp_file f =
+  let path = Filename.temp_file "omega-test" ".nt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let fixture () =
+  let g = Graph.create () in
+  let a = Graph.add_node g "alice"
+  and b = Graph.add_node g "bob"
+  and lonely = Graph.add_node g "lonely node" in
+  ignore lonely;
+  Graph.add_edge_s g a "knows" b;
+  Graph.add_edge_s g b "type" (Graph.add_node g "Person");
+  let k = Ontology.create (Graph.interner g) in
+  Ontology.add_subclass k "Person" "Agent";
+  Ontology.add_subproperty k "knows" "relatesTo";
+  Ontology.add_domain k "knows" "Person";
+  Ontology.add_range k "knows" "Person";
+  (g, k)
+
+let test_roundtrip () =
+  let g, k = fixture () in
+  with_temp_file (fun path ->
+      Nt.save path ~graph:g ~ontology:k;
+      let g', k' = Nt.load path in
+      check Alcotest.int "edges" (Graph.n_edges g) (Graph.n_edges g');
+      (* Agent appears as a class node after the roundtrip *)
+      check Alcotest.bool "class node added" true (Graph.find_node g' "Agent" <> None);
+      check Alcotest.bool "isolated node kept" true (Graph.find_node g' "lonely node" <> None);
+      let alice = Option.get (Graph.find_node g' "alice") in
+      let knows = Graphstore.Interner.intern (Graph.interner g') "knows" in
+      check Alcotest.int "alice knows one" 1 (List.length (Graph.neighbors g' alice knows Graph.Out));
+      let interner = Ontology.interner k' in
+      let person = Graphstore.Interner.intern interner "Person" in
+      check Alcotest.(list int) "subclass kept"
+        [ Graphstore.Interner.intern interner "Agent" ]
+        (Ontology.super_classes k' person);
+      let knows_p = Graphstore.Interner.intern interner "knows" in
+      check Alcotest.bool "subproperty kept" true (Ontology.super_properties k' knows_p <> []);
+      check Alcotest.bool "domain kept" true (Ontology.domain k' knows_p = Some person))
+
+let test_escaping () =
+  let g = Graph.create () in
+  let weird = "a>b\\c <d>" in
+  let x = Graph.add_node g weird and y = Graph.add_node g "plain" in
+  Graph.add_edge_s g x "p>q" y;
+  let k = Ontology.create (Graph.interner g) in
+  with_temp_file (fun path ->
+      Nt.save path ~graph:g ~ontology:k;
+      let g', _ = Nt.load path in
+      check Alcotest.bool "weird label survives" true (Graph.find_node g' weird <> None);
+      let x' = Option.get (Graph.find_node g' weird) in
+      let p = Graphstore.Interner.intern (Graph.interner g') "p>q" in
+      check Alcotest.int "weird edge label survives" 1
+        (List.length (Graph.neighbors g' x' p Graph.Out)))
+
+let test_comments_and_blank_lines () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "# a comment\n\n<a> <p> <b> .\n   \n";
+      close_out oc;
+      let g, _ = Nt.load path in
+      check Alcotest.int "one edge" 1 (Graph.n_edges g);
+      check Alcotest.int "two nodes" 2 (Graph.n_nodes g))
+
+let test_parse_errors () =
+  let bad_cases = [ "<a> <p> <b>"; "<a> <p>"; "a <p> <b> ."; "<a <p> <b> ." ] in
+  List.iter
+    (fun line ->
+      with_temp_file (fun path ->
+          let oc = open_out path in
+          output_string oc (line ^ "\n");
+          close_out oc;
+          match Nt.load path with
+          | _ -> Alcotest.failf "expected %S to fail" line
+          | exception Nt.Parse_error (_, 1) -> ()))
+    bad_cases
+
+let test_line_numbers () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "<a> <p> <b> .\n<broken\n";
+      close_out oc;
+      match Nt.load path with
+      | _ -> Alcotest.fail "expected a parse error"
+      | exception Nt.Parse_error (_, 2) -> ())
+
+let test_generated_dataset_roundtrip () =
+  (* an end-to-end sized roundtrip: the L4All 21-timeline graph *)
+  let g, k = Datagen.L4all.generate ~timelines:21 () in
+  with_temp_file (fun path ->
+      Nt.save path ~graph:g ~ontology:k;
+      let g', k' = Nt.load path in
+      check Alcotest.int "nodes" (Graph.n_nodes g) (Graph.n_nodes g');
+      check Alcotest.int "edges" (Graph.n_edges g) (Graph.n_edges g');
+      (* queries answer identically on the reloaded graph *)
+      let q = Datagen.L4all.query_text 3 Core.Query.Exact in
+      let on gk kk =
+        match Core.Engine.run_string ~graph:gk ~ontology:kk ~limit:max_int q with
+        | Ok o ->
+          List.map
+            (fun (a : Core.Engine.answer) -> List.map snd a.Core.Engine.bindings)
+            o.Core.Engine.answers
+          |> List.sort compare
+        | Error m -> Alcotest.fail m
+      in
+      check Alcotest.(list (list string)) "same answers" (on g k) (on g' k'))
+
+let () =
+  Alcotest.run "ntriples"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "graph + ontology" `Quick test_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "generated dataset" `Quick test_generated_dataset_roundtrip;
+        ] );
+      ( "parsing",
+        [
+          Alcotest.test_case "comments and blanks" `Quick test_comments_and_blank_lines;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "line numbers" `Quick test_line_numbers;
+        ] );
+    ]

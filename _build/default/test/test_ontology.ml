@@ -1,0 +1,168 @@
+(* Tests for the RDFS-fragment ontology: hierarchies, closures, GetAncestors
+   ordering, domain/range, and the Fig. 2-style statistics. *)
+
+module Interner = Graphstore.Interner
+
+let check = Alcotest.check
+
+(*            Thing
+             /     \
+          Agent   Place
+          /   \       \
+      Person  Org    City
+        |
+     Student                                                       *)
+let fixture () =
+  let interner = Interner.create () in
+  let k = Ontology.create interner in
+  Ontology.add_subclass k "Agent" "Thing";
+  Ontology.add_subclass k "Place" "Thing";
+  Ontology.add_subclass k "Person" "Agent";
+  Ontology.add_subclass k "Org" "Agent";
+  Ontology.add_subclass k "City" "Place";
+  Ontology.add_subclass k "Student" "Person";
+  Ontology.add_subproperty k "knows" "relatesTo";
+  Ontology.add_subproperty k "likes" "relatesTo";
+  Ontology.add_subproperty k "relatesTo" "any";
+  Ontology.add_domain k "knows" "Person";
+  Ontology.add_range k "knows" "Agent";
+  (interner, k)
+
+let names interner ids = List.map (Interner.name interner) ids
+
+let test_membership () =
+  let interner, k = fixture () in
+  let id = Interner.intern interner in
+  check Alcotest.bool "Person is class" true (Ontology.is_class k (id "Person"));
+  check Alcotest.bool "knows is property" true (Ontology.is_property k (id "knows"));
+  check Alcotest.bool "Person is not property" false (Ontology.is_property k (id "Person"));
+  check Alcotest.bool "unknown" false (Ontology.is_class k (id "Banana"));
+  check Alcotest.int "seven classes + dom/range add none new" 7 (List.length (Ontology.classes k));
+  check Alcotest.int "four properties" 4 (List.length (Ontology.properties k))
+
+let test_immediate_relations () =
+  let interner, k = fixture () in
+  let id = Interner.intern interner in
+  check Alcotest.(list string) "supers of Person" [ "Agent" ]
+    (names interner (Ontology.super_classes k (id "Person")));
+  check Alcotest.(list string) "subs of Agent (sorted by id)" [ "Person"; "Org" ]
+    (names interner (Ontology.sub_classes k (id "Agent")));
+  check Alcotest.(list string) "supers of knows" [ "relatesTo" ]
+    (names interner (Ontology.super_properties k (id "knows")))
+
+let test_ancestors_by_specificity () =
+  let interner, k = fixture () in
+  let id = Interner.intern interner in
+  let result = Ontology.ancestors_by_specificity k (id "Student") in
+  check
+    Alcotest.(list (pair string int))
+    "self first, then by increasing depth"
+    [ ("Student", 0); ("Person", 1); ("Agent", 2); ("Thing", 3) ]
+    (List.map (fun (c, d) -> (Interner.name interner c, d)) result)
+
+let test_ancestors_of_root () =
+  let interner, k = fixture () in
+  let id = Interner.intern interner in
+  check Alcotest.int "root has only itself" 1
+    (List.length (Ontology.ancestors_by_specificity k (id "Thing")))
+
+let test_descendants () =
+  let interner, k = fixture () in
+  let id = Interner.intern interner in
+  let ds = names interner (Ontology.class_descendants k (id "Agent")) in
+  check Alcotest.(list string) "agent closure" [ "Agent"; "Person"; "Org"; "Student" ] ds
+
+let test_sub_properties_closure () =
+  let interner, k = fixture () in
+  let id = Interner.intern interner in
+  let closure = names interner (Ontology.sub_properties_closure k (id "relatesTo")) in
+  check Alcotest.(list string) "closure" [ "relatesTo"; "knows"; "likes" ] closure;
+  check Alcotest.(list string) "leaf closure is itself" [ "likes" ]
+    (names interner (Ontology.sub_properties_closure k (id "likes")))
+
+let test_property_ancestors () =
+  let interner, k = fixture () in
+  let id = Interner.intern interner in
+  check
+    Alcotest.(list (pair string int))
+    "two steps up"
+    [ ("knows", 0); ("relatesTo", 1); ("any", 2) ]
+    (List.map
+       (fun (p, d) -> (Interner.name interner p, d))
+       (Ontology.property_ancestors k (id "knows")))
+
+let test_domain_range () =
+  let interner, k = fixture () in
+  let id = Interner.intern interner in
+  check Alcotest.(option string) "domain" (Some "Person")
+    (Option.map (Interner.name interner) (Ontology.domain k (id "knows")));
+  check Alcotest.(option string) "range" (Some "Agent")
+    (Option.map (Interner.name interner) (Ontology.range k (id "knows")));
+  check Alcotest.(option string) "no domain" None
+    (Option.map (Interner.name interner) (Ontology.domain k (id "likes")))
+
+let test_roots () =
+  let interner, k = fixture () in
+  check Alcotest.(list string) "class roots" [ "Thing" ] (names interner (Ontology.class_roots k));
+  check Alcotest.(list string) "property roots" [ "any" ]
+    (names interner (Ontology.property_roots k))
+
+let test_hierarchy_stats () =
+  let interner, k = fixture () in
+  let id = Interner.intern interner in
+  let s = Ontology.class_hierarchy_stats k (id "Thing") in
+  check Alcotest.int "depth" 3 s.Ontology.depth;
+  check Alcotest.int "members" 7 s.Ontology.members;
+  (* internal nodes: Thing(2), Agent(2), Place(1), Person(1) -> 6/4 *)
+  check (Alcotest.float 0.001) "avg fanout" 1.5 s.Ontology.avg_fanout
+
+let test_diamond_hierarchy () =
+  (* multiple inheritance: the BFS depth is the shortest path *)
+  let interner = Interner.create () in
+  let k = Ontology.create interner in
+  Ontology.add_subclass k "D" "B";
+  Ontology.add_subclass k "D" "C";
+  Ontology.add_subclass k "B" "A";
+  Ontology.add_subclass k "C" "A";
+  Ontology.add_subclass k "C" "X";
+  Ontology.add_subclass k "X" "A";
+  let id = Interner.intern interner in
+  let result =
+    List.map
+      (fun (c, d) -> (Interner.name interner c, d))
+      (Ontology.ancestors_by_specificity k (id "D"))
+  in
+  check Alcotest.(list (pair string int)) "shortest depths"
+    [ ("D", 0); ("B", 1); ("C", 1); ("A", 2); ("X", 2) ]
+    result
+
+let test_duplicate_edges_ignored () =
+  let interner = Interner.create () in
+  let k = Ontology.create interner in
+  Ontology.add_subclass k "B" "A";
+  Ontology.add_subclass k "B" "A";
+  let id = Interner.intern interner in
+  check Alcotest.int "one super" 1 (List.length (Ontology.super_classes k (id "B")))
+
+let () =
+  Alcotest.run "ontology"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "membership" `Quick test_membership;
+          Alcotest.test_case "immediate relations" `Quick test_immediate_relations;
+          Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges_ignored;
+          Alcotest.test_case "domain/range" `Quick test_domain_range;
+          Alcotest.test_case "roots" `Quick test_roots;
+        ] );
+      ( "closures",
+        [
+          Alcotest.test_case "ancestors by specificity" `Quick test_ancestors_by_specificity;
+          Alcotest.test_case "root ancestors" `Quick test_ancestors_of_root;
+          Alcotest.test_case "descendants" `Quick test_descendants;
+          Alcotest.test_case "sub-property closure" `Quick test_sub_properties_closure;
+          Alcotest.test_case "property ancestors" `Quick test_property_ancestors;
+          Alcotest.test_case "diamond shortest depth" `Quick test_diamond_hierarchy;
+        ] );
+      ("stats", [ Alcotest.test_case "hierarchy stats" `Quick test_hierarchy_stats ]);
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the CRP query parser and the query AST helpers. *)
+
+module Q = Core.Query
+module QP = Core.Query_parser
+module R = Rpq_regex.Regex
+
+let check = Alcotest.check
+
+let query = Alcotest.testable Q.pp (fun a b -> a = b)
+let conjunct = Alcotest.testable Q.pp_conjunct (fun a b -> a = b)
+
+let test_single_conjunct () =
+  check query "constant subject"
+    (Q.make ~head:[ "X" ] [ Q.conjunct (Q.Const "UK") (R.seq (R.inv "isLocatedIn") (R.lbl "gradFrom")) (Q.Var "X") ])
+    (QP.parse "(?X) <- (UK, isLocatedIn-.gradFrom, ?X)")
+
+let test_operators () =
+  let c = QP.parse_conjunct "APPROX (UK, locatedIn-, ?X)" in
+  check conjunct "approx"
+    (Q.conjunct ~mode:Q.Approx (Q.Const "UK") (R.inv "locatedIn") (Q.Var "X"))
+    c;
+  let c = QP.parse_conjunct "relax (UK, locatedIn-, ?X)" in
+  check conjunct "relax lowercase"
+    (Q.conjunct ~mode:Q.Relax (Q.Const "UK") (R.inv "locatedIn") (Q.Var "X"))
+    c
+
+let test_constants_with_spaces () =
+  let q = QP.parse "(?X) <- (Work Episode, type-, ?X)" in
+  match (List.hd q.Q.conjuncts).Q.subj with
+  | Q.Const c -> check Alcotest.string "kept intact" "Work Episode" c
+  | Q.Var _ -> Alcotest.fail "expected a constant"
+
+let test_multi_conjunct () =
+  let q =
+    QP.parse "(?X, ?Y) <- (?X, job.type, ?Y), APPROX (?Y, next, ?Z), RELAX (?Z, prereq, ?X)"
+  in
+  check Alcotest.int "three conjuncts" 3 (List.length q.Q.conjuncts);
+  check Alcotest.(list string) "head" [ "X"; "Y" ] q.Q.head;
+  check
+    (Alcotest.list (Alcotest.testable Q.pp_mode ( = )))
+    "modes in order"
+    [ Q.Exact; Q.Approx; Q.Relax ]
+    (List.map (fun c -> c.Q.cmode) q.Q.conjuncts)
+
+let test_parenthesised_regex_with_commas_absent () =
+  (* alternation groups parse inside the conjunct *)
+  let q = QP.parse "(?X) <- (UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)" in
+  match (List.hd q.Q.conjuncts).Q.regex with
+  | R.Alt _ -> ()
+  | _ -> Alcotest.fail "expected a top-level alternation"
+
+let test_roundtrip_print_parse () =
+  let texts =
+    [
+      "(?X) <- (UK, isLocatedIn-.gradFrom, ?X)";
+      "(?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)";
+      "(?X, ?Y) <- (?X, job.type, ?Y), RELAX (?Y, next+, ?X)";
+    ]
+  in
+  List.iter
+    (fun t ->
+      let q = QP.parse t in
+      check query ("roundtrip " ^ t) q (QP.parse (Q.to_string q)))
+    texts
+
+let test_errors () =
+  let fails s =
+    match QP.parse_result s with
+    | Ok _ -> Alcotest.failf "expected %S to fail" s
+    | Error _ -> ()
+  in
+  List.iter fails
+    [
+      "";
+      "(?X)";
+      "(?X) <- ";
+      "(?X) <- (a, b)";
+      "(?X) <- (a, b, c, d)";
+      "(X) <- (a, p, ?X)";
+      "(?Y) <- (a, p, ?X)";
+      (* head var not in body *)
+      "(?X) <- (a, p..q, ?X)";
+      (* bad regex *)
+      "(?X) <- a, p, ?X";
+      "(?X) <- (?, p, ?X)";
+    ]
+
+let test_validate () =
+  check
+    (Alcotest.result Alcotest.unit Alcotest.string)
+    "head var missing"
+    (Error "head variable ?Z does not appear in the body")
+    (Q.validate { Q.head = [ "Z" ]; conjuncts = [ Q.conjunct (Q.Var "X") (R.lbl "p") (Q.Var "Y") ] });
+  check
+    (Alcotest.result Alcotest.unit Alcotest.string)
+    "no conjuncts"
+    (Error "a CRP query needs at least one conjunct")
+    (Q.validate { Q.head = [ "X" ]; conjuncts = [] })
+
+let test_vars_order () =
+  let q = QP.parse "(?X) <- (?Y, p, ?X), (?X, q, ?Z)" in
+  check Alcotest.(list string) "first occurrence order" [ "Y"; "X"; "Z" ] (Q.vars q)
+
+let test_single_builder () =
+  let q = Q.single ~mode:Q.Approx (Q.Const "a") (R.lbl "p") (Q.Var "X") in
+  check Alcotest.(list string) "head inferred" [ "X" ] q.Q.head;
+  Alcotest.check_raises "no variables" (Invalid_argument "Query.single: no variables") (fun () ->
+      ignore (Q.single (Q.Const "a") (R.lbl "p") (Q.Const "b")))
+
+let () =
+  Alcotest.run "query_parser"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "single conjunct" `Quick test_single_conjunct;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "constants with spaces" `Quick test_constants_with_spaces;
+          Alcotest.test_case "multi conjunct" `Quick test_multi_conjunct;
+          Alcotest.test_case "alternation groups" `Quick test_parenthesised_regex_with_commas_absent;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip_print_parse;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "vars order" `Quick test_vars_order;
+          Alcotest.test_case "single builder" `Quick test_single_builder;
+        ] );
+    ]

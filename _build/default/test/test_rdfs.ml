@@ -1,0 +1,114 @@
+(* Tests for RDFS forward-chaining saturation (rdfs2/3/7/9) and its
+   interplay with the RELAX operator. *)
+
+module Graph = Graphstore.Graph
+
+let check = Alcotest.check
+
+let fixture () =
+  let g = Graph.create () in
+  let x = Graph.add_node g "x"
+  and y = Graph.add_node g "y"
+  and student = Graph.add_node g "Student" in
+  Graph.add_edge_s g x "type" student;
+  Graph.add_edge_s g x "supervises" y;
+  let k = Ontology.create (Graph.interner g) in
+  Ontology.add_subclass k "Student" "Person";
+  Ontology.add_subclass k "Person" "Agent";
+  Ontology.add_subproperty k "supervises" "knows";
+  Ontology.add_subproperty k "knows" "relatesTo";
+  Ontology.add_domain k "supervises" "Academic";
+  Ontology.add_range k "supervises" "Student";
+  (g, k)
+
+let has_edge g src label dst =
+  match (Graph.find_node g src, Graph.find_node g dst) with
+  | Some s, Some d ->
+    let l = Graphstore.Interner.intern (Graph.interner g) label in
+    Graph.mem_edge g s l d
+  | _ -> false
+
+let test_rdfs9_type_closure () =
+  let g, k = fixture () in
+  let stats = Rdfs.saturate ~subproperty:false ~domain_range:false g k in
+  check Alcotest.bool "x type Person" true (has_edge g "x" "type" "Person");
+  check Alcotest.bool "x type Agent" true (has_edge g "x" "type" "Agent");
+  check Alcotest.int "two type edges added" 2 stats.Rdfs.type_edges_added;
+  check Alcotest.int "no property edges" 0 stats.Rdfs.property_edges_added
+
+let test_rdfs7_subproperty () =
+  let g, k = fixture () in
+  let stats = Rdfs.saturate ~subclass:false ~domain_range:false g k in
+  check Alcotest.bool "x knows y" true (has_edge g "x" "knows" "y");
+  check Alcotest.bool "x relatesTo y" true (has_edge g "x" "relatesTo" "y");
+  check Alcotest.int "two property edges" 2 stats.Rdfs.property_edges_added
+
+let test_rdfs2_3_domain_range () =
+  let g, k = fixture () in
+  let stats = Rdfs.saturate ~subclass:false ~subproperty:false g k in
+  check Alcotest.bool "x type Academic (domain)" true (has_edge g "x" "type" "Academic");
+  check Alcotest.bool "y type Student (range)" true (has_edge g "y" "type" "Student");
+  check Alcotest.int "two type edges" 2 stats.Rdfs.type_edges_added
+
+let test_domain_range_feeds_subclass () =
+  let g, k = fixture () in
+  ignore (Rdfs.saturate g k);
+  (* y type Student from rdfs3, then rdfs9 lifts it up the hierarchy *)
+  check Alcotest.bool "y type Person" true (has_edge g "y" "type" "Person");
+  check Alcotest.bool "y type Agent" true (has_edge g "y" "type" "Agent")
+
+let test_idempotent () =
+  let g, k = fixture () in
+  ignore (Rdfs.saturate g k);
+  let before = Graph.n_edges g in
+  let stats = Rdfs.saturate g k in
+  check Alcotest.int "no new type edges" 0 stats.Rdfs.type_edges_added;
+  check Alcotest.int "no new property edges" 0 stats.Rdfs.property_edges_added;
+  check Alcotest.int "edge count stable" before (Graph.n_edges g)
+
+let test_no_duplicates () =
+  let g, k = fixture () in
+  (* pre-assert an entailed edge: saturation must not duplicate it *)
+  let x = Option.get (Graph.find_node g "x") and y = Option.get (Graph.find_node g "y") in
+  Graph.add_edge_s g x "knows" y;
+  ignore (Rdfs.saturate g k);
+  let knows = Graphstore.Interner.intern (Graph.interner g) "knows" in
+  check Alcotest.int "single knows edge" 1 (List.length (Graph.neighbors g x knows Graph.Out))
+
+(* Saturation + exact sub-property query ⊆ RELAX on the unsaturated graph:
+   every rdfs7 answer is a RELAX answer at distance ≤ depth × beta. *)
+let test_saturation_vs_relax () =
+  let g, k = fixture () in
+  let saturated_g, saturated_k = fixture () in
+  ignore (Rdfs.saturate ~subclass:false ~domain_range:false saturated_g saturated_k);
+  let answers graph ontology q =
+    match Core.Engine.run_string ~graph ~ontology ~limit:100 q with
+    | Ok o ->
+      List.map (fun (a : Core.Engine.answer) -> List.assoc "Y" a.Core.Engine.bindings)
+        o.Core.Engine.answers
+      |> List.sort compare
+    | Error m -> Alcotest.fail m
+  in
+  let exact_saturated = answers saturated_g saturated_k "(?Y) <- (x, knows, ?Y)" in
+  let relaxed = answers g k "(?Y) <- RELAX (x, supervises, ?Y)" in
+  List.iter
+    (fun v -> check Alcotest.bool ("relax finds " ^ v) true (List.mem v relaxed))
+    exact_saturated
+
+let () =
+  Alcotest.run "rdfs"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "rdfs9 subclass" `Quick test_rdfs9_type_closure;
+          Alcotest.test_case "rdfs7 subproperty" `Quick test_rdfs7_subproperty;
+          Alcotest.test_case "rdfs2/3 domain+range" `Quick test_rdfs2_3_domain_range;
+          Alcotest.test_case "dom/range feeds subclass" `Quick test_domain_range_feeds_subclass;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "idempotent" `Quick test_idempotent;
+          Alcotest.test_case "no duplicates" `Quick test_no_duplicates;
+          Alcotest.test_case "saturation vs RELAX" `Quick test_saturation_vs_relax;
+        ] );
+    ]

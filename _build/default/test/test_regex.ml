@@ -1,0 +1,193 @@
+(* Tests for the RPQ regular-expression AST, parser and printer. *)
+
+module R = Rpq_regex.Regex
+module P = Rpq_regex.Parser
+
+let check = Alcotest.check
+
+let regex = Alcotest.testable R.pp R.equal
+
+(* --- smart constructors --------------------------------------------- *)
+
+let test_smart_constructors () =
+  check regex "eps . r = r" (R.lbl "a") (R.seq R.eps (R.lbl "a"));
+  check regex "r . eps = r" (R.lbl "a") (R.seq (R.lbl "a") R.eps);
+  check regex "r | r = r" (R.lbl "a") (R.alt (R.lbl "a") (R.lbl "a"));
+  check regex "eps* = eps" R.eps (R.star R.eps);
+  check regex "(r*)* = r*" (R.star (R.lbl "a")) (R.star (R.star (R.lbl "a")));
+  check regex "(r+)+ = r+" (R.plus (R.lbl "a")) (R.plus (R.plus (R.lbl "a")));
+  check regex "(r+)* = r*" (R.star (R.lbl "a")) (R.star (R.plus (R.lbl "a")));
+  check regex "seq_list" (R.seq (R.lbl "a") (R.seq (R.lbl "b") (R.lbl "c")))
+    (R.seq_list [ R.lbl "a"; R.lbl "b"; R.lbl "c" ]);
+  Alcotest.check_raises "alt_list empty" (Invalid_argument "Regex.alt_list: empty") (fun () ->
+      ignore (R.alt_list []))
+
+(* --- reverse -------------------------------------------------------- *)
+
+let test_reverse () =
+  check regex "label" (R.inv "a") (R.reverse (R.lbl "a"));
+  check regex "double reverse" (R.lbl "a") (R.reverse (R.reverse (R.lbl "a")));
+  check regex "seq flips order"
+    (R.Seq (R.inv "b", R.inv "a"))
+    (R.reverse (R.Seq (R.lbl "a", R.lbl "b")));
+  check regex "wildcard flips" R.any_bwd (R.reverse R.any)
+
+let reverse_involution =
+  QCheck2.Test.make ~name:"reverse is an involution" ~count:200
+    (QCheck2.Gen.sized (fun n ->
+         let rec gen n =
+           let open QCheck2.Gen in
+           if n <= 1 then
+             oneof
+               [ return R.Eps; return (R.Any R.Fwd); return (R.Any R.Bwd);
+                 map (fun c -> R.Lbl (R.Fwd, String.make 1 c)) (char_range 'a' 'e');
+                 map (fun c -> R.Lbl (R.Bwd, String.make 1 c)) (char_range 'a' 'e');
+               ]
+           else
+             let open QCheck2.Gen in
+             oneof
+               [ map2 (fun a b -> R.Seq (a, b)) (gen (n / 2)) (gen (n / 2));
+                 map2 (fun a b -> R.Alt (a, b)) (gen (n / 2)) (gen (n / 2));
+                 map (fun a -> R.Star a) (gen (n / 2));
+                 map (fun a -> R.Plus a) (gen (n / 2));
+               ]
+         in
+         gen (min n 20)))
+    (fun r -> R.equal r (R.reverse (R.reverse r)))
+
+(* A generator shared by the roundtrip properties below. *)
+let gen_regex =
+  QCheck2.Gen.sized (fun n ->
+      let rec gen n =
+        let open QCheck2.Gen in
+        if n <= 1 then
+          oneof
+            [ return R.eps; return R.any; return R.any_bwd;
+              map (fun c -> R.lbl (String.make 1 c)) (char_range 'a' 'e');
+              map (fun c -> R.inv (String.make 1 c)) (char_range 'a' 'e');
+            ]
+        else
+          oneof
+            [ map2 R.seq (gen (n / 2)) (gen (n / 2));
+              map2 R.alt (gen (n / 2)) (gen (n / 2));
+              map R.star (gen (n / 2));
+              map R.plus (gen (n / 2));
+            ]
+      in
+      gen (min n 25))
+
+(* Printing flattens the associativity of [.] and [|] (they print without
+   parentheses and reparse right-associated), so the roundtrip invariant is
+   the print → parse → print fixpoint, plus structural equality for
+   right-associated trees. *)
+let print_parse_roundtrip =
+  QCheck2.Test.make ~name:"to_string/parse roundtrip" ~count:500
+    ~print:(fun r -> R.to_string r)
+    gen_regex
+    (fun r ->
+      let s = R.to_string r in
+      let reparsed = P.parse s in
+      R.to_string reparsed = s && R.equal reparsed (P.parse (R.to_string reparsed)))
+
+(* --- parser --------------------------------------------------------- *)
+
+let parse = P.parse
+
+let test_parse_atoms () =
+  check regex "label" (R.lbl "next") (parse "next");
+  check regex "inverse" (R.inv "next") (parse "next-");
+  check regex "wildcard" R.any (parse "_");
+  check regex "backward wildcard" R.any_bwd (parse "_-");
+  check regex "eps" R.eps (parse "<eps>");
+  check regex "label with digits/underscore" (R.lbl "wordnet_city2") (parse "wordnet_city2")
+
+let test_parse_precedence () =
+  check regex "concat binds tighter than alt"
+    (R.Alt (R.Seq (R.lbl "a", R.lbl "b"), R.lbl "c"))
+    (parse "a.b|c");
+  check regex "star binds tightest"
+    (R.Seq (R.lbl "a", R.star (R.lbl "b")))
+    (parse "a.b*");
+  check regex "parens override"
+    (R.star (R.Seq (R.lbl "a", R.lbl "b")))
+    (parse "(a.b)*");
+  check regex "alternation in parens"
+    (R.plus (R.Alt (R.lbl "a", R.lbl "b")))
+    (parse "(a|b)+")
+
+let test_parse_inverse_of_group () =
+  (* (R)- reverses the whole group *)
+  check regex "group inverse" (R.Seq (R.inv "b", R.inv "a")) (parse "(a.b)-");
+  check regex "inverse then star" (R.star (R.inv "a")) (parse "a-*")
+
+let test_parse_paper_queries () =
+  (* every regex from the paper's Fig. 4 and Fig. 9 parses *)
+  List.iter
+    (fun s -> ignore (parse s))
+    [
+      "type-"; "type-.qualif-"; "type-.job-"; "job.type"; "next+"; "prereq+";
+      "next+|(prereq+.next)"; "type.prereq+"; "prereq*.next+.prereq"; "type-.job-.next";
+      "level-.qualif-.prereq"; "bornIn-.marriedTo.hasChild";
+      "hasChild.gradFrom.gradFrom-.hasWonPrize"; "type-.locatedIn-";
+      "directed.married.married+.playsFor"; "isConnectedTo.wasBornIn"; "imports.exports-";
+      "type-.happenedIn-.participatedIn-"; "type.type-.actedIn";
+      "(livesIn-.hasCurrency)|(locatedIn-.gradFrom)";
+    ]
+
+let test_parse_whitespace () =
+  check regex "spaces ignored" (R.Seq (R.lbl "a", R.lbl "b")) (parse " a . b ")
+
+let test_parse_errors () =
+  let fails s =
+    match P.parse_result s with
+    | Ok _ -> Alcotest.failf "expected %S to fail" s
+    | Error _ -> ()
+  in
+  List.iter fails [ ""; "a."; "a|"; "(a"; "a)"; "a b"; "<eps"; "<x>"; "*"; "a.*b"; "|a" ]
+
+(* --- misc operations ------------------------------------------------ *)
+
+let test_nullable () =
+  check Alcotest.bool "eps" true (R.nullable R.eps);
+  check Alcotest.bool "label" false (R.nullable (R.lbl "a"));
+  check Alcotest.bool "star" true (R.nullable (R.star (R.lbl "a")));
+  check Alcotest.bool "plus of label" false (R.nullable (parse "a+"));
+  check Alcotest.bool "plus of star" true (R.nullable (R.Plus (R.star (R.lbl "a"))));
+  check Alcotest.bool "seq" false (R.nullable (parse "a*.b"));
+  check Alcotest.bool "alt" true (R.nullable (parse "a|b*"))
+
+let test_labels () =
+  check Alcotest.(list string) "dedup + sort" [ "a"; "b" ] (R.labels (parse "a.b-.a*|b"))
+
+let test_size () =
+  check Alcotest.int "size" 5 (R.size (parse "a.b|c"))
+
+let test_top_level_alternatives () =
+  check Alcotest.int "three" 3 (List.length (R.top_level_alternatives (parse "a|b|c")));
+  check Alcotest.int "one (nested)" 1 (List.length (R.top_level_alternatives (parse "(a|b).c")));
+  check Alcotest.int "one (atom)" 1 (List.length (R.top_level_alternatives (parse "a")))
+
+let () =
+  Alcotest.run "regex"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "reverse" `Quick test_reverse;
+          Alcotest.test_case "nullable" `Quick test_nullable;
+          Alcotest.test_case "labels" `Quick test_labels;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "top-level alternatives" `Quick test_top_level_alternatives;
+          QCheck_alcotest.to_alcotest reverse_involution;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "atoms" `Quick test_parse_atoms;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "group inverse" `Quick test_parse_inverse_of_group;
+          Alcotest.test_case "paper query set" `Quick test_parse_paper_queries;
+          Alcotest.test_case "whitespace" `Quick test_parse_whitespace;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          QCheck_alcotest.to_alcotest print_parse_roundtrip;
+        ] );
+    ]
