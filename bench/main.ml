@@ -476,6 +476,7 @@ let relax_vs_saturation () =
   let g, k = l4_graph scale in
   let g', k' = L4.generate_scale scale in
   let (), sat_time = ms (fun () -> ignore (Rdfs.saturate ~subclass:false ~domain_range:false g' k')) in
+  Graph.freeze g' (* saturation mutates the store, dropping the CSR index *);
   Printf.printf
     "L4All %s: saturation adds %d edges (%d -> %d, +%.0f%%) in %.1f ms — paid once, for every query\n"
     (L4.scale_name scale)
@@ -509,7 +510,58 @@ let relax_vs_saturation () =
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
+(* Neighbour-scan throughput: sweep every (node, label, direction) lookup of
+   the graph through [iter_neighbors], on the hashtable adjacency and on the
+   frozen CSR index.  This is the [Succ] hot path in isolation; the CSR win
+   here is what the figure-level benchmarks inherit. *)
+let scan_throughput () =
+  header "[MICRO] neighbour-scan throughput: CSR vs hashtable adjacency";
+  let g, _ = l4_graph (List.hd !scales) in
+  let labels = Graph.labels g in
+  let sweep () =
+    let count = ref 0 in
+    Graph.iter_nodes g (fun n ->
+        List.iter
+          (fun l ->
+            Graph.iter_neighbors g n l Graph.Out (fun _ -> incr count);
+            Graph.iter_neighbors g n l Graph.In (fun _ -> incr count))
+          labels);
+    !count
+  in
+  let time_sweeps reps =
+    let edges = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      edges := sweep ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (!edges, float_of_int (reps * !edges) /. dt /. 1e6)
+  in
+  let reps = max 3 !runs in
+  Graph.unfreeze g;
+  let _ = sweep () (* warm-up *) in
+  let edges, hash_rate = time_sweeps reps in
+  Graph.freeze g;
+  let _ = sweep () in
+  let _, csr_rate = time_sweeps reps in
+  Printf.printf
+    "%d edge slots swept x%d; hashtable %.2f M edges/s | CSR %.2f M edges/s | speedup %.1fx\n"
+    edges reps hash_rate csr_rate (csr_rate /. hash_rate);
+  Printf.printf "CSR index size: %d bytes (%.1f bytes/edge)\n" (Graph.csr_bytes g)
+    (float_of_int (Graph.csr_bytes g) /. float_of_int (Graph.n_edges g));
+  (* one instrumented query so the new Exec_stats counters are visible *)
+  Core.Exec_stats.now_ns := (fun () -> int_of_float (1e9 *. Unix.gettimeofday ()));
+  (match
+     Engine.run_string ~graph:g ~ontology:(snd (l4_graph (List.hd !scales))) ~limit:100
+       (L4.query_text 10 Core.Query.Approx)
+   with
+  | Ok o ->
+    Format.printf "L4All Q10 APPROX top-100 stats: %a@." Core.Exec_stats.pp o.Engine.stats
+  | Error m -> failwith m);
+  Core.Exec_stats.now_ns := (fun () -> 0)
+
 let micro () =
+  scan_throughput ();
   header "[MICRO] Bechamel micro-benchmarks (one per table/figure)";
   let open Bechamel in
   let l4_small = l4_graph (List.hd !scales) in

@@ -9,11 +9,15 @@
 open Cmdliner
 
 let load_dataset path =
-  try Ntriples.Nt.load path with
-  | Ntriples.Nt.Parse_error (msg, line) ->
+  match Ntriples.Nt.load path with
+  | graph, ontology ->
+    (* loading is over: freeze the store so queries run on the CSR index *)
+    Graphstore.Graph.freeze graph;
+    (graph, ontology)
+  | exception Ntriples.Nt.Parse_error (msg, line) ->
     Printf.eprintf "%s:%d: %s\n" path line msg;
     exit 2
-  | Sys_error msg ->
+  | exception Sys_error msg ->
     Printf.eprintf "%s\n" msg;
     exit 2
 
@@ -165,6 +169,8 @@ let query_cmd =
   in
   let show_stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution counters.") in
   let run data query limit distance_aware decompose budget edit_cost relax_cost show_stats =
+    if show_stats then
+      Core.Exec_stats.now_ns := (fun () -> int_of_float (1e9 *. Unix.gettimeofday ()));
     let graph, ontology = load_dataset data in
     let options =
       {

@@ -37,6 +37,10 @@ let () =
   Ontology.add_subproperty k "worksAt" "affiliatedWith";
   Graph.add_edge_s g alan "worksAt" harvard;
 
+  (* Loading is done: freeze the store into its CSR index so the queries
+     below traverse packed adjacency ranges. *)
+  Graph.freeze g;
+
   let show title query =
     Format.printf "@.== %s@.   %s@." title query;
     match Core.Engine.run_string ~graph:g ~ontology:k ~limit:10 query with

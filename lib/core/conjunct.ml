@@ -25,6 +25,11 @@ type t = {
   ceiling : int option;
   mutable was_pruned : bool;
   opts : Options.t;
+  (* The U-cache of §3.4 as a reusable buffer: consecutive transitions with
+     the same label share one neighbour scan, and no per-lookup list is
+     allocated. *)
+  mutable ubuf : int array;
+  mutable ulen : int;
 }
 
 let stats t = t.stats
@@ -74,10 +79,17 @@ let open_ ~graph ~ontology ~options ?ceiling ?suppress (conjunct : Query.conjunc
       in
       Seeder.of_initial_state ~graph ~nfa ~batch_size
   in
-  let target =
+  (* An unknown object constant can never be matched: oids are dense
+     non-negative ints, so no tuple's node ever equals the [-1] sentinel.
+     Rather than explore the whole reachable product for nothing, drop the
+     seeds — the conjunct terminates immediately with zero answers. *)
+  let target, seeder =
     match obj with
-    | Query.Const c -> Some (match Graph.find_node graph c with Some oid -> oid | None -> -1)
-    | Query.Var _ -> None
+    | Query.Const c -> (
+      match Graph.find_node graph c with
+      | Some oid -> (Some oid, seeder)
+      | None -> (Some (-1), Seeder.of_list []))
+    | Query.Var _ -> (None, seeder)
   in
   let same_var =
     match (subj, obj) with Query.Var a, Query.Var b -> a = b | _ -> false
@@ -97,41 +109,53 @@ let open_ ~graph ~ontology ~options ?ceiling ?suppress (conjunct : Query.conjunc
     ceiling;
     was_pruned = false;
     opts = options;
+    ubuf = Array.make 64 0;
+    ulen = 0;
   }
 
 (* [NeighboursByEdge] (§3.4): nodes adjacent to [n] under a transition
    label, observing directionality.  The wildcard [*] retrieves every edge
    of [n] in both directions (the paper issues Neighbors over the generic
-   'edge' type plus 'type', both ways). *)
-let neighbours_by_edge t n (lbl : Nfa.tlabel) =
+   'edge' type plus 'type', both ways).  On a frozen graph every arm is a
+   range scan over the CSR index; nothing is allocated. *)
+let iter_neighbours_by_edge t n (lbl : Nfa.tlabel) f =
   let dir_of : Nfa.dir -> Graph.dir = function Fwd -> Graph.Out | Bwd -> Graph.In in
   match lbl with
   | Nfa.Eps -> assert false (* the compiled automaton is ε-free *)
-  | Nfa.Sym (d, a) -> Graph.neighbors t.graph n a (dir_of d)
-  | Nfa.Any ->
-    let acc = ref [] in
-    Graph.iter_neighbors_any t.graph n (fun m -> acc := m :: !acc);
-    !acc
-  | Nfa.Any_dir d ->
-    List.concat_map (fun a -> Graph.neighbors t.graph n a (dir_of d)) (Graph.labels t.graph)
-  | Nfa.Sub_closure (d, ls) ->
-    List.concat_map
-      (fun a -> Graph.neighbors t.graph n a (dir_of d))
-      (Array.to_list ls)
-  | Nfa.Type_to c ->
-    if Graph.mem_edge t.graph n (Graph.type_label t.graph) c then [ c ] else []
+  | Nfa.Sym (d, a) -> Graph.iter_neighbors t.graph n a (dir_of d) f
+  | Nfa.Any -> Graph.iter_neighbors_any t.graph n f
+  | Nfa.Any_dir d -> Graph.iter_neighbors_all_labels t.graph n (dir_of d) f
+  | Nfa.Sub_closure (d, ls) -> Graph.iter_neighbors_labels t.graph n ls (dir_of d) f
+  | Nfa.Type_to c -> if Graph.mem_edge t.graph n (Graph.type_label t.graph) c then f c
 
-(* [Succ (s, n)]: transitions leaving (s, n) in the product automaton H_R.
-   Out-transitions are sorted by label (Nfa.normalize), so consecutive
-   identical labels reuse the neighbour list (the U-cache of §3.4).
+let ubuf_push t m =
+  if t.ulen = Array.length t.ubuf then begin
+    let bigger = Array.make (2 * t.ulen) 0 in
+    Array.blit t.ubuf 0 bigger 0 t.ulen;
+    t.ubuf <- bigger
+  end;
+  t.ubuf.(t.ulen) <- m;
+  t.ulen <- t.ulen + 1
+
+let fill_ucache t n lbl =
+  t.ulen <- 0;
+  let t0 = !Exec_stats.now_ns () in
+  iter_neighbours_by_edge t n lbl (fun m -> ubuf_push t m);
+  t.stats.scan_ns <- t.stats.scan_ns + (!Exec_stats.now_ns () - t0);
+  t.stats.edges_scanned <- t.stats.edges_scanned + t.ulen;
+  t.stats.adjacency_bytes <- t.stats.adjacency_bytes + (t.ulen * (Sys.word_size / 8))
+
+(* [Succ (s, n)]: transitions leaving (s, n) in the product automaton H_R,
+   delivered to [f cost dst m].  Out-transitions are sorted by label
+   (Nfa.normalize), so consecutive identical labels reuse the U-cache buffer
+   filled by the previous scan (§3.4).
 
    Distance-aware retrieval prunes here, before the neighbour lookup: a
    transition that would exceed the ψ ceiling never touches the graph store —
    this is where the §4.3 optimisation saves its work. *)
-let succ t s n ~dist =
+let iter_succ t s n ~dist f =
   t.stats.succ_calls <- t.stats.succ_calls + 1;
-  let result = ref [] in
-  let prev : (Nfa.tlabel * int list) option ref = ref None in
+  let cached : Nfa.tlabel option ref = ref None in
   List.iter
     (fun (tr : Nfa.transition) ->
       match t.ceiling with
@@ -139,18 +163,14 @@ let succ t s n ~dist =
         t.was_pruned <- true;
         t.stats.pruned <- t.stats.pruned + 1
       | _ ->
-        let neighbours =
-          match !prev with
-          | Some (l, ns) when l = tr.lbl -> ns
-          | _ ->
-            let ns = neighbours_by_edge t n tr.lbl in
-            t.stats.edges_scanned <- t.stats.edges_scanned + List.length ns;
-            prev := Some (tr.lbl, ns);
-            ns
-        in
-        List.iter (fun m -> result := (tr.cost, tr.dst, m) :: !result) neighbours)
-    (Nfa.out t.nfa s);
-  !result
+        if !cached <> Some tr.lbl then begin
+          fill_ucache t n tr.lbl;
+          cached := Some tr.lbl
+        end;
+        for i = 0 to t.ulen - 1 do
+          f tr.cost tr.dst t.ubuf.(i)
+        done)
+    (Nfa.out t.nfa s)
 
 let push t ~dist ~final tup =
   match t.ceiling with
@@ -207,11 +227,9 @@ let rec get_next t =
     let key = (tup.v, tup.n, tup.s) in
     if not (Hashtbl.mem t.visited key) then begin
       Hashtbl.add t.visited key ();
-      List.iter
-        (fun (cost, s', m) ->
+      iter_succ t tup.s tup.n ~dist (fun cost s' m ->
           if not (Hashtbl.mem t.visited (tup.v, m, s')) then
-            push t ~dist:(dist + cost) ~final:false { v = tup.v; n = m; s = s'; fin = false })
-        (succ t tup.s tup.n ~dist);
+            push t ~dist:(dist + cost) ~final:false { v = tup.v; n = m; s = s'; fin = false });
       match Nfa.final_weight t.nfa tup.s with
       | Some weight
         when annotation_matches t tup && not (already_answered t tup.v tup.n) ->

@@ -3,6 +3,8 @@ type t = {
   mutable pops : int;
   mutable succ_calls : int;
   mutable edges_scanned : int;
+  mutable adjacency_bytes : int;
+  mutable scan_ns : int;
   mutable batches : int;
   mutable seeds : int;
   mutable answers : int;
@@ -11,12 +13,20 @@ type t = {
   mutable pruned : int;
 }
 
+(* Monotonic clock used to attribute time to neighbour scans ([scan_ns]).
+   The default reads nothing so the engine stays dependency-free and pays no
+   syscall on the hot path; binaries that want the breakdown (the CLI's
+   --stats, the bench harness) install a real nanosecond clock. *)
+let now_ns : (unit -> int) ref = ref (fun () -> 0)
+
 let create () =
   {
     pushes = 0;
     pops = 0;
     succ_calls = 0;
     edges_scanned = 0;
+    adjacency_bytes = 0;
+    scan_ns = 0;
     batches = 0;
     seeds = 0;
     answers = 0;
@@ -30,6 +40,8 @@ let reset t =
   t.pops <- 0;
   t.succ_calls <- 0;
   t.edges_scanned <- 0;
+  t.adjacency_bytes <- 0;
+  t.scan_ns <- 0;
   t.batches <- 0;
   t.seeds <- 0;
   t.answers <- 0;
@@ -42,6 +54,8 @@ let merge_into acc x =
   acc.pops <- acc.pops + x.pops;
   acc.succ_calls <- acc.succ_calls + x.succ_calls;
   acc.edges_scanned <- acc.edges_scanned + x.edges_scanned;
+  acc.adjacency_bytes <- acc.adjacency_bytes + x.adjacency_bytes;
+  acc.scan_ns <- acc.scan_ns + x.scan_ns;
   acc.batches <- acc.batches + x.batches;
   acc.seeds <- acc.seeds + x.seeds;
   acc.answers <- acc.answers + x.answers;
@@ -51,6 +65,7 @@ let merge_into acc x =
 
 let pp ppf t =
   Format.fprintf ppf
-    "pushes=%d pops=%d succ=%d edges=%d batches=%d seeds=%d answers=%d peak=%d restarts=%d pruned=%d"
-    t.pushes t.pops t.succ_calls t.edges_scanned t.batches t.seeds t.answers t.peak_queue t.restarts
-    t.pruned
+    "pushes=%d pops=%d succ=%d edges=%d adj-bytes=%d scan-ns=%d batches=%d seeds=%d answers=%d \
+     peak=%d restarts=%d pruned=%d"
+    t.pushes t.pops t.succ_calls t.edges_scanned t.adjacency_bytes t.scan_ns t.batches t.seeds
+    t.answers t.peak_queue t.restarts t.pruned

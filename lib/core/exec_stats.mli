@@ -10,6 +10,12 @@ type t = {
   mutable pops : int;  (** tuples removed from [D_R] *)
   mutable succ_calls : int;  (** invocations of [Succ] *)
   mutable edges_scanned : int;  (** neighbours returned across all [Succ] calls *)
+  mutable adjacency_bytes : int;
+      (** adjacency words touched by those scans, in bytes — the memory
+          traffic the CSR layout (see {!Graphstore.Graph.freeze}) compacts *)
+  mutable scan_ns : int;
+      (** time spent inside neighbour scans, in nanoseconds; 0 unless a
+          clock is installed in {!now_ns} *)
   mutable batches : int;  (** seed batches delivered by the coroutine *)
   mutable seeds : int;  (** initial nodes added *)
   mutable answers : int;  (** answers emitted *)
@@ -17,6 +23,11 @@ type t = {
   mutable restarts : int;  (** distance-aware re-evaluations *)
   mutable pruned : int;  (** pushes suppressed by the ψ ceiling *)
 }
+
+val now_ns : (unit -> int) ref
+(** The clock behind [scan_ns].  Defaults to [fun () -> 0] (no syscalls on
+    the hot path); install a monotonic nanosecond clock to get real
+    attributions, e.g. [Exec_stats.now_ns := fun () -> int_of_float (1e9 *. Unix.gettimeofday ())]. *)
 
 val create : unit -> t
 

@@ -19,31 +19,26 @@ let of_list seeds =
     finished = false;
   }
 
-(* Nodes carrying an edge compatible with [lbl], as a sequence.  The oid sets
-   are materialised per label (the Sparksee Heads/Tails calls of §3.3), but
-   consumed lazily so unneeded batches cost nothing downstream. *)
+let all_nodes graph : int Seq.t = Seq.init (Graph.n_nodes graph) (fun oid -> oid)
+
+(* Nodes carrying an edge compatible with [lbl], as a sequence (the Sparksee
+   Heads/Tails calls of §3.3).  Instead of materialising per-label oid sets,
+   each label contributes a lazy ascending scan filtered by
+   {!Graph.has_adjacent} — an O(1) offset-range check on a frozen graph — so
+   unneeded batches cost nothing downstream. *)
 let nodes_with_edge graph (lbl : Nfa.tlabel) : int Seq.t =
-  let set_seq set = List.to_seq (Oid_set.to_list set) in
-  let all_labels f =
-    List.to_seq (Graph.labels graph) |> Seq.concat_map (fun l -> set_seq (f l))
+  let with_label dir a = Seq.filter (fun n -> Graph.has_adjacent graph n a dir) (all_nodes graph) in
+  let all_labels dir =
+    List.to_seq (Graph.labels graph) |> Seq.concat_map (fun l -> with_label dir l)
   in
+  let dir_of : Nfa.dir -> Graph.dir = function Fwd -> Graph.Out | Bwd -> Graph.In in
   match lbl with
   | Nfa.Eps -> Seq.empty (* removed before evaluation *)
-  | Nfa.Sym (Fwd, a) -> set_seq (Graph.tails_by_label graph a)
-  | Nfa.Sym (Bwd, a) -> set_seq (Graph.heads_by_label graph a)
-  | Nfa.Any -> all_labels (Graph.tails_and_heads graph)
-  | Nfa.Any_dir Fwd -> all_labels (Graph.tails_by_label graph)
-  | Nfa.Any_dir Bwd -> all_labels (Graph.heads_by_label graph)
-  | Nfa.Sub_closure (d, ls) ->
-    let per_label a =
-      match (d : Nfa.dir) with
-      | Fwd -> set_seq (Graph.tails_by_label graph a)
-      | Bwd -> set_seq (Graph.heads_by_label graph a)
-    in
-    Seq.concat_map per_label (Array.to_seq ls)
+  | Nfa.Sym (d, a) -> with_label (dir_of d) a
+  | Nfa.Any -> all_labels Graph.Both
+  | Nfa.Any_dir d -> all_labels (dir_of d)
+  | Nfa.Sub_closure (d, ls) -> Seq.concat_map (with_label (dir_of d)) (Array.to_seq ls)
   | Nfa.Type_to c -> List.to_seq (Graph.neighbors graph c (Graph.type_label graph) In)
-
-let all_nodes graph : int Seq.t = Seq.init (Graph.n_nodes graph) (fun oid -> oid)
 
 let of_initial_state ~graph ~nfa ~batch_size =
   let s0 = Nfa.initial nfa in

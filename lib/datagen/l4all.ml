@@ -281,6 +281,7 @@ let generate ?(seed = 1404) ~timelines () =
           classify g ontology ~edge_label:"level" event spec.extra_leaf)
       base
   done;
+  Graph.freeze g;
   (g, ontology)
 
 let generate_scale ?seed s = generate ?seed ~timelines:(timelines s) ()

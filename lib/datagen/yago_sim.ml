@@ -324,6 +324,7 @@ let generate ?(params = default_params) () =
   let annie = Graph.add_node g "Annie Haslam" in
   classify annie "wordnet_musician";
   edge annie "actedIn" (Rng.pick rng movies);
+  Graph.freeze g;
   (g, k)
 
 (* ------------------------------------------------------------------ *)

@@ -1,8 +1,23 @@
 type dir = Out | In | Both
 
+(* One direction of the frozen index: for every used label, a CSR row
+   group.  [off] has [node_count + 1] entries; the neighbours of node [n]
+   under this label are [tgt.(off.(n)) .. tgt.(off.(n+1) - 1)], sorted
+   ascending so lookups are mergeable and [mem_edge] can bisect. *)
+type csr_rows = { off : int array; tgt : int array }
+
+type csr = {
+  slot_of_label : int array; (* label id -> dense slot, or -1 *)
+  label_of_slot : int array; (* dense slot -> label id *)
+  fwd : csr_rows array; (* slot -> out-adjacency *)
+  bwd : csr_rows array; (* slot -> in-adjacency *)
+}
+
 (* Per-label adjacency: label id -> (node oid -> neighbour oids).  The two
    arrays are indexed by interned label id and grown on demand; an absent
-   hashtable means no edge with that label exists yet. *)
+   hashtable means no edge with that label exists yet.  The hashtables are
+   the mutable source of truth; [freeze] distils them into the read-only
+   [csr] index, which every mutation invalidates. *)
 type t = {
   interner : Interner.t;
   type_label : int;
@@ -13,6 +28,7 @@ type t = {
   mutable adj_in : (int, int list ref) Hashtbl.t option array;
   mutable edge_count : int;
   mutable label_counts : int array; (* label id -> number of edges *)
+  mutable csr : csr option;
 }
 
 let create ?(initial_nodes = 1024) () =
@@ -28,6 +44,7 @@ let create ?(initial_nodes = 1024) () =
     adj_in = Array.make 16 None;
     edge_count = 0;
     label_counts = Array.make 16 0;
+    csr = None;
   }
 
 let interner t = t.interner
@@ -37,6 +54,7 @@ let add_node t label =
   match Hashtbl.find_opt t.node_index label with
   | Some oid -> oid
   | None ->
+    t.csr <- None;
     let cap = Array.length t.node_labels in
     if t.node_count >= cap then begin
       let labels = Array.make (2 * cap) "" in
@@ -82,6 +100,7 @@ let check_oid t oid ctx =
 let add_edge t src label dst =
   check_oid t src "add_edge";
   check_oid t dst "add_edge";
+  t.csr <- None;
   grow_adj t label;
   push (table_of t.adj_out label) src dst;
   push (table_of t.adj_in label) dst src;
@@ -106,6 +125,93 @@ let labels t =
   done;
   !acc
 
+(* --- the frozen CSR index ------------------------------------------- *)
+
+(* Pack one direction's hashtable adjacency for [label] into CSR rows.
+   Two passes over the per-node lists: count, then fill backwards so each
+   row comes out in insertion order; a final per-row sort makes rows
+   ascending. *)
+let csr_rows_of t tbl =
+  let n = t.node_count in
+  let off = Array.make (n + 1) 0 in
+  Hashtbl.iter (fun src cell -> off.(src + 1) <- off.(src + 1) + List.length !cell) tbl;
+  for i = 1 to n do
+    off.(i) <- off.(i) + off.(i - 1)
+  done;
+  let tgt = Array.make off.(n) 0 in
+  let cursor = Array.copy off in
+  Hashtbl.iter
+    (fun src cell ->
+      List.iter
+        (fun dst ->
+          tgt.(cursor.(src)) <- dst;
+          cursor.(src) <- cursor.(src) + 1)
+        !cell)
+    tbl;
+  for node = 0 to n - 1 do
+    let lo = off.(node) and hi = off.(node + 1) in
+    if hi - lo > 1 then begin
+      let row = Array.sub tgt lo (hi - lo) in
+      Array.sort compare row;
+      Array.blit row 0 tgt lo (hi - lo)
+    end
+  done;
+  { off; tgt }
+
+let empty_rows = { off = [||]; tgt = [||] }
+
+let freeze t =
+  if t.csr = None then begin
+    let n_labels = Array.length t.label_counts in
+    let slot_of_label = Array.make n_labels (-1) in
+    let used = ref [] in
+    for label = n_labels - 1 downto 0 do
+      if t.label_counts.(label) > 0 then used := label :: !used
+    done;
+    let label_of_slot = Array.of_list !used in
+    Array.iteri (fun slot label -> slot_of_label.(label) <- slot) label_of_slot;
+    let side arr =
+      Array.map
+        (fun label ->
+          match arr.(label) with Some tbl -> csr_rows_of t tbl | None -> empty_rows)
+        label_of_slot
+    in
+    t.csr <- Some { slot_of_label; label_of_slot; fwd = side t.adj_out; bwd = side t.adj_in }
+  end
+
+let unfreeze t = t.csr <- None
+let frozen t = t.csr <> None
+
+let csr_bytes t =
+  match t.csr with
+  | None -> 0
+  | Some c ->
+    let side rows =
+      Array.fold_left
+        (fun acc r -> acc + (Sys.word_size / 8 * (Array.length r.off + Array.length r.tgt)))
+        0 rows
+    in
+    side c.fwd + side c.bwd
+    + (Sys.word_size / 8 * (Array.length c.slot_of_label + Array.length c.label_of_slot))
+
+let slot_rows c label dir =
+  if label < 0 || label >= Array.length c.slot_of_label then None
+  else
+    let slot = c.slot_of_label.(label) in
+    if slot < 0 then None
+    else Some (match dir with Out -> c.fwd.(slot) | In -> c.bwd.(slot) | Both -> assert false)
+
+let iter_row rows n f =
+  if n + 1 < Array.length rows.off then
+    for i = rows.off.(n) to rows.off.(n + 1) - 1 do
+      f rows.tgt.(i)
+    done
+
+let row_length rows n =
+  if n + 1 < Array.length rows.off then rows.off.(n + 1) - rows.off.(n) else 0
+
+(* --- lookups (CSR when frozen, hashtables otherwise) ------------------ *)
+
 let adjacent arr label oid =
   if label < 0 || label >= Array.length arr then []
   else
@@ -113,56 +219,141 @@ let adjacent arr label oid =
     | None -> []
     | Some tbl -> ( match Hashtbl.find_opt tbl oid with Some cell -> !cell | None -> [])
 
-let neighbors t n label dir =
+let csr_iter_neighbors c n label dir f =
+  let one dir =
+    match slot_rows c label dir with None -> () | Some rows -> iter_row rows n f
+  in
   match dir with
-  | Out -> adjacent t.adj_out label n
-  | In -> adjacent t.adj_in label n
-  | Both -> adjacent t.adj_out label n @ adjacent t.adj_in label n
+  | Both ->
+    one Out;
+    one In
+  | d -> one d
 
 let iter_neighbors t n label dir f =
-  match dir with
-  | Out -> List.iter f (adjacent t.adj_out label n)
-  | In -> List.iter f (adjacent t.adj_in label n)
-  | Both ->
-    List.iter f (adjacent t.adj_out label n);
-    List.iter f (adjacent t.adj_in label n)
+  match t.csr with
+  | Some c -> csr_iter_neighbors c n label dir f
+  | None -> (
+    match dir with
+    | Out -> List.iter f (adjacent t.adj_out label n)
+    | In -> List.iter f (adjacent t.adj_in label n)
+    | Both ->
+      List.iter f (adjacent t.adj_out label n);
+      List.iter f (adjacent t.adj_in label n))
+
+let neighbors t n label dir =
+  match t.csr with
+  | None -> (
+    match dir with
+    | Out -> adjacent t.adj_out label n
+    | In -> adjacent t.adj_in label n
+    | Both -> adjacent t.adj_out label n @ adjacent t.adj_in label n)
+  | Some c ->
+    let acc = ref [] in
+    csr_iter_neighbors c n label dir (fun m -> acc := m :: !acc);
+    List.rev !acc
+
+(* One direction, every label: on the frozen index this is a slot-major
+   sweep of per-label ranges (the merged range scan of Any_dir). *)
+let iter_neighbors_all_labels t n dir f =
+  let dirs = match dir with Out -> [ Out ] | In -> [ In ] | Both -> [ Out; In ] in
+  match t.csr with
+  | Some c ->
+    List.iter
+      (fun d ->
+        let side = match d with Out -> c.fwd | In -> c.bwd | Both -> assert false in
+        Array.iter (fun rows -> iter_row rows n f) side)
+      dirs
+  | None ->
+    List.iter
+      (fun d ->
+        let arr = match d with Out -> t.adj_out | In -> t.adj_in | Both -> assert false in
+        Array.iter
+          (fun tbl ->
+            match tbl with
+            | None -> ()
+            | Some tbl -> (
+              match Hashtbl.find_opt tbl n with
+              | Some cell -> List.iter f !cell
+              | None -> ()))
+          arr)
+      dirs
+
+(* A restricted label set (the RELAX sub-property closure): merged scan of
+   the labels' ranges, in the order given. *)
+let iter_neighbors_labels t n labels dir f =
+  Array.iter (fun label -> iter_neighbors t n label dir f) labels
 
 let iter_neighbors_any t n f =
-  let visit arr =
-    Array.iteri
-      (fun _label tbl ->
-        match tbl with
+  iter_neighbors_all_labels t n Out f;
+  iter_neighbors_all_labels t n In f
+
+let row_mem rows n dst =
+  (* bisect the sorted row *)
+  let lo = ref rows.off.(n) and hi = ref rows.off.(n + 1) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = rows.tgt.(mid) in
+    if v = dst then found := true else if v < dst then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let mem_edge t src label dst =
+  match t.csr with
+  | Some c -> (
+    match slot_rows c label Out with
+    | Some rows when src + 1 < Array.length rows.off -> row_mem rows src dst
+    | _ -> false)
+  | None -> List.exists (fun v -> v = dst) (adjacent t.adj_out label src)
+
+let has_adjacent t n label dir =
+  match t.csr with
+  | Some c -> (
+    match dir with
+    | Both ->
+      (match slot_rows c label Out with Some r -> row_length r n > 0 | None -> false)
+      || (match slot_rows c label In with Some r -> row_length r n > 0 | None -> false)
+    | d -> ( match slot_rows c label d with Some r -> row_length r n > 0 | None -> false))
+  | None -> (
+    match dir with
+    | Out -> adjacent t.adj_out label n <> []
+    | In -> adjacent t.adj_in label n <> []
+    | Both -> adjacent t.adj_out label n <> [] || adjacent t.adj_in label n <> [])
+
+let keys_of t arr rows_of label =
+  Oid_set.of_iter (fun add ->
+      match t.csr with
+      | Some c -> (
+        match rows_of c label with
         | None -> ()
-        | Some tbl -> (
-          match Hashtbl.find_opt tbl n with
-          | Some cell -> List.iter f !cell
-          | None -> ()))
-      arr
-  in
-  visit t.adj_out;
-  visit t.adj_in
+        | Some rows ->
+          for n = 0 to t.node_count - 1 do
+            if row_length rows n > 0 then add n
+          done)
+      | None ->
+        if label >= 0 && label < Array.length arr then begin
+          match arr.(label) with
+          | None -> ()
+          | Some tbl -> Hashtbl.iter (fun oid cell -> if !cell <> [] then add oid) tbl
+        end)
 
-let mem_edge t src label dst = List.exists (fun v -> v = dst) (adjacent t.adj_out label src)
-
-let keys_of arr label =
-  let set = Oid_set.create () in
-  if label >= 0 && label < Array.length arr then begin
-    match arr.(label) with
-    | None -> ()
-    | Some tbl -> Hashtbl.iter (fun oid _ -> Oid_set.add set oid) tbl
-  end;
-  set
-
-let tails_by_label t label = keys_of t.adj_out label
-let heads_by_label t label = keys_of t.adj_in label
+let tails_by_label t label = keys_of t t.adj_out (fun c l -> slot_rows c l Out) label
+let heads_by_label t label = keys_of t t.adj_in (fun c l -> slot_rows c l In) label
 
 let tails_and_heads t label =
   let set = tails_by_label t label in
   Oid_set.union_into set (heads_by_label t label);
   set
 
-let out_degree t n label = List.length (adjacent t.adj_out label n)
-let in_degree t n label = List.length (adjacent t.adj_in label n)
+let out_degree t n label =
+  match t.csr with
+  | Some c -> ( match slot_rows c label Out with Some r -> row_length r n | None -> 0)
+  | None -> List.length (adjacent t.adj_out label n)
+
+let in_degree t n label =
+  match t.csr with
+  | Some c -> ( match slot_rows c label In with Some r -> row_length r n | None -> 0)
+  | None -> List.length (adjacent t.adj_in label n)
 
 let iter_nodes t f =
   for oid = 0 to t.node_count - 1 do

@@ -14,7 +14,16 @@
       [Heads], [Tails] and [TailsAndHeads] that Omega uses (§3.1).
 
     Oids are dense integers allocated from 0, so client code can use arrays
-    and {!Oid_set} bitmaps keyed by oid. *)
+    and {!Oid_set} bitmaps keyed by oid.
+
+    The store has two phases.  During the {e build} phase, adjacency lives in
+    per-label hashtables and every construction function is available.
+    {!freeze} then distils the adjacency into a compressed sparse row (CSR)
+    index — per used label and direction, an offsets/targets int-array pair
+    with each node's row sorted ascending — and every traversal function
+    becomes a zero-allocation range scan over it.  Mutating a frozen graph is
+    allowed: it simply drops the index (queries fall back to the hashtables)
+    until {!freeze} is called again. *)
 
 type t
 
@@ -43,6 +52,25 @@ val add_edge : t -> int -> int -> int -> unit
 val add_edge_s : t -> int -> string -> int -> unit
 (** [add_edge_s g src label dst] interns [label] and adds the edge. *)
 
+(** {1 Freezing}
+
+    Call {!freeze} once the graph is loaded, before running queries: the
+    engine's hot path ([Succ]'s neighbour scans) is allocation-free only on
+    the frozen index. *)
+
+val freeze : t -> unit
+(** Build the CSR index from the current adjacency.  Idempotent; invalidated
+    automatically by {!add_node}/{!add_edge}. *)
+
+val unfreeze : t -> unit
+(** Drop the CSR index, reverting traversals to the hashtable path (used by
+    benchmarks and tests to compare both). *)
+
+val frozen : t -> bool
+
+val csr_bytes : t -> int
+(** Heap footprint of the CSR index in bytes, 0 when not frozen. *)
+
 (** {1 Lookup} *)
 
 val find_node : t -> string -> int option
@@ -66,10 +94,13 @@ val mem_edge : t -> int -> int -> int -> bool
 
 val neighbors : t -> int -> int -> dir -> int list
 (** [neighbors g n label dir]: nodes connected to [n] by a [label] edge in
-    the given direction.  [Both] concatenates outgoing then incoming. *)
+    the given direction.  [Both] concatenates outgoing then incoming.  On a
+    frozen graph each direction comes out in ascending oid order; prefer
+    {!iter_neighbors}, which allocates nothing. *)
 
 val iter_neighbors : t -> int -> int -> dir -> (int -> unit) -> unit
-(** Allocation-free variant of {!neighbors}. *)
+(** Allocation-free variant of {!neighbors}: a single offset-range scan on a
+    frozen graph. *)
 
 val iter_neighbors_any : t -> int -> (int -> unit) -> unit
 (** All neighbours of [n] over every label, both directions — the retrieval
@@ -77,6 +108,20 @@ val iter_neighbors_any : t -> int -> (int -> unit) -> unit
     [Neighbors] over the generic ['edge'] type plus [type], in both
     directions).  Nodes reachable via several labels are visited once per
     connecting edge. *)
+
+val iter_neighbors_all_labels : t -> int -> dir -> (int -> unit) -> unit
+(** Neighbours of [n] under {e every} label in one direction (the APPROX
+    [Any_dir] transition): on a frozen graph, a merged scan of the per-label
+    ranges. *)
+
+val iter_neighbors_labels : t -> int -> int array -> dir -> (int -> unit) -> unit
+(** Neighbours of [n] under a restricted label set (the RELAX sub-property
+    closure), visiting the labels' ranges in the order given. *)
+
+val has_adjacent : t -> int -> int -> dir -> bool
+(** [has_adjacent g n label dir]: whether [n] carries at least one [label]
+    edge in the given direction — O(1) on a frozen graph.  Seeding uses this
+    to enumerate start nodes without materialising oid sets. *)
 
 val tails_by_label : t -> int -> Oid_set.t
 (** Sources of all edges carrying [label] (Sparksee [Tails]). *)

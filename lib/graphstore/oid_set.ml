@@ -66,6 +66,11 @@ let to_list t =
 
 let union_into dst src = iter src (fun oid -> add dst oid)
 
+let of_iter producer =
+  let t = create () in
+  producer (add t);
+  t
+
 let clear t =
   Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
   t.cardinal <- 0

@@ -36,4 +36,8 @@ val to_list : t -> int list
 val union_into : t -> t -> unit
 (** [union_into dst src] adds all members of [src] to [dst]. *)
 
+val of_iter : ((int -> unit) -> unit) -> t
+(** [of_iter producer] collects every oid [producer] feeds to its callback —
+    the bridge from the graph store's iterator API to a set. *)
+
 val clear : t -> unit

@@ -56,6 +56,9 @@ let fixture () =
   Ontology.add_subclass k "University" "Institution";
   Ontology.add_domain k "gradFrom" "Person";
   Ontology.add_range k "gradFrom" "Institution";
+  (* the integration tests run on the frozen CSR index, like production
+     loads; test_engine_properties keeps exercising the unfrozen path *)
+  Graph.freeze g;
   (g, k)
 
 let run ?options ?limit g k s =
@@ -393,6 +396,109 @@ let test_stats_populated () =
   check Alcotest.bool "pops counted" true (o.Engine.stats.Core.Exec_stats.pops > 0);
   check Alcotest.int "answers counted" 1 o.Engine.stats.Core.Exec_stats.answers
 
+(* --- unknown object constants --------------------------------------------- *)
+
+module R = Rpq_regex.Regex
+module Evaluator = Core.Evaluator
+
+let drain ev =
+  let rec loop acc =
+    match Evaluator.next ev with Some a -> loop (a :: acc) | None -> List.rev acc
+  in
+  loop []
+
+(* Regression: a conjunct whose object constant names no node used to get a
+   [-1] target annotation while keeping its seeds, so the whole reachable
+   product was explored for an answer that can never exist (oids are dense
+   non-negative ints, so the sentinel cannot collide with a real node).  It
+   must terminate immediately — zero seeds, zero D_R pushes — under every
+   evaluation strategy and flexible mode. *)
+let test_unknown_object_terminates () =
+  let g, k = fixture () in
+  let regex = R.alt (R.lbl "gradFrom") (R.lbl "marriedTo") in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun options ->
+          let conjunct = Q.conjunct ~mode (Q.Const "alice") regex (Q.Const "nowhere") in
+          let ev = Evaluator.create ~graph:g ~ontology:k ~options conjunct in
+          check Alcotest.int "no answers" 0 (List.length (drain ev));
+          let s = Evaluator.stats ev in
+          check Alcotest.int "no seeds" 0 s.Core.Exec_stats.seeds;
+          check Alcotest.int "no pushes" 0 s.Core.Exec_stats.pushes)
+        [
+          Options.default;
+          { Options.default with Options.distance_aware = true };
+          { Options.default with Options.decompose = true };
+        ])
+    [ Q.Exact; Q.Approx; Q.Relax ]
+
+let test_unknown_object_in_queries () =
+  let g, k = fixture () in
+  (* anchored join: the ghost anchor kills the whole query *)
+  let o = run g k "(?X) <- (alice, gradFrom, nowhere), (alice, marriedTo, ?X)" in
+  check Alcotest.int "ghost anchor kills the join" 0 (List.length o.Engine.answers);
+  (* case-2 rewrite: the ghost object becomes an unknown subject constant *)
+  let o = run g k "(?X) <- (?X, gradFrom, nowhere)" in
+  check Alcotest.int "ghost object after reversal" 0 (List.length o.Engine.answers)
+
+(* --- level reordering under decomposition ---------------------------------- *)
+
+(* Decomposed evaluation re-runs the parts of a top-level alternation level
+   by level, reordering them at each level boundary by increasing answer
+   count of the previous level (§4.3).  Two disconnected families make the
+   reorder observable: the a-branch holds three exact answers, the b-branch
+   one, so parts open in syntactic order [a; b] at level 0 and must swap to
+   [b; a] at level 1 — the first edit-distance-1 emission has to come from
+   the b-chain. *)
+let test_decompose_reorders_parts () =
+  let g = Graph.create () in
+  let n = Graph.add_node g in
+  let a = Array.init 9 (fun i -> n (Printf.sprintf "a%d" i)) in
+  let b = Array.init 3 (fun i -> n (Printf.sprintf "b%d" i)) in
+  List.iter
+    (fun i ->
+      Graph.add_edge_s g a.((3 * i)) "a" a.((3 * i) + 1);
+      Graph.add_edge_s g a.((3 * i) + 1) "a" a.((3 * i) + 2))
+    [ 0; 1; 2 ];
+  Graph.add_edge_s g b.(0) "b" b.(1);
+  Graph.add_edge_s g b.(1) "b" b.(2);
+  Graph.freeze g;
+  let k = Ontology.create (Graph.interner g) in
+  let conjunct =
+    Q.conjunct ~mode:Q.Approx (Q.Var "X")
+      (R.alt (R.seq (R.lbl "a") (R.lbl "a")) (R.seq (R.lbl "b") (R.lbl "b")))
+      (Q.Var "Y")
+  in
+  let options = { Options.default with Options.decompose = true } in
+  let ev = Evaluator.create ~graph:g ~ontology:k ~options conjunct in
+  let answers = drain ev in
+  let in_family fam (ans : Core.Conjunct.answer) = Array.exists (fun o -> o = ans.x) fam in
+  let exact = List.filter (fun (ans : Core.Conjunct.answer) -> ans.dist = 0) answers in
+  check Alcotest.int "exact answers" 4 (List.length exact);
+  (match answers with
+  | first :: _ ->
+    check Alcotest.bool "level 0 runs the a-branch first (syntactic order)" true
+      (in_family a first)
+  | [] -> Alcotest.fail "expected answers");
+  (match List.find_opt (fun (ans : Core.Conjunct.answer) -> ans.dist = 1) answers with
+  | Some promoted ->
+    check Alcotest.bool "level 1 runs the b-branch first (fewest answers)" true
+      (in_family b promoted)
+  | None -> Alcotest.fail "expected distance-1 answers");
+  (* the promoted b-part drains completely before the a-part reopens: every
+     b-family answer of the level precedes every a-family one *)
+  let at_1 = List.filter (fun (ans : Core.Conjunct.answer) -> ans.dist = 1) answers in
+  check Alcotest.bool "some b-pairs at distance 1" true (List.exists (in_family b) at_1);
+  let rec b_prefix_then_a = function
+    | x :: rest when in_family b x -> b_prefix_then_a rest
+    | rest -> not (List.exists (in_family b) rest)
+  in
+  check Alcotest.bool "whole b-part drains first" true (b_prefix_then_a at_1);
+  (* every level boundary re-opened both parts: at least levels 0 and 1 *)
+  let s = Evaluator.stats ev in
+  check Alcotest.bool "level restarts recorded" true (s.Core.Exec_stats.restarts >= 4)
+
 let () =
   Alcotest.run "engine"
     [
@@ -442,11 +548,14 @@ let () =
           Alcotest.test_case "invalid query rejected" `Quick test_invalid_query_rejected;
           Alcotest.test_case "binding order follows head" `Quick test_binding_order_follows_head;
           Alcotest.test_case "stats populated" `Quick test_stats_populated;
+          Alcotest.test_case "unknown object terminates" `Quick test_unknown_object_terminates;
+          Alcotest.test_case "unknown object in queries" `Quick test_unknown_object_in_queries;
         ] );
       ( "optimisations",
         [
           Alcotest.test_case "distance-aware equivalence" `Quick test_distance_aware_same_answers;
           Alcotest.test_case "decomposition equivalence" `Quick test_decompose_same_answers;
+          Alcotest.test_case "decomposition reorders parts" `Quick test_decompose_reorders_parts;
           Alcotest.test_case "tuple budget aborts" `Quick test_budget_aborts;
         ] );
     ]

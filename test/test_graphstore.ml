@@ -179,6 +179,113 @@ let test_graph_bad_oid () =
   Alcotest.check_raises "bad oid" (Invalid_argument "Graph.node_label: unknown oid 99") (fun () ->
       ignore (Graph.node_label g 99))
 
+(* --- frozen (CSR) graphs -------------------------------------------- *)
+
+let test_freeze_lifecycle () =
+  let g, a, b, _ = small_graph () in
+  check Alcotest.bool "starts unfrozen" false (Graph.frozen g);
+  check Alcotest.int "no index, no bytes" 0 (Graph.csr_bytes g);
+  Graph.freeze g;
+  check Alcotest.bool "frozen" true (Graph.frozen g);
+  check Alcotest.bool "index has bytes" true (Graph.csr_bytes g > 0);
+  Graph.freeze g;
+  check Alcotest.bool "freeze is idempotent" true (Graph.frozen g);
+  ignore (Graph.add_node g "d");
+  check Alcotest.bool "add_node invalidates" false (Graph.frozen g);
+  Graph.freeze g;
+  Graph.add_edge_s g b "q" a;
+  check Alcotest.bool "add_edge invalidates" false (Graph.frozen g);
+  Graph.freeze g;
+  Graph.unfreeze g;
+  check Alcotest.bool "unfreeze" false (Graph.frozen g)
+
+(* The frozen twins of the hashtable-path adjacency tests: same answers,
+   served from packed sorted ranges. *)
+let test_frozen_adjacency () =
+  let g, a, b, c = small_graph () in
+  Graph.freeze g;
+  let p = Interner.intern (Graph.interner g) "p" in
+  check Alcotest.(list int) "out" [ b ] (Graph.neighbors g a p Graph.Out);
+  check Alcotest.(list int) "in" [ a ] (Graph.neighbors g b p Graph.In);
+  check Alcotest.(list int) "both" [ c; a ] (Graph.neighbors g b p Graph.Both);
+  check Alcotest.(list int) "none" [] (Graph.neighbors g c p Graph.Out);
+  check Alcotest.bool "mem" true (Graph.mem_edge g a p b);
+  check Alcotest.bool "not mem (reverse)" false (Graph.mem_edge g b p a);
+  check Alcotest.int "out degree" 1 (Graph.out_degree g a p);
+  check Alcotest.int "in degree" 1 (Graph.in_degree g c p);
+  check Alcotest.bool "has_adjacent out" true (Graph.has_adjacent g a p Graph.Out);
+  check Alcotest.bool "has_adjacent none" false (Graph.has_adjacent g c p Graph.Out);
+  check Alcotest.bool "has_adjacent in" true (Graph.has_adjacent g c p Graph.In);
+  check Alcotest.(list int) "tails p" [ a; b ] (Oid_set.to_list (Graph.tails_by_label g p));
+  check Alcotest.(list int) "heads p" [ b; c ] (Oid_set.to_list (Graph.heads_by_label g p));
+  check
+    Alcotest.(list int)
+    "tails-and-heads p" [ a; b; c ]
+    (Oid_set.to_list (Graph.tails_and_heads g p))
+
+let test_frozen_label_sweeps () =
+  let g, a, _, c = small_graph () in
+  Graph.freeze g;
+  let intern = Interner.intern (Graph.interner g) in
+  let collect f =
+    let acc = ref [] in
+    f (fun m -> acc := m :: !acc);
+    List.sort compare !acc
+  in
+  (* a: out p->b, out q->c, in type<-c *)
+  check Alcotest.int "any: all incident edges" 3
+    (List.length (collect (Graph.iter_neighbors_any g a)));
+  check Alcotest.int "all labels, out only" 2
+    (List.length (collect (Graph.iter_neighbors_all_labels g a Graph.Out)));
+  check Alcotest.(list int) "label subset" [ c ]
+    (collect (Graph.iter_neighbors_labels g a [| intern "q"; intern "type" |] Graph.Out));
+  (* a label the index never saw is simply empty *)
+  check Alcotest.(list int) "unused label" []
+    (collect (fun f -> Graph.iter_neighbors g a (intern "ghost") Graph.Out f))
+
+(* Property: freezing never changes any adjacency answer.  Every query the
+   store offers is taken both before and after [freeze] on random graphs
+   (list answers sorted: rows are packed in ascending order, hashtable
+   cells in insertion order). *)
+let frozen_matches_unfrozen =
+  QCheck2.Test.make ~name:"frozen CSR = hashtable adjacency" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 80) (triple (int_bound 14) (int_bound 3) (int_bound 14)))
+    (fun edges ->
+      let g = Graph.create () in
+      for i = 0 to 14 do
+        ignore (Graph.add_node g (Printf.sprintf "v%d" i))
+      done;
+      List.iter (fun (s, l, d) -> Graph.add_edge_s g s (Printf.sprintf "l%d" l) d) edges;
+      let labels =
+        List.init 4 (fun l -> Interner.intern (Graph.interner g) (Printf.sprintf "l%d" l))
+      in
+      let collect f =
+        let acc = ref [] in
+        f (fun m -> acc := m :: !acc);
+        List.sort compare !acc
+      in
+      let snapshot () =
+        List.map
+          (fun n ->
+            ( List.map
+                (fun l ->
+                  ( List.map (fun dir -> List.sort compare (Graph.neighbors g n l dir))
+                      [ Graph.Out; Graph.In; Graph.Both ],
+                    Graph.mem_edge g n l ((n + 1) mod 15),
+                    (Graph.out_degree g n l, Graph.in_degree g n l),
+                    (Graph.has_adjacent g n l Graph.Out, Graph.has_adjacent g n l Graph.In),
+                    (Oid_set.to_list (Graph.tails_by_label g l),
+                     Oid_set.to_list (Graph.heads_by_label g l)) ))
+                labels,
+              collect (Graph.iter_neighbors_any g n),
+              collect (Graph.iter_neighbors_all_labels g n Graph.Out),
+              collect (Graph.iter_neighbors_all_labels g n Graph.In) ))
+          (List.init 15 Fun.id)
+      in
+      let before = snapshot () in
+      Graph.freeze g;
+      before = snapshot ())
+
 (* Property: adjacency is symmetric — m is an Out-neighbour of n under l
    iff n is an In-neighbour of m under l, for random graphs. *)
 let graph_adjacency_symmetry =
@@ -224,5 +331,12 @@ let () =
           Alcotest.test_case "stats" `Quick test_graph_stats;
           Alcotest.test_case "bad oid" `Quick test_graph_bad_oid;
           QCheck_alcotest.to_alcotest graph_adjacency_symmetry;
+        ] );
+      ( "frozen graph",
+        [
+          Alcotest.test_case "freeze lifecycle" `Quick test_freeze_lifecycle;
+          Alcotest.test_case "frozen adjacency" `Quick test_frozen_adjacency;
+          Alcotest.test_case "frozen label sweeps" `Quick test_frozen_label_sweeps;
+          QCheck_alcotest.to_alcotest frozen_matches_unfrozen;
         ] );
     ]

@@ -1,0 +1,240 @@
+(* Differential tests: the engine (on a frozen, CSR-indexed graph) against
+   the brute-force product-Dijkstra oracle of [Oracle], on random ~30-node
+   graphs with a small class/property hierarchy.  The instances cover every
+   conjunct shape the engine distinguishes — variable and constant subjects
+   and objects (including unknown constants and repeated variables), exact /
+   APPROX / RELAX modes, and the distance-aware / decomposed / unbatched
+   evaluation strategies.
+
+   A second group checks the emission-order contract of [Evaluator.next]:
+   no (x, y) pair is ever emitted twice, and distances never decrease by
+   more than the level slack — 0 for plain evaluation, phi - 1 across the
+   level restarts of the distance-aware and decomposed strategies (answers
+   within one level can interleave across parts when operation costs are
+   heterogeneous). *)
+
+module Graph = Graphstore.Graph
+module Q = Core.Query
+module R = Rpq_regex.Regex
+
+let labels = [ "p"; "q"; "r"; "type" ]
+let n_classes = 3
+
+type instance = {
+  n_base : int; (* plain nodes n0 .. n{n_base-1}; class nodes C0..C2 follow *)
+  edges : (int * string * int) list;
+  types : (int * int) list; (* base node -> class index, as type edges *)
+  regex : R.t;
+  mode : Q.mode;
+  subj : [ `Var | `Node of int | `Ghost ];
+  obj : [ `Fresh | `Same | `Node of int | `Ghost ];
+}
+
+let gen_regex =
+  QCheck2.Gen.(
+    sized (fun size ->
+        let rec gen n =
+          if n <= 1 then
+            oneof
+              [
+                return (R.lbl "p"); return (R.lbl "q"); return (R.lbl "r");
+                return (R.inv "p"); return (R.inv "q"); return R.any;
+                return (R.lbl "type"); return (R.inv "type");
+              ]
+          else
+            oneof
+              [
+                map2 R.seq (gen (n / 2)) (gen (n / 2));
+                map2 R.alt (gen (n / 2)) (gen (n / 2));
+                map R.star (gen (n / 2));
+                map R.plus (gen (n / 2));
+              ]
+        in
+        gen (min size 8)))
+
+let gen_instance ~mode =
+  QCheck2.Gen.(
+    let* n_base = int_range 12 27 in
+    let n_total = n_base + n_classes in
+    let* edges =
+      list_size (int_range 10 60)
+        (triple (int_bound (n_total - 1))
+           (map (List.nth labels) (int_bound 3))
+           (int_bound (n_total - 1)))
+    in
+    let* types = list_size (int_range 0 8) (pair (int_bound (n_base - 1)) (int_bound (n_classes - 1))) in
+    let* regex = gen_regex in
+    let* subj =
+      frequency
+        [
+          (4, return `Var);
+          (3, map (fun i -> `Node i) (int_bound (n_total - 1)));
+          (1, return `Ghost);
+        ]
+    in
+    let* obj =
+      frequency
+        [
+          (4, return `Fresh);
+          (1, return `Same);
+          (2, map (fun i -> `Node i) (int_bound (n_total - 1)));
+          (1, return `Ghost);
+        ]
+    in
+    return { n_base; edges; types; regex; mode; subj; obj })
+
+let name_of inst i =
+  if i < inst.n_base then Printf.sprintf "n%d" i else Printf.sprintf "C%d" (i - inst.n_base)
+
+let build inst =
+  let g = Graph.create () in
+  for i = 0 to inst.n_base + n_classes - 1 do
+    ignore (Graph.add_node g (name_of inst i))
+  done;
+  List.iter (fun (s, l, d) -> Graph.add_edge_s g s l d) inst.edges;
+  List.iter (fun (n, c) -> Graph.add_edge_s g n "type" (inst.n_base + c)) inst.types;
+  let k = Ontology.create (Graph.interner g) in
+  Ontology.add_subclass k "C0" "C1";
+  Ontology.add_subclass k "C1" "C2";
+  Ontology.add_subproperty k "q" "p";
+  Ontology.add_subproperty k "p" "super";
+  Ontology.add_domain k "p" "C0";
+  Ontology.add_range k "p" "C1";
+  (* the engine side always runs on the frozen CSR index *)
+  Graph.freeze g;
+  (g, k)
+
+let conjunct_of inst =
+  let subj =
+    match inst.subj with
+    | `Var -> Q.Var "X"
+    | `Node i -> Q.Const (name_of inst i)
+    | `Ghost -> Q.Const "missing"
+  in
+  let obj =
+    match inst.obj with
+    | `Fresh -> Q.Var "Y"
+    | `Same -> Q.Var "X"
+    | `Node i -> Q.Const (name_of inst i)
+    | `Ghost -> Q.Const "absent"
+  in
+  Q.conjunct ~mode:inst.mode subj inst.regex obj
+
+(* --- engine = oracle --------------------------------------------------- *)
+
+let agree ?(options = Core.Options.default) inst =
+  let g, k = build inst in
+  let conjunct = conjunct_of inst in
+  let expected = Oracle.answers g k options conjunct in
+  let actual = Oracle.engine_stream g k options conjunct in
+  List.sort compare actual = expected
+
+let diff_prop name ~count ~mode options =
+  QCheck2.Test.make ~name ~count (gen_instance ~mode) (fun inst -> agree ?options inst)
+
+let exact_prop = diff_prop "frozen engine = oracle (exact)" ~count:60 ~mode:Q.Exact None
+let approx_prop = diff_prop "frozen engine = oracle (APPROX)" ~count:50 ~mode:Q.Approx None
+let relax_prop = diff_prop "frozen engine = oracle (RELAX)" ~count:50 ~mode:Q.Relax None
+
+let distance_aware = Some { Core.Options.default with Core.Options.distance_aware = true }
+
+let approx_da_prop =
+  diff_prop "distance-aware = oracle (APPROX)" ~count:35 ~mode:Q.Approx distance_aware
+
+let relax_da_prop =
+  diff_prop "distance-aware = oracle (RELAX)" ~count:25 ~mode:Q.Relax distance_aware
+
+let unbatched_prop =
+  diff_prop "unbatched seeding = oracle (exact)" ~count:25 ~mode:Q.Exact
+    (Some { Core.Options.default with Core.Options.batched_seeding = false })
+
+let decomposed_prop =
+  QCheck2.Test.make ~name:"decomposed = oracle (APPROX alternation)" ~count:35
+    (QCheck2.Gen.pair (gen_instance ~mode:Q.Approx) gen_regex)
+    (fun (inst, extra) ->
+      (* force a top-level alternation so decomposition actually kicks in *)
+      let inst = { inst with regex = R.Alt (inst.regex, extra) } in
+      agree ~options:{ Core.Options.default with Core.Options.decompose = true } inst)
+
+(* --- emission order ---------------------------------------------------- *)
+
+let hetero_costs =
+  { Core.Options.ins = 2; del = 2; sub = 4; beta = 2; gamma = 3 }
+
+(* No duplicate (x, y) pair in the whole stream, and distances never drop
+   below the running maximum by more than [slack]. *)
+let well_ordered options inst =
+  let g, k = build inst in
+  let conjunct = conjunct_of inst in
+  let stream = Oracle.engine_stream g k options conjunct in
+  let levelled =
+    options.Core.Options.distance_aware
+    || (options.Core.Options.decompose
+       && List.length (R.top_level_alternatives conjunct.Q.regex) > 1)
+  in
+  let slack = if levelled then Core.Options.phi options conjunct.Q.cmode - 1 else 0 in
+  let seen = Hashtbl.create 64 in
+  let hi = ref 0 in
+  List.for_all
+    (fun (x, y, d) ->
+      let fresh = not (Hashtbl.mem seen (x, y)) in
+      Hashtbl.replace seen (x, y) ();
+      let ordered = d >= !hi - slack in
+      if d > !hi then hi := d;
+      fresh && ordered)
+    stream
+
+let order_prop name ~count ~mode options =
+  QCheck2.Test.make ~name ~count (gen_instance ~mode) (well_ordered options)
+
+let plain_order_prop =
+  order_prop "plain emission: strict non-decreasing, no dup pairs (hetero APPROX)" ~count:30
+    ~mode:Q.Approx
+    { Core.Options.default with Core.Options.costs = hetero_costs }
+
+let da_order_prop =
+  order_prop "distance-aware emission: slack phi-1, no dup pairs (hetero APPROX)" ~count:30
+    ~mode:Q.Approx
+    { Core.Options.default with Core.Options.costs = hetero_costs; distance_aware = true }
+
+let da_relax_order_prop =
+  order_prop "distance-aware emission: slack phi-1, no dup pairs (hetero RELAX)" ~count:20
+    ~mode:Q.Relax
+    { Core.Options.default with Core.Options.costs = hetero_costs; distance_aware = true }
+
+let da_exact_order_prop =
+  order_prop "distance-aware emission: strict for exact (phi = 1)" ~count:20 ~mode:Q.Exact
+    { Core.Options.default with Core.Options.distance_aware = true }
+
+let decomposed_order_prop =
+  QCheck2.Test.make
+    ~name:"decomposed emission: slack phi-1, no dup pairs across level restarts" ~count:30
+    (QCheck2.Gen.pair (gen_instance ~mode:Q.Approx) gen_regex)
+    (fun (inst, extra) ->
+      let inst = { inst with regex = R.Alt (inst.regex, extra) } in
+      well_ordered
+        { Core.Options.default with Core.Options.costs = hetero_costs; decompose = true }
+        inst)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "engine = oracle",
+        [
+          QCheck_alcotest.to_alcotest exact_prop;
+          QCheck_alcotest.to_alcotest approx_prop;
+          QCheck_alcotest.to_alcotest relax_prop;
+          QCheck_alcotest.to_alcotest approx_da_prop;
+          QCheck_alcotest.to_alcotest relax_da_prop;
+          QCheck_alcotest.to_alcotest decomposed_prop;
+          QCheck_alcotest.to_alcotest unbatched_prop;
+        ] );
+      ( "emission order",
+        [
+          QCheck_alcotest.to_alcotest plain_order_prop;
+          QCheck_alcotest.to_alcotest da_order_prop;
+          QCheck_alcotest.to_alcotest da_relax_order_prop;
+          QCheck_alcotest.to_alcotest da_exact_order_prop;
+          QCheck_alcotest.to_alcotest decomposed_order_prop;
+        ] );
+    ]
