@@ -103,8 +103,21 @@ type measured = {
   time_ms : float; (* protocol time, averaged over post-warm-up runs *)
   count : int;
   histogram : (int * int) list; (* distance -> #answers *)
-  aborted : bool;
+  aborted : bool; (* tuple budget tripped: the paper's '?' (out-of-memory) cells *)
+  termination : Engine.termination; (* full reason, per run (budget/deadline/fault/...) *)
 }
+
+let aborted_of = function
+  | Engine.Exhausted { reason = Core.Governor.Tuple_budget; _ } -> true
+  | Engine.Completed | Engine.Exhausted _ -> false
+
+(* table cell marker: '?' = tuple budget (as in Fig. 10), 'T' = deadline,
+   'F' = injected fault; completion and answer-limit print normally *)
+let marker_of = function
+  | Engine.Completed | Engine.Exhausted { reason = Core.Governor.Answer_limit; _ } -> None
+  | Engine.Exhausted { reason = Core.Governor.Tuple_budget; _ } -> Some "?"
+  | Engine.Exhausted { reason = Core.Governor.Deadline; _ } -> Some "T"
+  | Engine.Exhausted { reason = Core.Governor.Fault _; _ } -> Some "F"
 
 let histogram_of answers =
   let h = Hashtbl.create 8 in
@@ -132,6 +145,7 @@ let measure_exact (g, k) qtext =
     count = List.length outcome.Engine.answers;
     histogram = histogram_of outcome.Engine.answers;
     aborted = outcome.Engine.aborted;
+    termination = outcome.Engine.termination;
   }
 
 (* APPROX/RELAX protocol: initialisation, then batches 1..10 of 10 answers;
@@ -144,24 +158,23 @@ let measure_flex (g, k) ~options qtext =
   let once () =
     let stream = Engine.open_query ~graph:g ~ontology:k ~options query in
     let answers = ref [] in
-    let aborted = ref false in
     let batch_times = ref [] in
-    (try
-       for _batch = 1 to 10 do
-         let (), t =
-           ms (fun () ->
-               for _ = 1 to 10 do
-                 match Engine.next stream with
-                 | Some a -> answers := a :: !answers
-                 | None -> ()
-               done)
-         in
-         batch_times := t :: !batch_times
-       done
-     with Options.Out_of_budget -> aborted := true);
-    (List.rev !answers, mean !batch_times, !aborted)
+    (* a tripped stream just yields [None]: the batch loop runs to its end
+       and [Engine.status] reports why the answers stopped *)
+    for _batch = 1 to 10 do
+      let (), t =
+        ms (fun () ->
+            for _ = 1 to 10 do
+              match Engine.next stream with
+              | Some a -> answers := a :: !answers
+              | None -> ()
+            done)
+      in
+      batch_times := t :: !batch_times
+    done;
+    (List.rev !answers, mean !batch_times, Engine.status stream)
   in
-  let answers, _, aborted = once () in
+  let answers, _, termination = once () in
   let batch_means =
     List.init !runs (fun _ ->
         let _, t, _ = once () in
@@ -171,7 +184,8 @@ let measure_flex (g, k) ~options qtext =
     time_ms = mean batch_means;
     count = List.length answers;
     histogram = histogram_of answers;
-    aborted;
+    aborted = aborted_of termination;
+    termination;
   }
 
 let yago_options (mode : Core.Query.mode) =
@@ -265,7 +279,9 @@ let time_table title note mode =
       List.iter
         (fun scale ->
           let m = l4_measure scale id mode in
-          if m.aborted then Printf.printf " %10s" "?" else Printf.printf " %10.2f" m.time_ms)
+          match marker_of m.termination with
+          | Some mark -> Printf.printf " %10s" mark
+          | None -> Printf.printf " %10.2f" m.time_ms)
         !scales;
       Printf.printf "\n%!")
     L4.stress_queries
@@ -326,7 +342,8 @@ let yago_measure id mode =
 
 let fig10 () =
   header "[FIG10] YAGO answer counts (paper Fig. 10)";
-  Printf.printf "'?' = aborted on tuple budget (%d tuples), the paper's out-of-memory case\n"
+  Printf.printf
+    "'?' = aborted on tuple budget (%d tuples), the paper's out-of-memory case ('T' deadline, 'F' fault)\n"
     !yago_budget;
   Printf.printf "%-4s %10s   %8s %-28s %8s %-28s\n" "Q" "Exact" "APPROX" "(top 100)" "RELAX"
     "(top 100)";
@@ -335,18 +352,23 @@ let fig10 () =
       let e = yago_measure id Core.Query.Exact in
       let a = yago_measure id Core.Query.Approx in
       let r = yago_measure id Core.Query.Relax in
-      let cell (m : measured) = if m.aborted then "?" else string_of_int m.count in
+      let cell (m : measured) =
+        match marker_of m.termination with Some mark -> mark | None -> string_of_int m.count
+      in
       Printf.printf "Q%-3d %10s   %8s %-28s %8s %-28s\n%!" id (cell e) (cell a)
         (pp_histogram a.histogram) (cell r) (pp_histogram r.histogram))
     Yago.stress_queries
 
 let fig11 () =
   header "[FIG11] YAGO execution times (paper Fig. 11)";
-  Printf.printf "%-4s %12s %12s %12s  (ms; '?' = budget abort)\n" "Q" "Exact" "APPROX" "RELAX";
+  Printf.printf "%-4s %12s %12s %12s  (ms; '?' = budget abort, 'T' deadline, 'F' fault)\n" "Q"
+    "Exact" "APPROX" "RELAX";
   List.iter
     (fun id ->
       let cell (m : measured) =
-        if m.aborted then Printf.sprintf "%12s" "?" else Printf.sprintf "%12.2f" m.time_ms
+        match marker_of m.termination with
+        | Some mark -> Printf.sprintf "%12s" mark
+        | None -> Printf.sprintf "%12.2f" m.time_ms
       in
       Printf.printf "Q%-3d %s %s %s\n%!" id
         (cell (yago_measure id Core.Query.Exact))

@@ -8,14 +8,21 @@
 
 open Cmdliner
 
-let load_dataset path =
-  match Ntriples.Nt.load path with
-  | graph, ontology ->
+let load_dataset ?(lenient = false) path =
+  match Ntriples.Nt.load_report ~lenient path with
+  | (graph, ontology), report ->
+    if report.Ntriples.Nt.malformed > 0 then begin
+      Printf.eprintf "%s: skipped %d malformed line(s) (kept %d triples):\n" path
+        report.Ntriples.Nt.malformed report.Ntriples.Nt.triples;
+      List.iter
+        (fun (msg, line) -> Printf.eprintf "  %s:%d: %s\n" path line msg)
+        report.Ntriples.Nt.errors
+    end;
     (* loading is over: freeze the store so queries run on the CSR index *)
     Graphstore.Graph.freeze graph;
     (graph, ontology)
   | exception Ntriples.Nt.Parse_error (msg, line) ->
-    Printf.eprintf "%s:%d: %s\n" path line msg;
+    Printf.eprintf "%s:%d: %s (rerun with --lenient to skip malformed lines)\n" path line msg;
     exit 2
   | exception Sys_error msg ->
     Printf.eprintf "%s\n" msg;
@@ -87,9 +94,15 @@ let generate_cmd =
 let data_arg =
   Arg.(required & opt (some string) None & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Triple file to load.")
 
+let lenient_arg =
+  Arg.(
+    value & flag
+    & info [ "lenient" ]
+        ~doc:"Skip malformed triple lines (reporting how many) instead of aborting the load.")
+
 let stats_cmd =
-  let run data =
-    let graph, ontology = load_dataset data in
+  let run data lenient =
+    let graph, ontology = load_dataset ~lenient data in
     Format.printf "graph: %a@." Graphstore.Graph.pp_stats (Graphstore.Graph.stats graph);
     let interner = Graphstore.Graph.interner graph in
     List.iter
@@ -105,7 +118,7 @@ let stats_cmd =
           (Ontology.property_hierarchy_stats ontology root))
       (Ontology.property_roots ontology)
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Print graph and ontology statistics.") Term.(const run $ data_arg)
+  Cmd.v (Cmd.info "stats" ~doc:"Print graph and ontology statistics.") Term.(const run $ data_arg $ lenient_arg)
 
 (* --- saturate ------------------------------------------------------- *)
 
@@ -122,8 +135,8 @@ let saturate_cmd =
   let no_domain_range =
     Arg.(value & flag & info [ "no-domain-range" ] ~doc:"Skip rdfs2/rdfs3 (domain/range).")
   in
-  let run data output no_subclass no_subproperty no_domain_range =
-    let graph, ontology = load_dataset data in
+  let run data lenient output no_subclass no_subproperty no_domain_range =
+    let graph, ontology = load_dataset ~lenient data in
     let before = Graphstore.Graph.n_edges graph in
     let stats =
       Rdfs.saturate ~subclass:(not no_subclass) ~subproperty:(not no_subproperty)
@@ -139,7 +152,7 @@ let saturate_cmd =
        ~doc:
          "Materialise the RDFS entailments (rdfs2/3/7/9) of a triple file into the data graph — \
           the space-hungry alternative to query-time RELAX.")
-    Term.(const run $ data_arg $ output $ no_subclass $ no_subproperty $ no_domain_range)
+    Term.(const run $ data_arg $ lenient_arg $ output $ no_subclass $ no_subproperty $ no_domain_range)
 
 (* --- query ---------------------------------------------------------- *)
 
@@ -156,10 +169,36 @@ let query_cmd =
   let decompose =
     Arg.(value & flag & info [ "decompose" ] ~doc:"Enable alternation-by-disjunction decomposition (§4.3).")
   in
-  let budget =
+  let max_tuples =
     Arg.(
       value & opt (some int) None
-      & info [ "budget" ] ~docv:"N" ~doc:"Abort after N tuples are queued (memory stand-in).")
+      & info [ "max-tuples"; "budget" ] ~docv:"N"
+          ~doc:
+            "Stop after N tuples have been queued (memory stand-in; cumulative over conjuncts, \
+             joins and distance-aware restarts).  Answers emitted so far are kept.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock deadline for the whole query.  On expiry the answers found so far are \
+             printed (a valid ranked prefix) and the exit code is 3.")
+  in
+  let max_answers =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-answers" ] ~docv:"N"
+          ~doc:"Stop cleanly after N answers (like $(b,--limit), but reported as a governor trip).")
+  in
+  let failpoints =
+    Arg.(
+      value & opt (some string) None
+      & info [ "failpoints" ] ~docv:"SPEC"
+          ~doc:
+            "Arm fault-injection points, e.g. $(b,scan=0.01,join=0.05#42) (point=probability, \
+             $(b,#seed) for determinism; points: scan, seed, join, onto).  Also read from \
+             \\$OMEGA_FAILPOINTS.  Injected faults terminate the query gracefully with exit code 5.")
   in
   let edit_cost =
     Arg.(value & opt int 1 & info [ "edit-cost" ] ~docv:"C" ~doc:"Cost of each APPROX edit operation.")
@@ -168,10 +207,18 @@ let query_cmd =
     Arg.(value & opt int 1 & info [ "relax-cost" ] ~docv:"C" ~doc:"Cost of each RELAX step.")
   in
   let show_stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution counters.") in
-  let run data query limit distance_aware decompose budget edit_cost relax_cost show_stats =
-    if show_stats then
-      Core.Exec_stats.now_ns := (fun () -> int_of_float (1e9 *. Unix.gettimeofday ()));
-    let graph, ontology = load_dataset data in
+  let run data lenient query limit distance_aware decompose max_tuples timeout_ms max_answers
+      failpoints edit_cost relax_cost show_stats =
+    let wall_ns () = int_of_float (1e9 *. Unix.gettimeofday ()) in
+    if show_stats then Core.Exec_stats.now_ns := wall_ns;
+    (* the governor's deadline needs a real clock; without one it never fires *)
+    if timeout_ms <> None then Core.Governor.now_ns := wall_ns;
+    let failpoints =
+      match failpoints with
+      | Some _ -> failpoints
+      | None -> Sys.getenv_opt Core.Failpoints.env_var
+    in
+    let graph, ontology = load_dataset ~lenient data in
     let options =
       {
         Core.Options.costs =
@@ -185,7 +232,10 @@ let query_cmd =
         batch_size = 100;
         distance_aware;
         decompose;
-        max_tuples = budget;
+        max_tuples;
+        timeout_ns = Option.map (fun ms -> ms * 1_000_000) timeout_ms;
+        max_answers;
+        failpoints;
         final_priority = true;
         batched_seeding = true;
       }
@@ -195,22 +245,36 @@ let query_cmd =
     | Error msg ->
       Printf.eprintf "query error: %s\n" msg;
       exit 2
+    | exception Invalid_argument msg ->
+      Printf.eprintf "query error: %s\n" msg;
+      exit 2
     | Ok outcome ->
       List.iteri
         (fun i a -> Format.printf "%3d. %a@." (i + 1) Core.Engine.pp_answer a)
         outcome.Core.Engine.answers;
-      if outcome.Core.Engine.aborted then
-        Format.printf "-- aborted: tuple budget exhausted (the paper's out-of-memory case)@.";
+      let exit_code =
+        match outcome.Core.Engine.termination with
+        | Core.Engine.Completed -> 0
+        | Core.Engine.Exhausted { reason; _ } -> (
+          Format.printf "-- partial: %a (the ranked prefix above is still correct)@."
+            Core.Governor.pp_termination outcome.Core.Engine.termination;
+          match reason with
+          | Core.Governor.Answer_limit -> 0
+          | Core.Governor.Deadline -> 3
+          | Core.Governor.Tuple_budget -> 4
+          | Core.Governor.Fault _ -> 5)
+      in
       Format.printf "%d answer(s) in %.2f ms@."
         (List.length outcome.Core.Engine.answers)
         (1000. *. (Unix.gettimeofday () -. t0));
-      if show_stats then Format.printf "stats: %a@." Core.Exec_stats.pp outcome.Core.Engine.stats
+      if show_stats then Format.printf "stats: %a@." Core.Exec_stats.pp outcome.Core.Engine.stats;
+      if exit_code <> 0 then exit exit_code
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a CRP query (with optional APPROX/RELAX conjuncts) against a triple file.")
     Term.(
-      const run $ data_arg $ query $ limit $ distance_aware $ decompose $ budget $ edit_cost
-      $ relax_cost $ show_stats)
+      const run $ data_arg $ lenient_arg $ query $ limit $ distance_aware $ decompose $ max_tuples
+      $ timeout_ms $ max_answers $ failpoints $ edit_cost $ relax_cost $ show_stats)
 
 let () =
   let doc = "flexible regular path queries over graph data (APPROX / RELAX)" in

@@ -57,8 +57,18 @@ let () =
   let options = { Core.Options.default with Core.Options.max_tuples = Some 400_000 } in
   let outcome = Core.Engine.run ~graph ~ontology ~options ~limit:100 wide in
   Format.printf "== Budgeted wide-open APPROX query@.";
-  Format.printf "aborted=%b with %d answers before the budget (the paper's '?')@." outcome.Core.Engine.aborted
-    (List.length outcome.Core.Engine.answers);
+  Format.printf "%d answers before the cut: %a (the paper's '?')@."
+    (List.length outcome.Core.Engine.answers)
+    Core.Governor.pp_termination outcome.Core.Engine.termination;
+
+  (* 3b. Deadlines work the same way: install a clock, set timeout_ns, and
+     the stream stops with a [Deadline] termination instead of raising. *)
+  Core.Governor.now_ns := (fun () -> int_of_float (1e9 *. Unix.gettimeofday ()));
+  let options = { Core.Options.default with Core.Options.timeout_ns = Some 20_000_000 } in
+  let outcome = Core.Engine.run ~graph ~ontology ~options ~limit:max_int wide in
+  Format.printf "20 ms deadline: %d answers, %a@."
+    (List.length outcome.Core.Engine.answers)
+    Core.Governor.pp_termination outcome.Core.Engine.termination;
 
   (* 4. Costs are configurable: make substitutions cheap and deletions
      expensive, and the ranking changes. *)

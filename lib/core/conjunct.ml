@@ -23,6 +23,7 @@ type t = {
   swap : bool; (* case 2: the conjunct was reversed *)
   stats : Exec_stats.t;
   ceiling : int option;
+  governor : Governor.t;
   mutable was_pruned : bool;
   opts : Options.t;
   (* The U-cache of §3.4 as a reusable buffer: consecutive transitions with
@@ -42,6 +43,7 @@ let automaton t = t.nfa
    reports (Fig. 5: RELAX answers at distances 1, 2, 3) show the relaxation
    cost is in fact accounted for, so we seed at the true cost. *)
 let relax_ancestor_seeds ~graph ~ontology ~beta oid =
+  Failpoints.check Failpoints.Ontology_lookup;
   let interner = Graph.interner graph in
   let label_id = Interner.intern interner (Graph.node_label graph oid) in
   if not (Ontology.is_class ontology label_id) then [ (oid, 0) ]
@@ -53,7 +55,10 @@ let relax_ancestor_seeds ~graph ~ontology ~beta oid =
         | None -> None)
       (Ontology.ancestors_by_specificity ontology label_id)
 
-let open_ ~graph ~ontology ~options ?ceiling ?suppress (conjunct : Query.conjunct) =
+let open_ ~graph ~ontology ~options ?governor ?ceiling ?suppress (conjunct : Query.conjunct) =
+  let governor =
+    match governor with Some g -> g | None -> Options.governor options
+  in
   (* Case 2: (?X, R, C) becomes (C, R-, ?X). *)
   let subj, regex, obj, swap =
     match (conjunct.subj, conjunct.obj) with
@@ -77,7 +82,7 @@ let open_ ~graph ~ontology ~options ?ceiling ?suppress (conjunct : Query.conjunc
       let batch_size =
         if options.Options.batched_seeding then options.Options.batch_size else max_int
       in
-      Seeder.of_initial_state ~graph ~nfa ~batch_size
+      Seeder.of_initial_state ~governor ~graph ~nfa ~batch_size ()
   in
   (* An unknown object constant can never be matched: oids are dense
      non-negative ints, so no tuple's node ever equals the [-1] sentinel.
@@ -107,6 +112,7 @@ let open_ ~graph ~ontology ~options ?ceiling ?suppress (conjunct : Query.conjunc
     swap;
     stats = Exec_stats.create ();
     ceiling;
+    governor;
     was_pruned = false;
     opts = options;
     ubuf = Array.make 64 0;
@@ -138,6 +144,7 @@ let ubuf_push t m =
   t.ulen <- t.ulen + 1
 
 let fill_ucache t n lbl =
+  Failpoints.check Failpoints.Graph_scan;
   t.ulen <- 0;
   let t0 = !Exec_stats.now_ns () in
   iter_neighbours_by_edge t n lbl (fun m -> ubuf_push t m);
@@ -181,15 +188,22 @@ let push t ~dist ~final tup =
     Dr_queue.push t.dr ~dist ~final:(final && t.opts.Options.final_priority) tup;
     t.stats.pushes <- t.stats.pushes + 1;
     if Dr_queue.size t.dr > t.stats.peak_queue then t.stats.peak_queue <- Dr_queue.size t.dr;
-    (match t.opts.Options.max_tuples with
-    | Some budget when t.stats.pushes > budget -> raise Options.Out_of_budget
-    | _ -> ())
+    (* The governor owns the tuple budget (cumulative across conjuncts and
+       restarts); past the ceiling it trips and the GetNext loop unwinds at
+       its next poll — no exception crosses the streaming surface. *)
+    Governor.tick_tuple t.governor
 
 let refill_if_needed t =
   (* Coroutine seeding (GetNext lines 14–17), performed before popping so
      that distance-0 seeds always enter D_R ahead of higher-distance pops,
-     preserving the non-decreasing answer order. *)
-  while (not (Seeder.exhausted t.seeder)) && not (Dr_queue.has_at t.dr 0) do
+     preserving the non-decreasing answer order.  The poll also breaks the
+     loop when the governor trips mid-seeding (the seeder then keeps
+     returning short batches without finishing). *)
+  while
+    Governor.poll t.governor
+    && (not (Seeder.exhausted t.seeder))
+    && not (Dr_queue.has_at t.dr 0)
+  do
     let batch = Seeder.next_batch t.seeder in
     if batch <> [] then begin
       t.stats.batches <- t.stats.batches + 1;
@@ -216,6 +230,8 @@ let record_answer t tup dist =
   if t.swap then { x = tup.n; y = tup.v; dist } else { x = tup.v; y = tup.n; dist }
 
 let rec get_next t =
+  if not (Governor.poll t.governor) then None
+  else begin
   refill_if_needed t;
   match Dr_queue.pop t.dr with
   | None -> None (* seeder exhausted too, or everything pruned *)
@@ -237,3 +253,4 @@ let rec get_next t =
       | _ -> ()
     end;
     get_next t
+  end

@@ -38,11 +38,17 @@ val open_ :
   graph:Graphstore.Graph.t ->
   ontology:Ontology.t ->
   options:Options.t ->
+  ?governor:Governor.t ->
   ?ceiling:int ->
   ?suppress:(int * int, int) Hashtbl.t ->
   Query.conjunct ->
   t
 (** Build the conjunct's automaton and initialise its data structures.
+
+    [governor] is the query's budget (default: a fresh one implementing the
+    options' limits): every [D_R] push ticks its tuple budget, and the
+    GetNext/seeding loops poll it — a shared governor makes the budget
+    cumulative across conjuncts and distance-aware restarts.
 
     [ceiling] is the ψ bound of distance-aware retrieval: tuples with
     distance above it are pruned (and recorded, see {!pruned}).
@@ -53,8 +59,12 @@ val open_ :
 
 val get_next : t -> answer option
 (** The next answer in non-decreasing distance order, or [None] when the
-    conjunct is exhausted.
-    @raise Options.Out_of_budget when [options.max_tuples] is exceeded. *)
+    conjunct is exhausted {e or its governor has tripped} (budget, deadline
+    or cancellation) — read [Governor.termination] to tell the cases apart;
+    the answers already returned are a valid ranked prefix either way.
+    Never raises [Options.Out_of_budget].
+    @raise Failpoints.Injected when an armed failpoint fires mid-pull
+    (converted to a [Fault] termination by [Engine.next]). *)
 
 val stats : t -> Exec_stats.t
 

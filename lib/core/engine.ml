@@ -2,7 +2,16 @@ module Graph = Graphstore.Graph
 
 type answer = { bindings : (string * string) list; distance : int }
 
-type outcome = { answers : answer list; aborted : bool; stats : Exec_stats.t }
+type termination = Governor.termination =
+  | Completed
+  | Exhausted of { reason : Governor.reason; elapsed_ns : int; tuples : int; answers : int }
+
+type outcome = {
+  answers : answer list;
+  termination : termination;
+  aborted : bool;
+  stats : Exec_stats.t;
+}
 
 let pp_answer ppf a =
   Format.fprintf ppf "dist=%d %s" a.distance
@@ -14,6 +23,7 @@ type stream = {
   evaluators : Evaluator.t list;
   pull : unit -> (Ranked_join.binding * int) option;
   projected : (string list, unit) Hashtbl.t; (* dedup of projected bindings *)
+  governor : Governor.t;
 }
 
 (* A conjunct answer as a variable binding.  A conjunct with two constants
@@ -25,68 +35,99 @@ let binding_of_answer (c : Query.conjunct) (a : Conjunct.answer) =
   in
   Ranked_join.binding_of (of_term c.subj a.x @ of_term c.obj a.y)
 
-let open_query ~graph ~ontology ?(options = Options.default) (q : Query.t) =
+let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Query.t) =
   (match Query.validate q with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.open_query: " ^ msg));
-  let evaluators =
-    List.map (fun c -> (c, Evaluator.create ~graph ~ontology ~options c)) q.conjuncts
-  in
-  let stream_of (c, ev) () =
-    match Evaluator.next ev with
-    | Some a -> Some (binding_of_answer c a, a.Conjunct.dist)
-    | None -> None
-  in
-  let pull =
-    match evaluators with
-    | [ single ] -> stream_of single
-    | several ->
-      let join = Ranked_join.create (List.map stream_of several) in
-      fun () -> Ranked_join.next join
-  in
-  {
-    graph;
-    head = q.head;
-    evaluators = List.map snd evaluators;
-    pull;
-    projected = Hashtbl.create 64;
-  }
+  (match options.Options.failpoints with
+  | None -> ()
+  | Some spec -> (
+    match Failpoints.arm_spec spec with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Engine.open_query: " ^ msg)));
+  let governor = match governor with Some g -> g | None -> Options.governor options in
+  let closed = { graph; head = q.head; evaluators = []; pull = (fun () -> None);
+                 projected = Hashtbl.create 1; governor } in
+  (* Opening can itself hit a failpoint (e.g. the ontology lookups of RELAX
+     seeding): the stream is then born already tripped rather than raising
+     through the public surface. *)
+  match
+    let evaluators =
+      List.map (fun c -> (c, Evaluator.create ~graph ~ontology ~options ~governor c)) q.conjuncts
+    in
+    let stream_of (c, ev) () =
+      match Evaluator.next ev with
+      | Some a -> Some (binding_of_answer c a, a.Conjunct.dist)
+      | None -> None
+    in
+    let pull =
+      match evaluators with
+      | [ single ] -> stream_of single
+      | several ->
+        let join = Ranked_join.create ~governor (List.map stream_of several) in
+        fun () -> Ranked_join.next join
+    in
+    (List.map snd evaluators, pull)
+  with
+  | evaluators, pull ->
+    { closed with evaluators; pull; projected = Hashtbl.create 64 }
+  | exception Failpoints.Injected name ->
+    Governor.fault governor name;
+    closed
 
 let rec next st =
-  match st.pull () with
-  | None -> None
-  | Some (binding, distance) ->
-    let values =
-      List.map
-        (fun v ->
-          match List.assoc_opt v binding with
-          | Some oid -> Graph.node_label st.graph oid
-          | None -> assert false (* validate: head vars appear in the body *))
-        st.head
-    in
-    if Hashtbl.mem st.projected values then next st
-    else begin
-      Hashtbl.add st.projected values ();
-      Some { bindings = List.combine st.head values; distance }
-    end
+  if not (Governor.poll st.governor) then None
+  else
+    match st.pull () with
+    | exception Failpoints.Injected name ->
+      Governor.fault st.governor name;
+      None
+    | None -> None
+    | Some (binding, distance) ->
+      let values =
+        List.map
+          (fun v ->
+            match List.assoc_opt v binding with
+            | Some oid -> Graph.node_label st.graph oid
+            | None ->
+              Invariant.fail
+                "Engine.next: head variable ?%s is unbound in the joined binding (Query.validate \
+                 guarantees every head variable appears in the body)"
+                v)
+          st.head
+      in
+      if Hashtbl.mem st.projected values then next st
+      else begin
+        Hashtbl.add st.projected values ();
+        Governor.note_answer st.governor;
+        Some { bindings = List.combine st.head values; distance }
+      end
+
+let status st = Governor.termination st.governor
+let governor st = st.governor
 
 let stream_stats st =
   let acc = Exec_stats.create () in
   List.iter (fun ev -> Exec_stats.merge_into acc (Evaluator.stats ev)) st.evaluators;
   acc
 
-let run ~graph ~ontology ?options ?(limit = max_int) q =
-  let st = open_query ~graph ~ontology ?options q in
+let run ~graph ~ontology ?options ?limit q =
+  let options = match options with Some o -> o | None -> Options.default in
+  let governor = Options.governor ?limit options in
+  let st = open_query ~graph ~ontology ~options ~governor q in
   let rec collect acc k =
-    if k <= 0 then (List.rev acc, false)
+    if k <= 0 then List.rev acc
     else
-      match next st with
-      | Some a -> collect (a :: acc) (k - 1)
-      | None -> (List.rev acc, false)
-      | exception Options.Out_of_budget -> (List.rev acc, true)
+      match next st with Some a -> collect (a :: acc) (k - 1) | None -> List.rev acc
   in
-  let answers, aborted = collect [] limit in
-  { answers; aborted; stats = stream_stats st }
+  let answers = collect [] (Option.value limit ~default:max_int) in
+  let termination = status st in
+  let aborted =
+    match termination with
+    | Exhausted { reason = Governor.Tuple_budget; _ } -> true
+    | _ -> false
+  in
+  { answers; termination; aborted; stats = stream_stats st }
 
 let run_string ~graph ~ontology ?options ?limit s =
   match Query_parser.parse_result s with

@@ -8,7 +8,14 @@
 
     Answers stream in non-decreasing distance; {!run} materialises a prefix,
     which is how the performance study retrieves "the top 100 answers" in
-    batches of 10. *)
+    batches of 10.
+
+    Every evaluation runs under a {!Governor}: wall-clock deadline, tuple
+    ceiling, answer cap and cancellation all terminate the stream
+    cooperatively — {!next} simply returns [None] and {!status} reports the
+    structured reason.  Because emission order is non-decreasing in
+    distance, the answers produced before any trip are always a valid
+    ranked prefix of the full answer set. *)
 
 type answer = {
   bindings : (string * string) list;
@@ -16,11 +23,21 @@ type answer = {
   distance : int;  (** total edit/relaxation distance of the combination *)
 }
 
+type termination = Governor.termination =
+  | Completed
+      (** the stream ran to natural exhaustion: the answer set is complete *)
+  | Exhausted of { reason : Governor.reason; elapsed_ns : int; tuples : int; answers : int }
+      (** the governor tripped ([Tuple_budget] | [Deadline] | [Answer_limit]
+          | [Fault _]); the answers emitted before the trip are a valid
+          ranked prefix *)
+
 type outcome = {
   answers : answer list;  (** in non-decreasing distance *)
+  termination : termination;
   aborted : bool;
-      (** true when evaluation hit [options.max_tuples] (the stand-in for the
-          paper's memory exhaustion); [answers] holds what was produced *)
+      (** compatibility view of [termination]: true iff the tuple budget
+          ([options.max_tuples], the paper's memory stand-in) tripped;
+          prefer matching on [termination] *)
   stats : Exec_stats.t;  (** aggregated over all conjuncts *)
 }
 
@@ -33,12 +50,30 @@ val open_query :
   graph:Graphstore.Graph.t ->
   ontology:Ontology.t ->
   ?options:Options.t ->
+  ?governor:Governor.t ->
   Query.t ->
   stream
-(** @raise Invalid_argument if the query fails {!Query.validate}. *)
+(** [governor] defaults to a fresh [Options.governor options]; pass one
+    explicitly to share a budget across queries or to {!Governor.cancel}
+    from outside.  If [options.failpoints] is set, the spec is armed
+    (process-globally) before evaluation starts.
+    @raise Invalid_argument if the query fails {!Query.validate} or the
+    failpoint spec does not parse. *)
 
 val next : stream -> answer option
-(** @raise Options.Out_of_budget when the tuple budget is exceeded. *)
+(** The next answer, or [None] when the stream is exhausted {e or} its
+    governor tripped — call {!status} to tell the cases apart.  Never
+    raises [Options.Out_of_budget] (the pre-governor surface); injected
+    faults are converted to a [Fault] termination, not re-raised. *)
+
+val status : stream -> termination
+(** The stream's structured termination status so far: [Completed] while
+    nothing has tripped (including mid-stream — it only becomes meaningfully
+    "complete" once {!next} has returned [None]). *)
+
+val governor : stream -> Governor.t
+(** The stream's governor — poll it for live counters, or
+    {!Governor.cancel} it to stop the evaluation cooperatively. *)
 
 val stream_stats : stream -> Exec_stats.t
 
@@ -51,7 +86,10 @@ val run :
   outcome
 (** Evaluate, returning at most [limit] answers (default: all — beware of
     APPROX queries, whose answer sets can be the full node-pair space).
-    Budget exhaustion is reported through [aborted] rather than raised. *)
+    [limit] is enforced through the governor's answer cap, so reaching it
+    reports [Exhausted {reason = Answer_limit; _}] while [aborted] stays
+    false.  Budget exhaustion is reported through [termination]/[aborted],
+    never raised. *)
 
 val run_string :
   graph:Graphstore.Graph.t ->

@@ -16,6 +16,7 @@ type levelled = {
   graph : Graphstore.Graph.t;
   ontology : Ontology.t;
   options : Options.t;
+  governor : Governor.t;
   emitted : (int * int, int) Hashtbl.t;
   phi : int;
   mutable psi : int;
@@ -30,7 +31,8 @@ type levelled = {
 
 type t = Plain of Conjunct.t | Levelled of levelled
 
-let create ~graph ~ontology ~options (conjunct : Query.conjunct) =
+let create ~graph ~ontology ~options ?governor (conjunct : Query.conjunct) =
+  let governor = match governor with Some g -> g | None -> Options.governor options in
   let alternatives = Regex.top_level_alternatives conjunct.regex in
   let decomposed = options.Options.decompose && List.length alternatives > 1 in
   if decomposed || options.Options.distance_aware then begin
@@ -43,6 +45,7 @@ let create ~graph ~ontology ~options (conjunct : Query.conjunct) =
         graph;
         ontology;
         options;
+        governor;
         emitted = Hashtbl.create 64;
         phi = Options.phi options conjunct.cmode;
         psi = 0;
@@ -55,7 +58,7 @@ let create ~graph ~ontology ~options (conjunct : Query.conjunct) =
         stats = Exec_stats.create ();
       }
   end
-  else Plain (Conjunct.open_ ~graph ~ontology ~options conjunct)
+  else Plain (Conjunct.open_ ~graph ~ontology ~options ~governor conjunct)
 
 let finish_part lev eval part =
   Exec_stats.merge_into lev.stats (Conjunct.stats eval);
@@ -66,7 +69,11 @@ let finish_part lev eval part =
   lev.current_count <- 0
 
 let rec next_levelled lev =
-  if lev.exhausted then None
+  (* The restart loop's own governor poll: a tripped budget/deadline stops
+     the ψ escalation before the next part opens or the next level starts —
+     [exhausted] stays false, so the distinction between "complete" and
+     "cut off" is readable from the governor's termination. *)
+  if lev.exhausted || not (Governor.poll lev.governor) then None
   else
     match lev.current with
     | Some (eval, part) -> (
@@ -74,12 +81,13 @@ let rec next_levelled lev =
       | Some a ->
         lev.current_count <- lev.current_count + 1;
         Some a
+      | None when Governor.tripped lev.governor <> None ->
+        (* cut mid-part: do not treat the part as finished (its counts
+           would skew the reorder) — the top-of-function poll returns None *)
+        next_levelled lev
       | None ->
         finish_part lev eval part;
-        next_levelled lev
-      | exception Options.Out_of_budget ->
-        Exec_stats.merge_into lev.stats (Conjunct.stats eval);
-        raise Options.Out_of_budget)
+        next_levelled lev)
     | None -> (
       match lev.remaining with
       | part :: rest ->
@@ -87,7 +95,7 @@ let rec next_levelled lev =
         lev.current <-
           Some
             ( Conjunct.open_ ~graph:lev.graph ~ontology:lev.ontology ~options:lev.options
-                ~ceiling:lev.psi ~suppress:lev.emitted part,
+                ~governor:lev.governor ~ceiling:lev.psi ~suppress:lev.emitted part,
               part );
         next_levelled lev
       | [] ->

@@ -27,12 +27,21 @@ val create :
   graph:Graphstore.Graph.t ->
   ontology:Ontology.t ->
   options:Options.t ->
+  ?governor:Governor.t ->
   Query.conjunct ->
   t
+(** [governor] (default: a fresh one implementing the options' limits) is
+    shared by every conjunct run this evaluator opens, including
+    distance-aware/decomposed restarts — so the tuple budget is cumulative
+    across ψ levels, and a deadline or cancellation also stops the restart
+    loop itself. *)
 
 val next : t -> Conjunct.answer option
-(** Next answer, or [None] when exhausted.
-    @raise Options.Out_of_budget when the tuple budget is exceeded. *)
+(** Next answer, or [None] when exhausted or when the governor tripped
+    (read [Governor.termination] to tell which).  Never raises
+    [Options.Out_of_budget]; the answers already returned are a valid
+    ranked prefix either way.
+    @raise Failpoints.Injected when an armed failpoint fires mid-pull. *)
 
 val take : t -> int -> Conjunct.answer list
 (** [take t k]: up to [k] further answers. *)

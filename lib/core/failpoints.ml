@@ -1,0 +1,103 @@
+type point = Graph_scan | Seed_batch | Join_pull | Ontology_lookup
+
+exception Injected of string
+
+let all_points = [ Graph_scan; Seed_batch; Join_pull; Ontology_lookup ]
+
+let point_name = function
+  | Graph_scan -> "scan"
+  | Seed_batch -> "seed"
+  | Join_pull -> "join"
+  | Ontology_lookup -> "onto"
+
+let point_of_name = function
+  | "scan" -> Some Graph_scan
+  | "seed" -> Some Seed_batch
+  | "join" -> Some Join_pull
+  | "onto" -> Some Ontology_lookup
+  | _ -> None
+
+let index = function Graph_scan -> 0 | Seed_batch -> 1 | Join_pull -> 2 | Ontology_lookup -> 3
+let n_points = 4
+
+(* The whole mechanism funnels through one closure: disabled, it is the
+   constant no-op below, so an inactive failpoint costs one indirect call
+   with no branches, allocations or lookups behind it. *)
+let noop : point -> unit = fun _ -> ()
+let hook = ref noop
+
+(* splitmix64: a tiny deterministic PRNG so a chaos run is reproducible from
+   its seed alone, independently of any global Random state. *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let uniform state =
+  (* 53 high bits -> float in [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (splitmix state) 11) *. (1. /. 9007199254740992.)
+
+let arm ?(seed = 0) specs =
+  let prob = Array.make n_points 0. in
+  List.iter (fun (p, pr) -> prob.(index p) <- pr) specs;
+  let state = ref (Int64.of_int ((seed * 0x9E3779B1) lxor 0x5DEECE66D)) in
+  hook :=
+    fun p ->
+      let pr = Array.unsafe_get prob (index p) in
+      if pr > 0. && uniform state < pr then raise (Injected (point_name p))
+
+let disarm () = hook := noop
+
+let check p = !hook p
+
+(* Spec syntax: "point=prob,point=prob[#seed]", e.g. "scan=0.01,join=0.05#42".
+   A bare point name means probability 1 (fail on first hit). *)
+let parse spec =
+  let body, seed =
+    match String.index_opt spec '#' with
+    | None -> (spec, None)
+    | Some i -> (
+      let s = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt s with
+      | Some n -> (String.sub spec 0 i, Some n)
+      | None -> (spec, None))
+  in
+  match seed with
+  | None when String.contains spec '#' -> Error (Printf.sprintf "bad failpoint seed in %S" spec)
+  | _ ->
+    let parts = String.split_on_char ',' body |> List.map String.trim |> List.filter (( <> ) "") in
+    let rec build acc = function
+      | [] -> Ok (List.rev acc, seed)
+      | part :: rest -> (
+        let name, prob =
+          match String.index_opt part '=' with
+          | None -> (part, Some 1.)
+          | Some i ->
+            ( String.sub part 0 i,
+              float_of_string_opt (String.sub part (i + 1) (String.length part - i - 1)) )
+        in
+        match (point_of_name name, prob) with
+        | Some p, Some pr when pr >= 0. && pr <= 1. -> build ((p, pr) :: acc) rest
+        | None, _ ->
+          Error
+            (Printf.sprintf "unknown failpoint %S (expected one of %s)" name
+               (String.concat ", " (List.map point_name all_points)))
+        | _, _ -> Error (Printf.sprintf "bad failpoint probability in %S" part))
+    in
+    build [] parts
+
+let arm_spec spec =
+  match parse spec with
+  | Ok (points, seed) ->
+    arm ?seed points;
+    Ok ()
+  | Error _ as e -> e
+
+let env_var = "OMEGA_FAILPOINTS"
+
+let arm_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> Ok false
+  | Some spec -> ( match arm_spec spec with Ok () -> Ok true | Error _ as e -> e)

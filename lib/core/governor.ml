@@ -1,0 +1,90 @@
+type reason = Tuple_budget | Deadline | Answer_limit | Fault of string
+
+type termination =
+  | Completed
+  | Exhausted of { reason : reason; elapsed_ns : int; tuples : int; answers : int }
+
+(* Monotonic clock behind deadlines, mirroring [Exec_stats.now_ns]: the
+   default reads nothing, so a governor without a deadline (or a binary that
+   never installs a clock) pays no syscall anywhere on the hot path. *)
+let now_ns : (unit -> int) ref = ref (fun () -> 0)
+
+type t = {
+  mutable stop : reason option;
+  mutable tuples : int;
+  tuple_budget : int; (* max_int = unlimited *)
+  mutable answers : int;
+  answer_cap : int; (* max_int = uncapped *)
+  deadline : int; (* absolute ns; max_int = no deadline *)
+  start_ns : int;
+  mutable polls : int; (* amortises the clock read of deadline polling *)
+}
+
+let create ?timeout_ns ?max_tuples ?max_answers () =
+  let start_ns = !now_ns () in
+  {
+    stop = None;
+    tuples = 0;
+    tuple_budget = Option.value max_tuples ~default:max_int;
+    answers = 0;
+    answer_cap = Option.value max_answers ~default:max_int;
+    deadline = (match timeout_ns with None -> max_int | Some ns -> start_ns + ns);
+    start_ns;
+    polls = 0;
+  }
+
+let unlimited () = create ()
+
+let trip t reason = if t.stop = None then t.stop <- Some reason
+let fault t name = trip t (Fault name)
+let cancel ?(reason = "cancelled") t = trip t (Fault reason)
+let tripped t = t.stop
+
+(* The cooperative check of the hot loops: false means unwind now.  With no
+   deadline this is two compares; with one, the clock is read every 16th
+   poll so a tight loop pays at most 1/16th of a clock read per iteration. *)
+let poll t =
+  match t.stop with
+  | Some _ -> false
+  | None ->
+    t.deadline = max_int
+    ||
+    begin
+      t.polls <- t.polls + 1;
+      t.polls land 15 <> 0
+      || !now_ns () <= t.deadline
+      ||
+      (t.stop <- Some Deadline;
+       false)
+    end
+
+let tick_tuple t =
+  t.tuples <- t.tuples + 1;
+  if t.tuples > t.tuple_budget && t.stop = None then t.stop <- Some Tuple_budget
+
+let note_answer t =
+  t.answers <- t.answers + 1;
+  if t.answers >= t.answer_cap && t.stop = None then t.stop <- Some Answer_limit
+
+let tuples t = t.tuples
+let answers t = t.answers
+let elapsed_ns t = !now_ns () - t.start_ns
+
+let termination t =
+  match t.stop with
+  | None -> Completed
+  | Some reason ->
+    Exhausted { reason; elapsed_ns = elapsed_ns t; tuples = t.tuples; answers = t.answers }
+
+let reason_string = function
+  | Tuple_budget -> "tuple-budget"
+  | Deadline -> "deadline"
+  | Answer_limit -> "answer-limit"
+  | Fault name -> "fault:" ^ name
+
+let pp_termination ppf = function
+  | Completed -> Format.fprintf ppf "completed"
+  | Exhausted { reason; elapsed_ns; tuples; answers } ->
+    Format.fprintf ppf "exhausted (%s) after %d answer(s), %d tuple(s), %.2f ms"
+      (reason_string reason) answers tuples
+      (float_of_int elapsed_ns /. 1e6)

@@ -1,0 +1,82 @@
+(** The query governor: one per-query budget unifying the wall-clock
+    deadline, the tuple ceiling (the paper's 6 GB stand-in), the answer cap
+    and a cooperative cancellation token.
+
+    Every evaluation layer — [Conjunct] (Succ/GetNext), [Seeder] (batch
+    delivery), [Ranked_join] (pulls) and the restart loops of [Evaluator] —
+    polls the same governor cheaply and unwinds by returning [None] when it
+    has tripped; nothing raises across the public surface.  Because answers
+    stream in non-decreasing distance, whatever was emitted before the trip
+    is always a valid ranked prefix of the full answer set (the
+    prefix-correctness argument of DESIGN.md).
+
+    A governor trips at most once; the first cause wins and is reported
+    through {!termination}. *)
+
+type reason =
+  | Tuple_budget  (** [max_tuples] pushes exceeded — the memory stand-in *)
+  | Deadline  (** the wall-clock deadline passed *)
+  | Answer_limit  (** the answer cap was reached (the prefix is complete) *)
+  | Fault of string
+      (** an injected failpoint fired ({!Failpoints}), or {!cancel} was
+          called; the string names the cause *)
+
+type termination =
+  | Completed  (** the stream ran to natural exhaustion — the answer set is complete *)
+  | Exhausted of { reason : reason; elapsed_ns : int; tuples : int; answers : int }
+      (** the governor tripped; the answers emitted before the trip are a
+          valid ranked prefix.  [elapsed_ns] is 0 unless a clock is
+          installed in {!now_ns}. *)
+
+val now_ns : (unit -> int) ref
+(** The installable monotonic clock behind deadlines, mirroring
+    [Exec_stats.now_ns]: defaults to [fun () -> 0] (no syscall on the hot
+    path, deadlines never fire); binaries wanting wall-clock control install
+    a real nanosecond clock. *)
+
+type t
+
+val create : ?timeout_ns:int -> ?max_tuples:int -> ?max_answers:int -> unit -> t
+(** A fresh governor; omitted limits are unlimited.  [timeout_ns] is
+    relative to creation time (sampled from {!now_ns}). *)
+
+val unlimited : unit -> t
+
+val poll : t -> bool
+(** The cooperative check of the hot loops: [true] means keep going.  With
+    no deadline this is two compares; the deadline clock read is amortised
+    over 16 polls. *)
+
+val tick_tuple : t -> unit
+(** Count one tuple against the budget (a [D_R] push or a join-buffer
+    combination); trips [Tuple_budget] past the ceiling.  The count is
+    {e cumulative} across all conjuncts, join buffering and distance-aware
+    restarts of the query (see [Options.max_tuples]). *)
+
+val note_answer : t -> unit
+(** Count one emitted answer; trips [Answer_limit] at the cap. *)
+
+val cancel : ?reason:string -> t -> unit
+(** The cancellation token: trips [Fault reason] (default ["cancelled"]).
+    Safe to call from anywhere holding the governor; the evaluation unwinds
+    at its next poll. *)
+
+val fault : t -> string -> unit
+(** Trip [Fault name] — how injected failpoints terminate a query. *)
+
+val tripped : t -> reason option
+
+val termination : t -> termination
+(** The structured outcome so far: [Completed] while nothing has tripped. *)
+
+val tuples : t -> int
+
+val answers : t -> int
+
+val elapsed_ns : t -> int
+(** Nanoseconds since creation per {!now_ns} (0 without a clock). *)
+
+val reason_string : reason -> string
+(** ["tuple-budget"], ["deadline"], ["answer-limit"], ["fault:<name>"]. *)
+
+val pp_termination : Format.formatter -> termination -> unit

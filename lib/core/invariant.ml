@@ -1,0 +1,3 @@
+exception Broken of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Broken msg)) fmt

@@ -1,0 +1,13 @@
+(** Internal-invariant failures with diagnosable context.
+
+    Replaces bare [assert false] in places the code can prove unreachable
+    from its own invariants (e.g. "validated head variables appear in the
+    body", "a non-empty queue pops"): if a refactor or an injected fault
+    ever breaks one, the exception names the exact site and the values
+    involved, so a chaos-suite failure is a bug report rather than
+    [Assert_failure]. *)
+
+exception Broken of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Broken} with the formatted message. *)

@@ -6,6 +6,9 @@ type t = {
   distance_aware : bool;
   decompose : bool;
   max_tuples : int option;
+  timeout_ns : int option;
+  max_answers : int option;
+  failpoints : string option;
   final_priority : bool;
   batched_seeding : bool;
 }
@@ -21,9 +24,21 @@ let default =
     distance_aware = false;
     decompose = false;
     max_tuples = None;
+    timeout_ns = None;
+    max_answers = None;
+    failpoints = None;
     final_priority = true;
     batched_seeding = true;
   }
+
+let governor ?limit t =
+  let max_answers =
+    match (limit, t.max_answers) with
+    | None, cap -> cap
+    | Some l, None -> Some l
+    | Some l, Some cap -> Some (min l cap)
+  in
+  Governor.create ?timeout_ns:t.timeout_ns ?max_tuples:t.max_tuples ?max_answers ()
 
 let phi t (mode : Query.mode) =
   let pos x = if x > 0 then [ x ] else [] in

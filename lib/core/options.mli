@@ -21,9 +21,29 @@ type t = {
       (** §4.3 "replacing alternation by disjunction": split a top-level
           alternation into sub-automata, adaptively ordered *)
   max_tuples : int option;
-      (** abort (raising {!Out_of_budget}) once this many tuples have been
-          added to [D_R] — a deterministic stand-in for the paper's 6 GB
-          memory exhaustion ('?' entries of Fig. 10) *)
+      (** the governor's tuple ceiling: stop (reporting
+          [Governor.Tuple_budget]) once this many tuples have been queued —
+          a deterministic stand-in for the paper's 6 GB memory exhaustion
+          ('?' entries of Fig. 10).  The count is {e cumulative} over the
+          whole query: every [D_R] push of every conjunct, every join-buffer
+          combination, and {e every distance-aware restart} draw from the
+          same budget (a ψ-levelled evaluation does not get a fresh budget
+          per level — re-expansion work across restarts is real memory/time
+          and is billed as such; pinned by the "budget is cumulative across
+          distance-aware restarts" regression test) *)
+  timeout_ns : int option;
+      (** the governor's wall-clock deadline, relative to query open.
+          Requires a clock installed in [Governor.now_ns]; without one the
+          deadline never fires (documented no-op).  Answers emitted before
+          the deadline are a valid ranked prefix. *)
+  max_answers : int option;
+      (** the governor's answer cap: stop (reporting [Governor.Answer_limit])
+          once this many answers have been emitted.  [Engine.run]'s [limit]
+          argument lowers this further for the duration of the call. *)
+  failpoints : string option;
+      (** a [Failpoints.arm_spec] string armed (process-globally) when the
+          query opens, e.g. ["scan=0.01,join=0.05#42"] — the CLI/chaos-suite
+          hook; [None] leaves the current arming untouched *)
   final_priority : bool;
       (** ablation switch (default true): pop final tuples before non-final
           ones at equal distance.  The paper reports that this refinement
@@ -38,8 +58,21 @@ type t = {
           time of some queries by half", §3.3). *)
 }
 
-exception Out_of_budget
-(** Raised by conjunct evaluation when [max_tuples] is exceeded. *)
+exception
+  Out_of_budget
+  [@deprecated "no longer raised: budget exhaustion is reported through Governor.termination"]
+(** @deprecated The pre-governor surface: conjunct evaluation used to raise
+    this when [max_tuples] was exceeded, which leaked through [Engine.next]
+    while [Engine.run] folded it into a flag.  Nothing raises it any more —
+    every budget now trips the {!Governor} and the streams return [None];
+    read [Engine.status] / [outcome.termination] instead.  The declaration
+    is kept so that downstream [try ... with Options.Out_of_budget] compat
+    shims still compile. *)
+
+val governor : ?limit:int -> t -> Governor.t
+(** A fresh governor implementing these options' budgets ([max_tuples],
+    [timeout_ns], [max_answers]); [limit] caps answers further (the
+    smaller of the two wins). *)
 
 val default_costs : costs
 (** All five costs are 1, as in the performance study (§4.1). *)

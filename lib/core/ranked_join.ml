@@ -32,9 +32,10 @@ type t = {
   inputs : input array;
   buffer : (binding * int) Dr_queue.t; (* keyed by total distance *)
   emitted : (binding, unit) Hashtbl.t;
+  governor : Governor.t;
 }
 
-let create streams =
+let create ?(governor = Governor.unlimited ()) streams =
   if streams = [] then invalid_arg "Ranked_join.create: no streams";
   {
     inputs =
@@ -44,6 +45,7 @@ let create streams =
            streams);
     buffer = Dr_queue.create ();
     emitted = Hashtbl.create 64;
+    governor;
   }
 
 (* Lower bound on the total distance of any joined combination that uses at
@@ -83,6 +85,7 @@ let combinations t idx fresh fresh_dist =
   extend 0 fresh fresh_dist []
 
 let pull_one t idx =
+  Failpoints.check Failpoints.Join_pull;
   let input = t.inputs.(idx) in
   match input.pull () with
   | None -> input.exhausted <- true
@@ -91,7 +94,11 @@ let pull_one t idx =
     input.last <- max input.last d;
     (match input.top with Some top when top <= d -> () | _ -> input.top <- Some d);
     List.iter
-      (fun (binding, total) -> Dr_queue.push t.buffer ~dist:total ~final:false (binding, total))
+      (fun (binding, total) ->
+        Dr_queue.push t.buffer ~dist:total ~final:false (binding, total);
+        (* buffered join combinations are held in memory just like D_R
+           tuples, so they draw on the same governor budget *)
+        Governor.tick_tuple t.governor)
       (combinations t idx b d)
 
 let next_source t =
@@ -111,6 +118,8 @@ let next_source t =
   !best
 
 let rec next t =
+  if not (Governor.poll t.governor) then None
+  else
   let releasable =
     match Dr_queue.min_distance t.buffer with
     | Some d -> d <= threshold t
@@ -124,7 +133,12 @@ let rec next t =
         Hashtbl.add t.emitted binding ();
         Some (binding, total)
       end
-    | None -> assert false
+    | None ->
+      Invariant.fail
+        "Ranked_join.next: buffer reported min distance %d <= threshold %d but popped empty \
+         (%d input stream(s), %d binding(s) emitted)"
+        (Option.value (Dr_queue.min_distance t.buffer) ~default:(-1))
+        (threshold t) (Array.length t.inputs) (Hashtbl.length t.emitted)
   end
   else
     match next_source t with

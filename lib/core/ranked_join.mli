@@ -28,11 +28,17 @@ val merge : binding -> binding -> binding
 
 type t
 
-val create : (unit -> (binding * int) option) list -> t
+val create : ?governor:Governor.t -> (unit -> (binding * int) option) list -> t
 (** [create streams] — each stream must yield answers in non-decreasing
-    distance.  @raise Invalid_argument on the empty list. *)
+    distance.  The pull loop polls [governor] (default: unlimited) and
+    every buffered combination ticks its tuple budget, so the join's own
+    memory draws on the same per-query ceiling as the conjuncts' [D_R].
+    @raise Invalid_argument on the empty list. *)
 
 val next : t -> (binding * int) option
 (** Next joined binding with its total distance, in non-decreasing total
     order.  Identical bindings arising from different answer combinations
-    are emitted once, at their smallest total. *)
+    are emitted once, at their smallest total.  Returns [None] when the
+    inputs are exhausted {e or the governor tripped} (the emitted prefix
+    stays valid).
+    @raise Failpoints.Injected when the [Join_pull] failpoint fires. *)

@@ -8,6 +8,7 @@ type t = {
   batch_size : int;
   mutable fixed : (int * int) list option; (* Some: constant-subject seeds *)
   mutable finished : bool;
+  governor : Governor.t;
 }
 
 let of_list seeds =
@@ -17,6 +18,7 @@ let of_list seeds =
     batch_size = max_int;
     fixed = Some seeds;
     finished = false;
+    governor = Governor.unlimited ();
   }
 
 let all_nodes graph : int Seq.t = Seq.init (Graph.n_nodes graph) (fun oid -> oid)
@@ -40,7 +42,7 @@ let nodes_with_edge graph (lbl : Nfa.tlabel) : int Seq.t =
   | Nfa.Sub_closure (d, ls) -> Seq.concat_map (with_label (dir_of d)) (Array.to_seq ls)
   | Nfa.Type_to c -> List.to_seq (Graph.neighbors graph c (Graph.type_label graph) In)
 
-let of_initial_state ~graph ~nfa ~batch_size =
+let of_initial_state ?(governor = Governor.unlimited ()) ~graph ~nfa ~batch_size () =
   let s0 = Nfa.initial nfa in
   let by_start_labels =
     Seq.concat_map
@@ -59,9 +61,11 @@ let of_initial_state ~graph ~nfa ~batch_size =
     batch_size = max 1 batch_size;
     fixed = None;
     finished = false;
+    governor;
   }
 
 let next_batch t =
+  Failpoints.check Failpoints.Seed_batch;
   match t.fixed with
   | Some seeds ->
     t.fixed <- None;
@@ -72,7 +76,10 @@ let next_batch t =
     else begin
       let batch = ref [] and count = ref 0 in
       let rec pull seq =
-        if !count >= t.batch_size then t.candidates <- seq
+        (* Deliver a short batch when the governor trips mid-scan: the
+           remaining candidates stay queued, and the caller's own poll stops
+           it from asking again. *)
+        if !count >= t.batch_size || not (Governor.poll t.governor) then t.candidates <- seq
         else
           match seq () with
           | Seq.Nil ->

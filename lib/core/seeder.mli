@@ -27,12 +27,22 @@ val of_list : (int * int) list -> t
     [Open]).  Delivered as a single batch, in the given order. *)
 
 val of_initial_state :
-  graph:Graphstore.Graph.t -> nfa:Automaton.Nfa.t -> batch_size:int -> t
-(** Seeding for [(?X, R, ?Y)] conjuncts, per the regimes above. *)
+  ?governor:Governor.t ->
+  graph:Graphstore.Graph.t ->
+  nfa:Automaton.Nfa.t ->
+  batch_size:int ->
+  unit ->
+  t
+(** Seeding for [(?X, R, ?Y)] conjuncts, per the regimes above.  The
+    candidate scan polls [governor] (default: unlimited) so a deadline or
+    cancellation cuts an up-front ([batch_size = max_int]) sweep of a large
+    graph short instead of pinning the process. *)
 
 val next_batch : t -> (int * int) list
 (** The next batch of fresh seeds; [[]] once exhausted.  Batches respect
-    [batch_size] (the last may be shorter). *)
+    [batch_size] (the last may be shorter, including when the governor
+    trips mid-scan).
+    @raise Failpoints.Injected when the [Seed_batch] failpoint fires. *)
 
 val exhausted : t -> bool
 (** True once no further seeds will be produced ([next_batch] would return

@@ -115,35 +115,51 @@ let parse_line lineno line =
     Some (s, p, o)
   end
 
-let read ic =
+type report = { triples : int; malformed : int; errors : (string * int) list }
+
+let max_recorded_errors = 5
+
+let ingest g k (s, p, o) =
+  if p = p_sc then begin
+    Ontology.add_subclass k s o;
+    ignore (Graph.add_node g s);
+    ignore (Graph.add_node g o)
+  end
+  else if p = p_sp then Ontology.add_subproperty k s o
+  else if p = p_dom then Ontology.add_domain k s o
+  else if p = p_range then Ontology.add_range k s o
+  else if p = p_node then ignore (Graph.add_node g s)
+  else begin
+    let src = Graph.add_node g s in
+    let dst = Graph.add_node g o in
+    Graph.add_edge_s g src p dst
+  end
+
+let read_report ?(lenient = false) ic =
   let g = Graph.create () in
   let k = Ontology.create (Graph.interner g) in
   let lineno = ref 0 in
+  let triples = ref 0 and malformed = ref 0 and errors = ref [] in
   (try
      while true do
        let line = input_line ic in
        incr lineno;
        match parse_line !lineno line with
        | None -> ()
-       | Some (s, p, o) ->
-         if p = p_sc then begin
-           Ontology.add_subclass k s o;
-           ignore (Graph.add_node g s);
-           ignore (Graph.add_node g o)
-         end
-         else if p = p_sp then Ontology.add_subproperty k s o
-         else if p = p_dom then Ontology.add_domain k s o
-         else if p = p_range then Ontology.add_range k s o
-         else if p = p_node then ignore (Graph.add_node g s)
-         else begin
-           let src = Graph.add_node g s in
-           let dst = Graph.add_node g o in
-           Graph.add_edge_s g src p dst
-         end
+       | Some spo ->
+         ingest g k spo;
+         incr triples
+       | exception Parse_error (msg, l) when lenient ->
+         incr malformed;
+         if !malformed <= max_recorded_errors then errors := (msg, l) :: !errors
      done
    with End_of_file -> ());
-  (g, k)
+  ((g, k), { triples = !triples; malformed = !malformed; errors = List.rev !errors })
 
-let load path =
+let read ic = fst (read_report ~lenient:false ic)
+
+let load_report ?lenient path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_report ?lenient ic)
+
+let load path = fst (load_report ~lenient:false path)

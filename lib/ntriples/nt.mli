@@ -39,3 +39,23 @@ val read : in_channel -> Graphstore.Graph.t * Ontology.t
     @raise Parse_error on malformed lines. *)
 
 val load : string -> Graphstore.Graph.t * Ontology.t
+
+type report = {
+  triples : int;  (** well-formed triples ingested *)
+  malformed : int;  (** malformed lines skipped (always 0 when strict) *)
+  errors : (string * int) list;
+      (** the first few [(message, line)] parse errors, oldest first, for
+          diagnostics — capped so a thoroughly broken file cannot blow up
+          memory *)
+}
+
+val read_report : ?lenient:bool -> in_channel -> (Graphstore.Graph.t * Ontology.t) * report
+(** Like {!read}, also returning an ingestion {!report}.  With
+    [~lenient:true] (default [false]) malformed lines are counted and
+    skipped instead of aborting the load: real-world triple dumps routinely
+    contain a handful of broken lines, and a robust loader should salvage
+    the rest.  Strict mode still raises [Parse_error] on the first bad
+    line. *)
+
+val load_report : ?lenient:bool -> string -> (Graphstore.Graph.t * Ontology.t) * report
+(** {!read_report} on a file. *)

@@ -1,0 +1,114 @@
+(* Random single-conjunct instances over small graphs with a fixed
+   class/property hierarchy — the shared generator behind the differential
+   oracle suite (test_oracle) and the chaos suite (test_chaos).
+
+   Instances cover every conjunct shape the engine distinguishes: variable
+   and constant subjects and objects (including unknown constants and
+   repeated variables) and exact / APPROX / RELAX modes. *)
+
+module Graph = Graphstore.Graph
+module Q = Core.Query
+module R = Rpq_regex.Regex
+
+let labels = [ "p"; "q"; "r"; "type" ]
+let n_classes = 3
+
+type instance = {
+  n_base : int; (* plain nodes n0 .. n{n_base-1}; class nodes C0..C2 follow *)
+  edges : (int * string * int) list;
+  types : (int * int) list; (* base node -> class index, as type edges *)
+  regex : R.t;
+  mode : Q.mode;
+  subj : [ `Var | `Node of int | `Ghost ];
+  obj : [ `Fresh | `Same | `Node of int | `Ghost ];
+}
+
+let gen_regex =
+  QCheck2.Gen.(
+    sized (fun size ->
+        let rec gen n =
+          if n <= 1 then
+            oneof
+              [
+                return (R.lbl "p"); return (R.lbl "q"); return (R.lbl "r");
+                return (R.inv "p"); return (R.inv "q"); return R.any;
+                return (R.lbl "type"); return (R.inv "type");
+              ]
+          else
+            oneof
+              [
+                map2 R.seq (gen (n / 2)) (gen (n / 2));
+                map2 R.alt (gen (n / 2)) (gen (n / 2));
+                map R.star (gen (n / 2));
+                map R.plus (gen (n / 2));
+              ]
+        in
+        gen (min size 8)))
+
+let gen_instance ~mode =
+  QCheck2.Gen.(
+    let* n_base = int_range 12 27 in
+    let n_total = n_base + n_classes in
+    let* edges =
+      list_size (int_range 10 60)
+        (triple (int_bound (n_total - 1))
+           (map (List.nth labels) (int_bound 3))
+           (int_bound (n_total - 1)))
+    in
+    let* types = list_size (int_range 0 8) (pair (int_bound (n_base - 1)) (int_bound (n_classes - 1))) in
+    let* regex = gen_regex in
+    let* subj =
+      frequency
+        [
+          (4, return `Var);
+          (3, map (fun i -> `Node i) (int_bound (n_total - 1)));
+          (1, return `Ghost);
+        ]
+    in
+    let* obj =
+      frequency
+        [
+          (4, return `Fresh);
+          (1, return `Same);
+          (2, map (fun i -> `Node i) (int_bound (n_total - 1)));
+          (1, return `Ghost);
+        ]
+    in
+    return { n_base; edges; types; regex; mode; subj; obj })
+
+let name_of inst i =
+  if i < inst.n_base then Printf.sprintf "n%d" i else Printf.sprintf "C%d" (i - inst.n_base)
+
+let build inst =
+  let g = Graph.create () in
+  for i = 0 to inst.n_base + n_classes - 1 do
+    ignore (Graph.add_node g (name_of inst i))
+  done;
+  List.iter (fun (s, l, d) -> Graph.add_edge_s g s l d) inst.edges;
+  List.iter (fun (n, c) -> Graph.add_edge_s g n "type" (inst.n_base + c)) inst.types;
+  let k = Ontology.create (Graph.interner g) in
+  Ontology.add_subclass k "C0" "C1";
+  Ontology.add_subclass k "C1" "C2";
+  Ontology.add_subproperty k "q" "p";
+  Ontology.add_subproperty k "p" "super";
+  Ontology.add_domain k "p" "C0";
+  Ontology.add_range k "p" "C1";
+  (* the engine side always runs on the frozen CSR index *)
+  Graph.freeze g;
+  (g, k)
+
+let conjunct_of inst =
+  let subj =
+    match inst.subj with
+    | `Var -> Q.Var "X"
+    | `Node i -> Q.Const (name_of inst i)
+    | `Ghost -> Q.Const "missing"
+  in
+  let obj =
+    match inst.obj with
+    | `Fresh -> Q.Var "Y"
+    | `Same -> Q.Var "X"
+    | `Node i -> Q.Const (name_of inst i)
+    | `Ghost -> Q.Const "absent"
+  in
+  Q.conjunct ~mode:inst.mode subj inst.regex obj

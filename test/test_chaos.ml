@@ -1,0 +1,342 @@
+(* Chaos property suite for the query governor and the failpoints.
+
+   Randomized queries from the shared Instance_gen generator run under
+   injected faults, deterministic deadlines, tuple budgets and answer caps.
+   Every instance asserts the robustness contract of the governor:
+
+   - no crash: [Engine.next] never lets an exception escape — injected
+     faults and exhausted budgets all surface as a structured
+     [Engine.termination];
+   - informative termination: the reported reason matches the disturbance
+     that was injected (a fault names its failpoint, a deadline reports
+     [Deadline], a budget reports [Tuple_budget], ...);
+   - valid ranked prefix: the emitted answers are an exact prefix of the
+     undisturbed run's emission sequence (a governed run is the same
+     deterministic computation, merely cut short), and the undisturbed run
+     itself equals the brute-force product-Dijkstra oracle — so by
+     transitivity every truncated run is a prefix of the oracle's ranked
+     answer set;
+   - monotone stats: every execution counter of the disturbed run is
+     non-negative and bounded by the undisturbed run's counter (cutting a
+     computation short can only do less work).
+
+   The CI chaos job tightens the screws via the environment:
+   [OMEGA_FAILPOINTS] overrides the armed spec of the fault group, and
+   [OMEGA_CHAOS_DEADLINE_MS] adds a real-clock aggressive deadline to the
+   deadline group. *)
+
+module Graph = Graphstore.Graph
+module Q = Core.Query
+module Engine = Core.Engine
+module Governor = Core.Governor
+module Failpoints = Core.Failpoints
+module Options = Core.Options
+open Instance_gen
+
+(* A single-conjunct query projecting all conjunct variables; instances
+   whose conjunct has no variable (constant subject and object) get a
+   variable object so the query validates. *)
+let query_of inst =
+  let inst =
+    match (inst.subj, inst.obj) with
+    | (`Node _ | `Ghost), (`Node _ | `Ghost) -> { inst with obj = `Fresh }
+    | _ -> inst
+  in
+  let c = conjunct_of inst in
+  (inst, Q.make ~head:(Q.conjunct_vars c) [ c ])
+
+(* The oracle's ranked answer set, projected to the query head exactly as
+   the engine projects it: head variables to node labels, duplicate
+   projected bindings deduplicated at their smallest distance. *)
+let oracle_projected g (q : Q.t) raw =
+  let c = List.hd q.Q.conjuncts in
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun (x, y, d) ->
+      let bind =
+        (match c.Q.subj with Q.Var v -> [ (v, x) ] | Q.Const _ -> [])
+        @ (match c.Q.obj with Q.Var v -> [ (v, y) ] | Q.Const _ -> [])
+      in
+      let key = List.map (fun v -> Graph.node_label g (List.assoc v bind)) q.Q.head in
+      match Hashtbl.find_opt best key with
+      | Some d' when d' <= d -> ()
+      | _ -> Hashtbl.replace best key d)
+    raw;
+  Hashtbl.fold (fun k d acc -> (k, d) :: acc) best [] |> List.sort compare
+
+let projected (answers : Engine.answer list) =
+  List.sort compare
+    (List.map (fun (a : Engine.answer) -> (List.map snd a.Engine.bindings, a.Engine.distance)) answers)
+
+let is_list_prefix ~of_:full prefix =
+  let rec go = function
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | a :: p, b :: f -> a = b && go (p, f)
+  in
+  go (prefix, full)
+
+let non_decreasing (answers : Engine.answer list) =
+  let rec go hi = function
+    | [] -> true
+    | (a : Engine.answer) :: rest -> a.Engine.distance >= hi && go a.Engine.distance rest
+  in
+  go 0 answers
+
+(* Field-wise [chaos <= clean]: a run cut short can only have done less. *)
+let stats_bounded ~(chaos : Core.Exec_stats.t) ~(clean : Core.Exec_stats.t) =
+  let open Core.Exec_stats in
+  chaos.pushes >= 0 && chaos.pops >= 0 && chaos.pops <= chaos.pushes
+  && chaos.pushes <= clean.pushes && chaos.pops <= clean.pops
+  && chaos.succ_calls <= clean.succ_calls
+  && chaos.edges_scanned <= clean.edges_scanned
+  && chaos.batches <= clean.batches && chaos.seeds <= clean.seeds
+  && chaos.answers <= clean.answers && chaos.peak_queue <= clean.peak_queue
+  && chaos.restarts <= clean.restarts && chaos.pruned <= clean.pruned
+
+(* The consistency every disturbed outcome must satisfy against its clean
+   counterpart, whatever the disturbance was. *)
+let outcome_consistent ~(clean : Engine.outcome) (chaos : Engine.outcome) =
+  is_list_prefix ~of_:clean.Engine.answers chaos.Engine.answers
+  && non_decreasing chaos.Engine.answers
+  && stats_bounded ~chaos:chaos.Engine.stats ~clean:clean.Engine.stats
+  &&
+  match chaos.Engine.termination with
+  | Engine.Completed -> not chaos.Engine.aborted
+  | Engine.Exhausted e ->
+    e.answers = List.length chaos.Engine.answers
+    && e.tuples >= 0 && e.elapsed_ns >= 0
+    && chaos.Engine.aborted = (e.reason = Governor.Tuple_budget)
+
+(* The clean (ungoverned, fault-free) run, checked against the oracle. *)
+let clean_run g k options q =
+  let clean = Engine.run ~graph:g ~ontology:k ~options q in
+  let complete = clean.Engine.termination = Engine.Completed in
+  let raw = Oracle.answers g k options (List.hd q.Q.conjuncts) in
+  let agrees = projected clean.Engine.answers = oracle_projected g q raw in
+  (clean, complete && agrees)
+
+(* --- injected faults --------------------------------------------------- *)
+
+let env_fault_points =
+  match Sys.getenv_opt Failpoints.env_var with
+  | Some s when String.trim s <> "" -> (
+    match Failpoints.parse s with
+    | Ok (points, _) -> Some points
+    | Error msg -> failwith (Failpoints.env_var ^ ": " ^ msg))
+  | _ -> None
+
+let point_names = List.map Failpoints.point_name Failpoints.all_points
+
+let fault_prop name ~count ~mode =
+  QCheck2.Test.make ~name ~count
+    QCheck2.Gen.(
+      triple (gen_instance ~mode) (int_bound 1_000_000)
+        (map (List.nth [ 0.002; 0.01; 0.03 ]) (int_bound 2)))
+    (fun (inst, seed, prob) ->
+      let inst, q = query_of inst in
+      let g, k = build inst in
+      let options = Options.default in
+      let clean, clean_ok = clean_run g k options q in
+      let points =
+        match env_fault_points with
+        | Some points -> points
+        | None -> List.map (fun p -> (p, prob)) Failpoints.all_points
+      in
+      Failpoints.arm ~seed points;
+      let chaos =
+        Fun.protect
+          ~finally:(fun () -> Failpoints.disarm ())
+          (fun () -> Engine.run ~graph:g ~ontology:k ~options q)
+      in
+      let reason_ok =
+        match chaos.Engine.termination with
+        | Engine.Completed -> true
+        | Engine.Exhausted { reason = Governor.Fault p; _ } -> List.mem p point_names
+        | Engine.Exhausted _ -> false
+      in
+      clean_ok && reason_ok && outcome_consistent ~clean chaos)
+
+let fault_exact = fault_prop "faults: exact, prefix + fault termination" ~count:30 ~mode:Q.Exact
+let fault_approx = fault_prop "faults: APPROX, prefix + fault termination" ~count:50 ~mode:Q.Approx
+let fault_relax = fault_prop "faults: RELAX, prefix + fault termination" ~count:50 ~mode:Q.Relax
+
+(* --- deadlines --------------------------------------------------------- *)
+
+(* Deterministic deadlines: a fake counter clock advances 97 "nanoseconds"
+   per read, so a random [timeout_ns] cuts the run after a reproducible
+   number of governor clock reads — no wall-clock flakiness.  When
+   OMEGA_CHAOS_DEADLINE_MS is set (the CI chaos job), a second real-clock
+   pass runs the same instance under that aggressive wall-clock deadline. *)
+let env_deadline_ms =
+  match Sys.getenv_opt "OMEGA_CHAOS_DEADLINE_MS" with
+  | Some s -> int_of_string_opt (String.trim s)
+  | None -> None
+
+let restore_clock () = Governor.now_ns := fun () -> 0
+
+let deadline_reason_ok (o : Engine.outcome) =
+  match o.Engine.termination with
+  | Engine.Completed -> true
+  | Engine.Exhausted { reason = Governor.Deadline; elapsed_ns; _ } -> elapsed_ns > 0
+  | Engine.Exhausted _ -> false
+
+let deadline_prop =
+  QCheck2.Test.make ~name:"deadlines: prefix + Deadline termination (fake clock)" ~count:60
+    QCheck2.Gen.(pair (gen_instance ~mode:Q.Approx) (int_bound 30_000))
+    (fun (inst, timeout_ns) ->
+      let inst, q = query_of inst in
+      let g, k = build inst in
+      let clean, clean_ok = clean_run g k Options.default q in
+      let options = { Options.default with Options.timeout_ns = Some timeout_ns } in
+      let chaos =
+        let counter = ref 0 in
+        Governor.now_ns :=
+          (fun () ->
+            incr counter;
+            !counter * 97);
+        Fun.protect ~finally:restore_clock (fun () -> Engine.run ~graph:g ~ontology:k ~options q)
+      in
+      let real_ok =
+        match env_deadline_ms with
+        | None -> true
+        | Some ms ->
+          Governor.now_ns := (fun () -> int_of_float (1e9 *. Unix.gettimeofday ()));
+          let aggressive =
+            Fun.protect ~finally:restore_clock (fun () ->
+                Engine.run ~graph:g ~ontology:k
+                  ~options:{ Options.default with Options.timeout_ns = Some (ms * 1_000_000) }
+                  q)
+          in
+          deadline_reason_ok aggressive && outcome_consistent ~clean aggressive
+      in
+      clean_ok && deadline_reason_ok chaos && outcome_consistent ~clean chaos && real_ok)
+
+(* --- tuple budgets and answer caps ------------------------------------- *)
+
+let budget_prop =
+  QCheck2.Test.make ~name:"budgets: prefix + Tuple_budget/Answer_limit termination" ~count:60
+    QCheck2.Gen.(triple (gen_instance ~mode:Q.Approx) bool (int_range 1 400))
+    (fun (inst, by_answers, cap) ->
+      let inst, q = query_of inst in
+      let g, k = build inst in
+      let clean, clean_ok = clean_run g k Options.default q in
+      let options =
+        if by_answers then
+          { Options.default with Options.max_answers = Some (min cap 50) }
+        else { Options.default with Options.max_tuples = Some cap }
+      in
+      let chaos = Engine.run ~graph:g ~ontology:k ~options q in
+      let reason_ok =
+        match (chaos.Engine.termination, by_answers) with
+        | Engine.Completed, _ -> true
+        | Engine.Exhausted { reason = Governor.Answer_limit; _ }, true ->
+          List.length chaos.Engine.answers = min cap 50
+        | Engine.Exhausted { reason = Governor.Tuple_budget; _ }, false -> chaos.Engine.aborted
+        | Engine.Exhausted _, _ -> false
+      in
+      clean_ok && reason_ok && outcome_consistent ~clean chaos)
+
+(* --- multi-conjunct joins under chaos ---------------------------------- *)
+
+(* Two conjuncts sharing ?Y, evaluated through the ranked join, with faults
+   and a tuple budget at once.  No oracle here (the clean join's correctness
+   is test_join's business): the claims are no-crash, prefix and stats. *)
+let join_prop =
+  QCheck2.Test.make ~name:"joins: prefix + structured termination under faults" ~count:40
+    QCheck2.Gen.(
+      quad (gen_instance ~mode:Q.Approx) gen_regex (int_bound 1_000_000) (int_range 50 2_000))
+    (fun (inst, regex2, seed, budget) ->
+      let inst = { inst with subj = `Var; obj = `Fresh } in
+      let g, k = build inst in
+      let c1 = conjunct_of inst in
+      let c2 = Q.conjunct ~mode:Q.Exact (Q.Var "Y") regex2 (Q.Var "Z") in
+      let q = Q.make ~head:[ "X"; "Z" ] [ c1; c2 ] in
+      let limit = 150 in
+      let clean = Engine.run ~graph:g ~ontology:k ~limit q in
+      Failpoints.arm ~seed [ (Failpoints.Join_pull, 0.005); (Failpoints.Graph_scan, 0.002) ];
+      let chaos =
+        Fun.protect
+          ~finally:(fun () -> Failpoints.disarm ())
+          (fun () ->
+            Engine.run ~graph:g ~ontology:k
+              ~options:{ Options.default with Options.max_tuples = Some budget }
+              ~limit q)
+      in
+      let reason_ok =
+        match chaos.Engine.termination with
+        | Engine.Completed -> true
+        | Engine.Exhausted { reason = Governor.Fault p; _ } -> List.mem p point_names
+        | Engine.Exhausted { reason = Governor.Tuple_budget | Governor.Answer_limit; _ } -> true
+        | Engine.Exhausted { reason = Governor.Deadline; _ } -> false
+      in
+      non_decreasing clean.Engine.answers && reason_ok && outcome_consistent ~clean chaos)
+
+(* --- born-tripped streams ---------------------------------------------- *)
+
+(* A fault during query opening (RELAX ontology seeding) must yield a
+   stream that reports the fault and streams nothing — not an exception. *)
+let open_fault_test () =
+  let g = Graph.create () in
+  ignore (Graph.add_node g "C0");
+  ignore (Graph.add_node g "n0");
+  Graph.add_edge_s g 1 "p" 0;
+  let k = Ontology.create (Graph.interner g) in
+  Ontology.add_subclass k "C0" "C1";
+  Graph.freeze g;
+  let q = Q.single ~mode:Q.Relax (Q.Const "C0") (Rpq_regex.Regex.lbl "p") (Q.Var "Y") in
+  Failpoints.arm [ (Failpoints.Ontology_lookup, 1.0) ];
+  Fun.protect
+    ~finally:(fun () -> Failpoints.disarm ())
+    (fun () ->
+      let st = Engine.open_query ~graph:g ~ontology:k q in
+      Alcotest.(check (option reject)) "no answers from a born-tripped stream" None
+        (Engine.next st);
+      match Engine.status st with
+      | Engine.Exhausted { reason = Governor.Fault "onto"; answers = 0; _ } -> ()
+      | t -> Alcotest.failf "expected onto fault, got %a" Governor.pp_termination t)
+
+(* Cancellation is immediate: after [Governor.cancel] the stream yields
+   nothing more and reports the fault. *)
+let cancel_test () =
+  let inst =
+    {
+      n_base = 12;
+      edges = List.init 40 (fun i -> (i mod 12, "p", (i * 7) mod 12));
+      types = [];
+      regex = Rpq_regex.Regex.star (Rpq_regex.Regex.lbl "p");
+      mode = Q.Approx;
+      subj = `Var;
+      obj = `Fresh;
+    }
+  in
+  let g, k = build inst in
+  let q = Q.single ~mode:Q.Approx (Q.Var "X") inst.regex (Q.Var "Y") in
+  let st = Engine.open_query ~graph:g ~ontology:k q in
+  (match Engine.next st with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected at least one answer before cancelling");
+  Governor.cancel ~reason:"client-disconnect" (Engine.governor st);
+  Alcotest.(check (option reject)) "nothing after cancel" None (Engine.next st);
+  match Engine.status st with
+  | Engine.Exhausted { reason = Governor.Fault "client-disconnect"; _ } -> ()
+  | t -> Alcotest.failf "expected cancellation fault, got %a" Governor.pp_termination t
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "faults",
+        [
+          QCheck_alcotest.to_alcotest fault_exact;
+          QCheck_alcotest.to_alcotest fault_approx;
+          QCheck_alcotest.to_alcotest fault_relax;
+        ] );
+      ("deadlines", [ QCheck_alcotest.to_alcotest deadline_prop ]);
+      ("budgets", [ QCheck_alcotest.to_alcotest budget_prop ]);
+      ("joins", [ QCheck_alcotest.to_alcotest join_prop ]);
+      ( "edges",
+        [
+          Alcotest.test_case "fault while opening" `Quick open_fault_test;
+          Alcotest.test_case "cooperative cancel" `Quick cancel_test;
+        ] );
+    ]

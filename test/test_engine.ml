@@ -295,6 +295,66 @@ let test_budget_aborts () =
   in
   check Alcotest.bool "aborted" true o.Engine.aborted
 
+(* --- governor ------------------------------------------------------- *)
+
+(* Regression: [Engine.next] used to raise [Options.Out_of_budget] when
+   [max_tuples] ran out mid-stream; it must now return [None] and report
+   the trip through [Engine.status]. *)
+let test_next_never_raises_on_budget () =
+  let g, k = fixture () in
+  let q =
+    match Core.Query_parser.parse_result "(?X, ?Y) <- APPROX (?X, gradFrom, ?Y)" with
+    | Ok q -> q
+    | Error m -> Alcotest.fail m
+  in
+  let st =
+    Engine.open_query ~graph:g ~ontology:k
+      ~options:{ approx with Options.max_tuples = Some 5 }
+      q
+  in
+  let rec drain n = match Engine.next st with Some _ -> drain (n + 1) | None -> n in
+  let emitted = drain 0 in
+  match Engine.status st with
+  | Engine.Exhausted { reason = Core.Governor.Tuple_budget; answers; _ } ->
+    check Alcotest.int "termination counts the emitted answers" emitted answers
+  | t -> Alcotest.failf "expected a tuple-budget trip, got %a" Core.Governor.pp_termination t
+
+(* Pins the documented semantics of [Options.max_tuples] under
+   distance-aware evaluation: the budget is CUMULATIVE across psi-level
+   restarts, not per restart.  The clean run needs P pushes spread over
+   several restarts (each restart re-seeds, so every level pushes at least
+   once and no single level reaches P - 1); a budget of P - 1 must
+   therefore trip, while P must not — a per-restart budget would pass
+   P - 1 untripped. *)
+let test_budget_cumulative_across_restarts () =
+  let g, k = fixture () in
+  let q = "(?X) <- APPROX (uk, locatedIn-.gradFrom, ?X)" in
+  let da = { approx with Options.distance_aware = true } in
+  let clean = run ~options:da g k q in
+  check Alcotest.bool "clean run completes" true (clean.Engine.termination = Engine.Completed);
+  let p = clean.Engine.stats.Core.Exec_stats.pushes in
+  let r = clean.Engine.stats.Core.Exec_stats.restarts in
+  check Alcotest.bool "several psi levels ran" true (r >= 2);
+  let tripped = run ~options:{ da with Options.max_tuples = Some (p - 1) } g k q in
+  (match tripped.Engine.termination with
+  | Engine.Exhausted { reason = Core.Governor.Tuple_budget; _ } -> ()
+  | t ->
+    Alcotest.failf "budget P-1 must trip across restarts, got %a" Core.Governor.pp_termination t);
+  check Alcotest.bool "aborted mirrors Tuple_budget" true tripped.Engine.aborted;
+  let fits = run ~options:{ da with Options.max_tuples = Some p } g k q in
+  check Alcotest.bool "budget P completes" true (fits.Engine.termination = Engine.Completed)
+
+(* [limit] is enforced through the governor's answer cap: reaching it is an
+   [Answer_limit] termination, and the compat [aborted] flag stays false. *)
+let test_answer_limit_termination () =
+  let g, k = fixture () in
+  let o = run ~limit:1 g k "(?X) <- (london, locatedIn-, ?X)" in
+  check Alcotest.int "exactly the limit" 1 (List.length o.Engine.answers);
+  (match o.Engine.termination with
+  | Engine.Exhausted { reason = Core.Governor.Answer_limit; answers = 1; _ } -> ()
+  | t -> Alcotest.failf "expected Answer_limit, got %a" Core.Governor.pp_termination t);
+  check Alcotest.bool "not aborted" false o.Engine.aborted
+
 (* --- edge cases ----------------------------------------------------- *)
 
 let test_const_const () =
@@ -557,5 +617,12 @@ let () =
           Alcotest.test_case "decomposition equivalence" `Quick test_decompose_same_answers;
           Alcotest.test_case "decomposition reorders parts" `Quick test_decompose_reorders_parts;
           Alcotest.test_case "tuple budget aborts" `Quick test_budget_aborts;
+        ] );
+      ( "governor",
+        [
+          Alcotest.test_case "next never raises on budget" `Quick test_next_never_raises_on_budget;
+          Alcotest.test_case "budget is cumulative across restarts" `Quick
+            test_budget_cumulative_across_restarts;
+          Alcotest.test_case "limit reports Answer_limit" `Quick test_answer_limit_termination;
         ] );
     ]

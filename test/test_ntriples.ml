@@ -92,6 +92,42 @@ let test_line_numbers () =
       | _ -> Alcotest.fail "expected a parse error"
       | exception Nt.Parse_error (_, 2) -> ())
 
+let test_lenient_mixed () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc
+        "<a> <p> <b> .\n\
+         <broken\n\
+         # comment\n\
+         <b> <p> <c> .\n\
+         <a> <p>\n\
+         junk line\n\
+         <c> <sc> <D> .\n\
+         <c> <p> <a> \n";
+      close_out oc;
+      (* strict load still aborts on the first malformed line *)
+      (match Nt.load path with
+      | _ -> Alcotest.fail "strict load must fail"
+      | exception Nt.Parse_error (_, 2) -> ());
+      let (g, k), report = Nt.load_report ~lenient:true path in
+      check Alcotest.int "triples kept" 3 report.Nt.triples;
+      check Alcotest.int "malformed counted" 4 report.Nt.malformed;
+      check
+        Alcotest.(list int)
+        "error line numbers recorded" [ 2; 5; 6; 8 ]
+        (List.map snd report.Nt.errors);
+      check Alcotest.int "edges from the good lines" 2 (Graph.n_edges g);
+      let interner = Ontology.interner k in
+      let c = Graphstore.Interner.intern interner "c" in
+      check Alcotest.bool "ontology line kept" true (Ontology.super_classes k c <> []);
+      (* a clean file reports zero malformed lines *)
+      let oc = open_out path in
+      output_string oc "<a> <p> <b> .\n";
+      close_out oc;
+      let _, clean = Nt.load_report ~lenient:true path in
+      check Alcotest.int "clean file: no malformed" 0 clean.Nt.malformed;
+      check Alcotest.int "clean file: one triple" 1 clean.Nt.triples)
+
 let test_generated_dataset_roundtrip () =
   (* an end-to-end sized roundtrip: the L4All 21-timeline graph *)
   let g, k = Datagen.L4all.generate ~timelines:21 () in
@@ -127,5 +163,6 @@ let () =
           Alcotest.test_case "comments and blanks" `Quick test_comments_and_blank_lines;
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "line numbers" `Quick test_line_numbers;
+          Alcotest.test_case "lenient mode skips bad lines" `Quick test_lenient_mixed;
         ] );
     ]

@@ -123,28 +123,28 @@ let test_seeder_start_nodes_by_label () =
   let g = seeder_graph () in
   let p = Graphstore.Interner.intern (Graph.interner g) "p" in
   let nfa = make_start_nfa ~final_weight:None [ Automaton.Nfa.Sym (Automaton.Nfa.Fwd, p) ] in
-  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 in
+  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 () in
   check Alcotest.(list (pair int int)) "sources of p" [ (0, 0); (1, 0) ] (drain s)
 
 let test_seeder_backward_label () =
   let g = seeder_graph () in
   let p = Graphstore.Interner.intern (Graph.interner g) "p" in
   let nfa = make_start_nfa ~final_weight:None [ Automaton.Nfa.Sym (Automaton.Nfa.Bwd, p) ] in
-  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 in
+  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 () in
   check Alcotest.(list (pair int int)) "targets of p" [ (1, 0); (2, 0) ] (drain s)
 
 let test_seeder_all_nodes_when_final_zero () =
   let g = seeder_graph () in
   let p = Graphstore.Interner.intern (Graph.interner g) "p" in
   let nfa = make_start_nfa ~final_weight:(Some 0) [ Automaton.Nfa.Sym (Automaton.Nfa.Fwd, p) ] in
-  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 in
+  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 () in
   check Alcotest.int "all nodes" (Graph.n_nodes g) (List.length (drain s))
 
 let test_seeder_start_then_rest_when_final_weighted () =
   let g = seeder_graph () in
   let p = Graphstore.Interner.intern (Graph.interner g) "p" in
   let nfa = make_start_nfa ~final_weight:(Some 2) [ Automaton.Nfa.Sym (Automaton.Nfa.Fwd, p) ] in
-  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 in
+  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 () in
   let seeds = List.map fst (drain s) in
   check Alcotest.int "all nodes eventually" (Graph.n_nodes g) (List.length seeds);
   (* label-compatible nodes come first *)
@@ -159,7 +159,7 @@ let test_seeder_batching () =
   done;
   let p = Graphstore.Interner.intern (Graph.interner g) "p" in
   let nfa = make_start_nfa ~final_weight:None [ Automaton.Nfa.Sym (Automaton.Nfa.Fwd, p) ] in
-  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 in
+  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 () in
   check Alcotest.int "first batch" 10 (List.length (Seeder.next_batch s));
   check Alcotest.int "second batch" 10 (List.length (Seeder.next_batch s));
   check Alcotest.int "last short batch" 5 (List.length (Seeder.next_batch s));
@@ -176,7 +176,7 @@ let test_seeder_dedup_across_labels () =
     make_start_nfa ~final_weight:None
       [ Automaton.Nfa.Sym (Automaton.Nfa.Fwd, q); Automaton.Nfa.Sym (Automaton.Nfa.Bwd, p) ]
   in
-  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 in
+  let s = Seeder.of_initial_state ~graph:g ~nfa ~batch_size:10 () in
   let seeds = List.map fst (drain s) in
   check Alcotest.(list int) "distinct" (List.sort_uniq compare seeds) (List.sort compare seeds)
 
