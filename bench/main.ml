@@ -23,13 +23,14 @@ module Graph = Graphstore.Graph
 (* ------------------------------------------------------------------ *)
 
 let all_sections =
-  [ "fig2"; "fig3"; "fig5"; "fig6"; "fig7"; "fig8"; "yago-stats"; "fig10"; "fig11"; "opt1"; "opt2"; "abl"; "abl-sat"; "micro" ]
+  [ "fig2"; "fig3"; "fig5"; "fig6"; "fig7"; "fig8"; "yago-stats"; "fig10"; "fig11"; "opt1"; "opt2"; "abl"; "abl-sat"; "micro"; "smoke" ]
 
 let sections = ref all_sections
 let scales = ref L4.all_scales
 let runs = ref 3
 let yago_budget = ref 400_000
 let yago_scale = ref 0.02
+let json_mode = ref false
 
 let parse_args () =
   let set_sections s = sections := String.split_on_char ',' s in
@@ -49,6 +50,10 @@ let parse_args () =
       ("--runs", Arg.Set_int runs, "  timed runs per query after warm-up (default: 3)");
       ("--yago-budget", Arg.Set_int yago_budget, "  tuple budget for YAGO APPROX queries");
       ("--yago-scale", Arg.Set_float yago_scale, "  YAGO generator scale factor (default: 0.02)");
+      ( "--json",
+        Arg.Set json_mode,
+        "  additionally write one machine-readable BENCH_<section>.json per query-measuring \
+         section" );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "omega benchmark harness"
@@ -101,7 +106,9 @@ let mean = function [] -> 0. | l -> List.fold_left ( +. ) 0. l /. float_of_int (
 
 type measured = {
   time_ms : float; (* protocol time, averaged over post-warm-up runs *)
+  times_ms : float list; (* the individual post-warm-up protocol times *)
   count : int;
+  tuples : int; (* D_R pushes of the counting run — the memory proxy *)
   histogram : (int * int) list; (* distance -> #answers *)
   aborted : bool; (* tuple budget tripped: the paper's '?' (out-of-memory) cells *)
   termination : Engine.termination; (* full reason, per run (budget/deadline/fault/...) *)
@@ -131,6 +138,55 @@ let histogram_of answers =
 let pp_histogram h =
   String.concat " " (List.map (fun (d, c) -> Printf.sprintf "%d:(%d)" d c) h)
 
+let mode_name = function
+  | Core.Query.Exact -> "exact"
+  | Core.Query.Approx -> "approx"
+  | Core.Query.Relax -> "relax"
+
+let termination_string = function
+  | Engine.Completed -> "completed"
+  | Engine.Exhausted { reason; _ } -> Core.Governor.reason_string reason
+
+(* One row of the BENCH_<section>.json results array (see
+   bench/bench_schema.json, schema_version 1). *)
+let json_row ~dataset ~scale ~query ~mode (m : measured) =
+  let ns_of t = int_of_float (t *. 1e6) in
+  let times = match m.times_ms with [] -> [ m.time_ms ] | l -> l in
+  Obs.Json.Obj
+    [
+      ("dataset", Obs.Json.String dataset);
+      ("scale", Obs.Json.String scale);
+      ("query", Obs.Json.String query);
+      ("mode", Obs.Json.String (mode_name mode));
+      ("mean_ns", Obs.Json.Int (ns_of m.time_ms));
+      ("min_ns", Obs.Json.Int (ns_of (List.fold_left min infinity times)));
+      ("max_ns", Obs.Json.Int (ns_of (List.fold_left max neg_infinity times)));
+      ("answers", Obs.Json.Int m.count);
+      ("tuples", Obs.Json.Int m.tuples);
+      ("termination", Obs.Json.String (termination_string m.termination));
+      ( "marker",
+        match marker_of m.termination with
+        | Some mark -> Obs.Json.String mark
+        | None -> Obs.Json.Null );
+    ]
+
+let write_json ~section rows =
+  if !json_mode then begin
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema_version", Obs.Json.Int 1);
+          ("section", Obs.Json.String section);
+          ("runs", Obs.Json.Int !runs);
+          ("results", Obs.Json.List rows);
+        ]
+    in
+    let path = Printf.sprintf "BENCH_%s.json" section in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Obs.Json.to_channel oc doc);
+    Printf.printf "[json] wrote %s (%d result(s))\n%!" path (List.length rows)
+  end
+
 (* Exact protocol: run to completion, [!runs]+1 times, discard the first. *)
 let measure_exact (g, k) qtext =
   let once () =
@@ -142,7 +198,9 @@ let measure_exact (g, k) qtext =
   let times = List.init !runs (fun _ -> snd (ms once)) in
   {
     time_ms = mean times;
+    times_ms = times;
     count = List.length outcome.Engine.answers;
+    tuples = outcome.Engine.stats.Core.Exec_stats.pushes;
     histogram = histogram_of outcome.Engine.answers;
     aborted = outcome.Engine.aborted;
     termination = outcome.Engine.termination;
@@ -172,17 +230,20 @@ let measure_flex (g, k) ~options qtext =
       in
       batch_times := t :: !batch_times
     done;
-    (List.rev !answers, mean !batch_times, Engine.status stream)
+    let pushes = (Engine.stream_stats stream).Core.Exec_stats.pushes in
+    (List.rev !answers, mean !batch_times, Engine.status stream, pushes)
   in
-  let answers, _, termination = once () in
+  let answers, _, termination, tuples = once () in
   let batch_means =
     List.init !runs (fun _ ->
-        let _, t, _ = once () in
+        let _, t, _, _ = once () in
         t)
   in
   {
     time_ms = mean batch_means;
+    times_ms = batch_means;
     count = List.length answers;
+    tuples;
     histogram = histogram_of answers;
     aborted = aborted_of termination;
     termination;
@@ -265,9 +326,21 @@ let fig5 () =
           Printf.printf "Q%-3d %10d   %8d %-28s %8d %-28s\n%!" id e.count a.count
             (pp_histogram a.histogram) r.count (pp_histogram r.histogram))
         L4.stress_queries)
-    !scales
+    !scales;
+  write_json ~section:"fig5"
+    (List.concat_map
+       (fun scale ->
+         List.concat_map
+           (fun id ->
+             List.map
+               (fun mode ->
+                 json_row ~dataset:"l4all" ~scale:(L4.scale_name scale)
+                   ~query:(Printf.sprintf "Q%d" id) ~mode (l4_measure scale id mode))
+               [ Core.Query.Exact; Core.Query.Approx; Core.Query.Relax ])
+           L4.stress_queries)
+       !scales)
 
-let time_table title note mode =
+let time_table ~section title note mode =
   header title;
   Printf.printf "%s\n" note;
   Printf.printf "%-5s" "Q";
@@ -284,18 +357,27 @@ let time_table title note mode =
           | None -> Printf.printf " %10.2f" m.time_ms)
         !scales;
       Printf.printf "\n%!")
-    L4.stress_queries
+    L4.stress_queries;
+  write_json ~section
+    (List.concat_map
+       (fun id ->
+         List.map
+           (fun scale ->
+             json_row ~dataset:"l4all" ~scale:(L4.scale_name scale)
+               ~query:(Printf.sprintf "Q%d" id) ~mode (l4_measure scale id mode))
+           !scales)
+       L4.stress_queries)
 
 let fig6 () =
-  time_table "[FIG6] L4All exact execution times (paper Fig. 6)"
+  time_table ~section:"fig6" "[FIG6] L4All exact execution times (paper Fig. 6)"
     "run to completion; average over post-warm-up runs" Core.Query.Exact
 
 let fig7 () =
-  time_table "[FIG7] L4All APPROX execution times (paper Fig. 7)"
+  time_table ~section:"fig7" "[FIG7] L4All APPROX execution times (paper Fig. 7)"
     "mean batch time over 10 batches of 10 answers" Core.Query.Approx
 
 let fig8 () =
-  time_table "[FIG8] L4All RELAX execution times (paper Fig. 8)"
+  time_table ~section:"fig8" "[FIG8] L4All RELAX execution times (paper Fig. 8)"
     "mean batch time over 10 batches of 10 answers" Core.Query.Relax
 
 (* ------------------------------------------------------------------ *)
@@ -357,7 +439,16 @@ let fig10 () =
       in
       Printf.printf "Q%-3d %10s   %8s %-28s %8s %-28s\n%!" id (cell e) (cell a)
         (pp_histogram a.histogram) (cell r) (pp_histogram r.histogram))
-    Yago.stress_queries
+    Yago.stress_queries;
+  write_json ~section:"fig10"
+    (List.concat_map
+       (fun id ->
+         List.map
+           (fun mode ->
+             json_row ~dataset:"yago" ~scale:(string_of_float !yago_scale)
+               ~query:(Printf.sprintf "Q%d" id) ~mode (yago_measure id mode))
+           [ Core.Query.Exact; Core.Query.Approx; Core.Query.Relax ])
+       Yago.stress_queries)
 
 let fig11 () =
   header "[FIG11] YAGO execution times (paper Fig. 11)";
@@ -374,7 +465,16 @@ let fig11 () =
         (cell (yago_measure id Core.Query.Exact))
         (cell (yago_measure id Core.Query.Approx))
         (cell (yago_measure id Core.Query.Relax)))
-    Yago.stress_queries
+    Yago.stress_queries;
+  write_json ~section:"fig11"
+    (List.concat_map
+       (fun id ->
+         List.map
+           (fun mode ->
+             json_row ~dataset:"yago" ~scale:(string_of_float !yago_scale)
+               ~query:(Printf.sprintf "Q%d" id) ~mode (yago_measure id mode))
+           [ Core.Query.Exact; Core.Query.Approx; Core.Query.Relax ])
+       Yago.stress_queries)
 
 (* ------------------------------------------------------------------ *)
 (* OPT1 / OPT2: the §4.3 optimisations                                 *)
@@ -571,16 +671,14 @@ let scan_throughput () =
     edges reps hash_rate csr_rate (csr_rate /. hash_rate);
   Printf.printf "CSR index size: %d bytes (%.1f bytes/edge)\n" (Graph.csr_bytes g)
     (float_of_int (Graph.csr_bytes g) /. float_of_int (Graph.n_edges g));
-  (* one instrumented query so the new Exec_stats counters are visible *)
-  Core.Exec_stats.now_ns := (fun () -> int_of_float (1e9 *. Unix.gettimeofday ()));
-  (match
-     Engine.run_string ~graph:g ~ontology:(snd (l4_graph (List.hd !scales))) ~limit:100
-       (L4.query_text 10 Core.Query.Approx)
-   with
-  | Ok o ->
-    Format.printf "L4All Q10 APPROX top-100 stats: %a@." Core.Exec_stats.pp o.Engine.stats
-  | Error m -> failwith m);
-  Core.Exec_stats.now_ns := (fun () -> 0)
+  (* one instrumented query so the Exec_stats counters are visible (the
+     harness clock is installed once at startup, so scan_ns is measured) *)
+  match
+    Engine.run_string ~graph:g ~ontology:(snd (l4_graph (List.hd !scales))) ~limit:100
+      (L4.query_text 10 Core.Query.Approx)
+  with
+  | Ok o -> Format.printf "L4All Q10 APPROX top-100 stats: %a@." Core.Exec_stats.pp o.Engine.stats
+  | Error m -> failwith m
 
 let micro () =
   scan_throughput ();
@@ -644,9 +742,37 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* SMOKE: a fast, json-oriented subset (CI runs it with --json)        *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  header "[SMOKE] quick L4All subset (Q1, Q3, Q9 — exact and APPROX)";
+  let scale = List.hd !scales in
+  Printf.printf "%-5s %-8s %10s %10s %8s\n" "Q" "mode" "mean (ms)" "answers" "tuples";
+  let rows =
+    List.concat_map
+      (fun id ->
+        List.map
+          (fun mode ->
+            let m = l4_measure scale id mode in
+            Printf.printf "Q%-4d %-8s %10.2f %10d %8d\n%!" id (mode_name mode) m.time_ms m.count
+              m.tuples;
+            json_row ~dataset:"l4all" ~scale:(L4.scale_name scale)
+              ~query:(Printf.sprintf "Q%d" id) ~mode m)
+          [ Core.Query.Exact; Core.Query.Approx ])
+      [ 1; 3; 9 ]
+  in
+  write_json ~section:"smoke" rows
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   parse_args ();
+  (* The one shared clock init: scan-time attribution, governor deadlines
+     and trace timestamps all read the same installed clock.  (Sections
+     used to install Exec_stats.now_ns ad hoc, leaving scan_ns silently 0
+     elsewhere.) *)
+  Obs.Clock.install (fun () -> int_of_float (1e9 *. Unix.gettimeofday ()));
   Printf.printf "omega benchmark harness: sections=%s scales=%s runs=%d\n%!"
     (String.concat "," !sections)
     (String.concat "," (List.map L4.scale_name !scales))
@@ -665,4 +791,5 @@ let () =
   if enabled "abl" then ablations ();
   if enabled "abl-sat" then relax_vs_saturation ();
   if enabled "micro" then micro ();
+  if enabled "smoke" then smoke ();
   Printf.printf "\ndone.\n"

@@ -1,0 +1,140 @@
+(* Validator for the observability artefacts, run by CI:
+
+     validate BENCH_smoke.json ...       # schema-check benchmark exports
+     validate --manifest FILE            # engine metric names vs the pinned manifest
+     validate --trace FILE               # Chrome trace structure + span nesting
+
+   Exits non-zero with a message on the first violation, so a schema drift,
+   a silently renamed metric or an unbalanced span pair fails the build. *)
+
+module Json = Obs.Json
+
+let failf fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("validate: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error msg -> failf "%s" msg
+
+let parse_file path =
+  match Json.parse (read_file path) with
+  | Ok j -> j
+  | Error msg -> failf "%s: not valid JSON: %s" path msg
+
+let get path what j k = match Json.member k j with Some v -> v | None -> failf "%s: %s is missing %S" path what k
+let want_int path what v k = match Json.to_int (get path what v k) with Some n -> n | None -> failf "%s: %s field %S is not an integer" path what k
+let want_str path what v k = match Json.to_str (get path what v k) with Some s -> s | None -> failf "%s: %s field %S is not a string" path what k
+
+(* --- BENCH_<section>.json (bench/bench_schema.json, schema_version 1) --- *)
+
+let known_markers = [ "?"; "T"; "F" ]
+let known_modes = [ "exact"; "approx"; "relax" ]
+
+let check_result path i r =
+  let what = Printf.sprintf "results[%d]" i in
+  List.iter (fun k -> ignore (want_str path what r k)) [ "dataset"; "scale"; "query"; "termination" ];
+  let mode = want_str path what r "mode" in
+  if not (List.mem mode known_modes) then failf "%s: %s has unknown mode %S" path what mode;
+  let mean = want_int path what r "mean_ns" in
+  let min_ns = want_int path what r "min_ns" in
+  let max_ns = want_int path what r "max_ns" in
+  if not (min_ns <= mean && mean <= max_ns) then
+    failf "%s: %s violates min_ns <= mean_ns <= max_ns (%d / %d / %d)" path what min_ns mean max_ns;
+  if want_int path what r "answers" < 0 then failf "%s: %s has negative answers" path what;
+  if want_int path what r "tuples" < 0 then failf "%s: %s has negative tuples" path what;
+  match get path what r "marker" with
+  | Json.Null -> ()
+  | Json.String m when List.mem m known_markers -> ()
+  | Json.String m -> failf "%s: %s has unknown marker %S (expected ? T F or null)" path what m
+  | _ -> failf "%s: %s field \"marker\" is neither a string nor null" path what
+
+let check_bench path =
+  let j = parse_file path in
+  let version = want_int path "document" j "schema_version" in
+  if version <> 1 then failf "%s: unsupported schema_version %d (expected 1)" path version;
+  ignore (want_str path "document" j "section");
+  if want_int path "document" j "runs" < 1 then failf "%s: runs < 1" path;
+  match Json.to_list (get path "document" j "results") with
+  | None -> failf "%s: \"results\" is not an array" path
+  | Some results ->
+    List.iteri (check_result path) results;
+    Printf.printf "validate: %s ok (%d result(s))\n" path (List.length results)
+
+(* --- metric-name manifest ------------------------------------------- *)
+
+let check_manifest path =
+  let expected = Core.Exec_stats.field_names @ Core.Engine.histogram_names in
+  let pinned =
+    read_file path |> String.split_on_char '\n'
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" || l.[0] = '#' then None else Some l)
+  in
+  let missing = List.filter (fun n -> not (List.mem n expected)) pinned in
+  let unpinned = List.filter (fun n -> not (List.mem n pinned)) expected in
+  if missing <> [] then
+    failf "%s pins metric(s) the engine no longer exposes: %s — a rename breaks dashboards; \
+           deprecate explicitly by editing the manifest" path (String.concat ", " missing);
+  if unpinned <> [] then
+    failf "engine exposes metric(s) not pinned in %s: %s — add them to the manifest" path
+      (String.concat ", " unpinned);
+  Printf.printf "validate: %s ok (%d metric name(s))\n" path (List.length pinned)
+
+(* --- Chrome trace files --------------------------------------------- *)
+
+let check_trace path =
+  let j = parse_file path in
+  let events =
+    match Json.to_list (get path "document" j "traceEvents") with
+    | Some l -> l
+    | None -> failf "%s: \"traceEvents\" is not an array" path
+  in
+  let depth = ref 0 in
+  List.iteri
+    (fun i e ->
+      let what = Printf.sprintf "traceEvents[%d]" i in
+      ignore (want_str path what e "name");
+      ignore (want_str path what e "cat");
+      (match Json.to_float (get path what e "ts") with
+      | Some _ -> ()
+      | None -> failf "%s: %s field \"ts\" is not a number" path what);
+      match want_str path what e "ph" with
+      | "B" -> incr depth
+      | "E" ->
+        decr depth;
+        if !depth < 0 then failf "%s: %s closes a span that was never opened" path what
+      | "i" -> ()
+      | "X" -> (
+        match Json.to_float (get path what e "dur") with
+        | Some _ -> ()
+        | None -> failf "%s: %s is a Complete event without a numeric \"dur\"" path what)
+      | ph -> failf "%s: %s has unknown phase %S" path what ph)
+    events;
+  if !depth <> 0 then failf "%s: %d span(s) opened but never closed" path !depth;
+  Printf.printf "validate: %s ok (%d event(s), spans balanced)\n" path (List.length events)
+
+(* --------------------------------------------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec go = function
+    | [] -> ()
+    | "--manifest" :: path :: rest ->
+      check_manifest path;
+      go rest
+    | "--trace" :: path :: rest ->
+      check_trace path;
+      go rest
+    | [ "--manifest" ] | [ "--trace" ] -> failf "missing file operand"
+    | path :: rest ->
+      check_bench path;
+      go rest
+  in
+  if args = [] then
+    failf "usage: validate [BENCH_*.json ...] [--manifest FILE] [--trace FILE]";
+  go args

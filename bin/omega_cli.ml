@@ -206,13 +206,47 @@ let query_cmd =
   let relax_cost =
     Arg.(value & opt int 1 & info [ "relax-cost" ] ~docv:"C" ~doc:"Cost of each RELAX step.")
   in
-  let show_stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution counters.") in
+  let show_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print execution counters and the metrics registry (histograms).")
+  in
+  let explain_flag =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the physical plan — per-conjunct automata ($(b,M_R)/$(b,A_R)/$(b,M^K_R)) with \
+             their sizes, evaluation strategies, seeding regimes, join method and governor limits \
+             — without running the query.")
+  in
+  let explain_analyze =
+    Arg.(
+      value & flag
+      & info [ "explain-analyze" ]
+          ~doc:
+            "Run the query, then print the plan annotated with the live execution counters of \
+             each conjunct (implies running; combine with $(b,--limit) etc. as usual).")
+  in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the evaluation as a Chrome trace_event timeline (automaton build phases, seed \
+             batches, ψ windows, join pulls, governor trips) and write it to FILE — loadable in \
+             chrome://tracing or Perfetto.")
+  in
   let run data lenient query limit distance_aware decompose max_tuples timeout_ms max_answers
-      failpoints edit_cost relax_cost show_stats =
+      failpoints edit_cost relax_cost show_stats explain_flag explain_analyze trace =
     let wall_ns () = int_of_float (1e9 *. Unix.gettimeofday ()) in
-    if show_stats then Core.Exec_stats.now_ns := wall_ns;
-    (* the governor's deadline needs a real clock; without one it never fires *)
-    if timeout_ms <> None then Core.Governor.now_ns := wall_ns;
+    (* One shared init for every time source: scan-time attribution, governor
+       deadlines and trace timestamps all read the same installed clock.
+       (Separate conditional installs used to leave scan_ns silently 0 when
+       only a deadline was requested.) *)
+    if show_stats || explain_analyze || timeout_ms <> None || trace <> None then
+      Obs.Clock.install wall_ns;
+    if trace <> None then Obs.Trace.enable ();
     let failpoints =
       match failpoints with
       | Some _ -> failpoints
@@ -240,41 +274,74 @@ let query_cmd =
         batched_seeding = true;
       }
     in
-    let t0 = Unix.gettimeofday () in
-    match Core.Engine.run_string ~graph ~ontology ~options ~limit query with
+    let export_trace () =
+      match trace with
+      | None -> ()
+      | Some path ->
+        Obs.Trace.export path;
+        Format.printf "trace written to %s (%d event(s))@." path
+          (List.length (Obs.Trace.events ()))
+    in
+    match Core.Query_parser.parse_result query with
     | Error msg ->
       Printf.eprintf "query error: %s\n" msg;
       exit 2
-    | exception Invalid_argument msg ->
-      Printf.eprintf "query error: %s\n" msg;
-      exit 2
-    | Ok outcome ->
-      List.iteri
-        (fun i a -> Format.printf "%3d. %a@." (i + 1) Core.Engine.pp_answer a)
-        outcome.Core.Engine.answers;
-      let exit_code =
-        match outcome.Core.Engine.termination with
-        | Core.Engine.Completed -> 0
-        | Core.Engine.Exhausted { reason; _ } -> (
-          Format.printf "-- partial: %a (the ranked prefix above is still correct)@."
-            Core.Governor.pp_termination outcome.Core.Engine.termination;
-          match reason with
-          | Core.Governor.Answer_limit -> 0
-          | Core.Governor.Deadline -> 3
-          | Core.Governor.Tuple_budget -> 4
-          | Core.Governor.Fault _ -> 5)
-      in
-      Format.printf "%d answer(s) in %.2f ms@."
-        (List.length outcome.Core.Engine.answers)
-        (1000. *. (Unix.gettimeofday () -. t0));
-      if show_stats then Format.printf "stats: %a@." Core.Exec_stats.pp outcome.Core.Engine.stats;
-      if exit_code <> 0 then exit exit_code
+    | Ok q -> (
+      if explain_flag && not explain_analyze then (
+        match Core.Engine.explain ~graph ~ontology ~options q with
+        | plan ->
+          Format.printf "%a@." Obs.Explain.pp plan;
+          export_trace ()
+        | exception Invalid_argument msg ->
+          Printf.eprintf "query error: %s\n" msg;
+          exit 2)
+      else
+        let t0 = Unix.gettimeofday () in
+        match
+          let governor = Core.Options.governor ~limit options in
+          let st = Core.Engine.open_query ~graph ~ontology ~options ~governor q in
+          (st, Core.Engine.drain ~limit st)
+        with
+        | exception Invalid_argument msg ->
+          Printf.eprintf "query error: %s\n" msg;
+          exit 2
+        | st, outcome ->
+          List.iteri
+            (fun i a -> Format.printf "%3d. %a@." (i + 1) Core.Engine.pp_answer a)
+            outcome.Core.Engine.answers;
+          if explain_analyze then begin
+            let plan = Core.Engine.explain ~graph ~ontology ~options q in
+            Core.Engine.annotate st plan;
+            Format.printf "%a@." Obs.Explain.pp plan
+          end;
+          let exit_code =
+            match outcome.Core.Engine.termination with
+            | Core.Engine.Completed -> 0
+            | Core.Engine.Exhausted { reason; _ } -> (
+              Format.printf "-- partial: %a (the ranked prefix above is still correct)@."
+                Core.Governor.pp_termination outcome.Core.Engine.termination;
+              match reason with
+              | Core.Governor.Answer_limit -> 0
+              | Core.Governor.Deadline -> 3
+              | Core.Governor.Tuple_budget -> 4
+              | Core.Governor.Fault _ -> 5)
+          in
+          Format.printf "%d answer(s) in %.2f ms@."
+            (List.length outcome.Core.Engine.answers)
+            (1000. *. (Unix.gettimeofday () -. t0));
+          if show_stats then begin
+            Format.printf "stats: %a@." Core.Exec_stats.pp outcome.Core.Engine.stats;
+            Format.printf "metrics:@.%a@." Obs.Metrics.pp outcome.Core.Engine.metrics
+          end;
+          export_trace ();
+          if exit_code <> 0 then exit exit_code)
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a CRP query (with optional APPROX/RELAX conjuncts) against a triple file.")
     Term.(
       const run $ data_arg $ lenient_arg $ query $ limit $ distance_aware $ decompose $ max_tuples
-      $ timeout_ms $ max_answers $ failpoints $ edit_cost $ relax_cost $ show_stats)
+      $ timeout_ms $ max_answers $ failpoints $ edit_cost $ relax_cost $ show_stats $ explain_flag
+      $ explain_analyze $ trace)
 
 let () =
   let doc = "flexible regular path queries over graph data (APPROX / RELAX)" in

@@ -12,13 +12,14 @@ let pp_mode ppf = function
 
 let conjunct_automaton ~graph ~ontology ~mode r =
   let intern = Graphstore.Interner.intern (Graph.interner graph) in
-  let m = Build.of_regex ~intern r in
+  let span name f = Obs.Trace.with_span ~cat:"build" name f in
+  let m = span "build.thompson" (fun () -> Build.of_regex ~intern r) in
   let transformed =
     match mode with
     | Exact -> m
-    | Approx { ins; del; sub } -> Approx.transform ~ins ~del ~sub m
+    | Approx { ins; del; sub } -> span "build.approx" (fun () -> Approx.transform ~ins ~del ~sub m)
     | Relax { beta; gamma } ->
       let class_node c = Graph.find_node graph (Graphstore.Interner.name (Graph.interner graph) c) in
-      Relax.transform ~beta ~gamma ~ontology ~class_node m
+      span "build.relax" (fun () -> Relax.transform ~beta ~gamma ~ontology ~class_node m)
   in
-  Eps.remove transformed
+  span "build.eps_removal" (fun () -> Eps.remove transformed)

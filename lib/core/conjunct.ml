@@ -31,6 +31,12 @@ type t = {
      allocated. *)
   mutable ubuf : int array;
   mutable ulen : int;
+  (* Distribution metrics, handles resolved once at open time so recording
+     is an array increment (kept unconditional — cheaper than a branch that
+     would misrepresent the run when observability is on). *)
+  h_queue_depth : Obs.Metrics.histogram;
+  h_succ_edges : Obs.Metrics.histogram;
+  h_seed_batch_ns : Obs.Metrics.histogram;
 }
 
 let stats t = t.stats
@@ -55,10 +61,12 @@ let relax_ancestor_seeds ~graph ~ontology ~beta oid =
         | None -> None)
       (Ontology.ancestors_by_specificity ontology label_id)
 
-let open_ ~graph ~ontology ~options ?governor ?ceiling ?suppress (conjunct : Query.conjunct) =
+let open_ ~graph ~ontology ~options ?governor ?metrics ?ceiling ?suppress
+    (conjunct : Query.conjunct) =
   let governor =
     match governor with Some g -> g | None -> Options.governor options
   in
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   (* Case 2: (?X, R, C) becomes (C, R-, ?X). *)
   let subj, regex, obj, swap =
     match (conjunct.subj, conjunct.obj) with
@@ -117,7 +125,48 @@ let open_ ~graph ~ontology ~options ?governor ?ceiling ?suppress (conjunct : Que
     opts = options;
     ubuf = Array.make 64 0;
     ulen = 0;
+    h_queue_depth = Obs.Metrics.histogram metrics "queue_depth";
+    h_succ_edges = Obs.Metrics.histogram metrics "succ_edges";
+    h_seed_batch_ns = Obs.Metrics.histogram metrics "seed_batch_ns";
   }
+
+(* The EXPLAIN view of [open_]: the same case analysis (reversal, compile
+   mode, seeding regime), carried out without building the evaluation
+   structures.  Returns the compiled automaton, a rendered seeding
+   description and whether case 2 reversed the conjunct. *)
+let describe ~graph ~ontology ~options (conjunct : Query.conjunct) =
+  let subj, regex, obj, swap =
+    match (conjunct.Query.subj, conjunct.Query.obj) with
+    | Query.Var _, Query.Const _ ->
+      (conjunct.Query.obj, Regex.reverse conjunct.Query.regex, conjunct.Query.subj, true)
+    | _ -> (conjunct.Query.subj, conjunct.Query.regex, conjunct.Query.obj, false)
+  in
+  let mode = Options.compile_mode options conjunct.Query.cmode in
+  let nfa = Automaton.Compile.conjunct_automaton ~graph ~ontology ~mode regex in
+  let seeding =
+    match subj with
+    | Query.Const c -> (
+      match Graph.find_node graph c with
+      | None -> Printf.sprintf "empty (unknown constant %S)" c
+      | Some oid ->
+        if conjunct.Query.cmode = Query.Relax then
+          let seeds =
+            relax_ancestor_seeds ~graph ~ontology ~beta:options.Options.costs.beta oid
+          in
+          Printf.sprintf "constant+ancestors %S (%d seeds)" c (List.length seeds)
+        else Printf.sprintf "constant %S" c)
+    | Query.Var _ ->
+      if options.Options.batched_seeding then
+        Printf.sprintf "batched(%d)" options.Options.batch_size
+      else "up-front"
+  in
+  let seeding =
+    match obj with
+    | Query.Const c when Graph.find_node graph c = None ->
+      Printf.sprintf "empty (unknown object constant %S)" c
+    | _ -> seeding
+  in
+  (nfa, seeding, swap)
 
 (* [NeighboursByEdge] (§3.4): nodes adjacent to [n] under a transition
    label, observing directionality.  The wildcard [*] retrieves every edge
@@ -150,7 +199,8 @@ let fill_ucache t n lbl =
   iter_neighbours_by_edge t n lbl (fun m -> ubuf_push t m);
   t.stats.scan_ns <- t.stats.scan_ns + (!Exec_stats.now_ns () - t0);
   t.stats.edges_scanned <- t.stats.edges_scanned + t.ulen;
-  t.stats.adjacency_bytes <- t.stats.adjacency_bytes + (t.ulen * (Sys.word_size / 8))
+  t.stats.adjacency_bytes <- t.stats.adjacency_bytes + (t.ulen * (Sys.word_size / 8));
+  Obs.Metrics.observe t.h_succ_edges t.ulen
 
 (* [Succ (s, n)]: transitions leaving (s, n) in the product automaton H_R,
    delivered to [f cost dst m].  Out-transitions are sorted by label
@@ -199,11 +249,13 @@ let refill_if_needed t =
      preserving the non-decreasing answer order.  The poll also breaks the
      loop when the governor trips mid-seeding (the seeder then keeps
      returning short batches without finishing). *)
+  let clocked = Obs.Clock.installed () in
   while
     Governor.poll t.governor
     && (not (Seeder.exhausted t.seeder))
     && not (Dr_queue.has_at t.dr 0)
   do
+    let t0 = !Exec_stats.now_ns () in
     let batch = Seeder.next_batch t.seeder in
     if batch <> [] then begin
       t.stats.batches <- t.stats.batches + 1;
@@ -212,7 +264,12 @@ let refill_if_needed t =
         (fun (oid, dist) ->
           push t ~dist ~final:false { v = oid; n = oid; s = Nfa.initial t.nfa; fin = false })
         batch
-    end
+    end;
+    if clocked then Obs.Metrics.observe t.h_seed_batch_ns (!Exec_stats.now_ns () - t0);
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~cat:"seed" ~start_ns:t0
+        ~args:[ ("seeds", Obs.Trace.Num (List.length batch)) ]
+        "seed.batch"
   done
 
 let already_answered t v n =
@@ -233,6 +290,7 @@ let rec get_next t =
   if not (Governor.poll t.governor) then None
   else begin
   refill_if_needed t;
+  Obs.Metrics.observe t.h_queue_depth (Dr_queue.size t.dr);
   match Dr_queue.pop t.dr with
   | None -> None (* seeder exhausted too, or everything pruned *)
   | Some (tup, dist, _) when tup.fin ->

@@ -39,6 +39,7 @@ val open_ :
   ontology:Ontology.t ->
   options:Options.t ->
   ?governor:Governor.t ->
+  ?metrics:Obs.Metrics.t ->
   ?ceiling:int ->
   ?suppress:(int * int, int) Hashtbl.t ->
   Query.conjunct ->
@@ -50,12 +51,26 @@ val open_ :
     GetNext/seeding loops poll it — a shared governor makes the budget
     cumulative across conjuncts and distance-aware restarts.
 
+    [metrics] is the stream's registry (default: a fresh private one); the
+    conjunct records its [queue_depth], [succ_edges] and [seed_batch_ns]
+    histograms there.
+
     [ceiling] is the ψ bound of distance-aware retrieval: tuples with
     distance above it are pruned (and recorded, see {!pruned}).
 
     [suppress] is a set of already-emitted [(x, y) → dist] answers shared
     across distance-aware restarts: matching pairs are neither re-emitted nor
     re-counted. It is updated in place as answers are emitted. *)
+
+val describe :
+  graph:Graphstore.Graph.t ->
+  ontology:Ontology.t ->
+  options:Options.t ->
+  Query.conjunct ->
+  Automaton.Nfa.t * string * bool
+(** The EXPLAIN view of {!open_}: performs the same case analysis (case-2
+    reversal, compile mode, seeding regime) without building the evaluation
+    structures.  Returns [(automaton, seeding description, reversed)]. *)
 
 val get_next : t -> answer option
 (** The next answer in non-decreasing distance order, or [None] when the

@@ -11,11 +11,17 @@ type outcome = {
   termination : termination;
   aborted : bool;
   stats : Exec_stats.t;
+  metrics : Obs.Metrics.t;
 }
 
 let pp_answer ppf a =
   Format.fprintf ppf "dist=%d %s" a.distance
     (String.concat ", " (List.map (fun (v, x) -> Printf.sprintf "?%s=%s" v x) a.bindings))
+
+(* The distribution metrics the engine layers register, next to the scalar
+   [Exec_stats.field_names] — together the pinned metrics manifest. *)
+let histogram_names =
+  [ "answer_distance"; "queue_depth"; "succ_edges"; "seed_batch_ns"; "join_combos" ]
 
 type stream = {
   graph : Graph.t;
@@ -24,6 +30,9 @@ type stream = {
   pull : unit -> (Ranked_join.binding * int) option;
   projected : (string list, unit) Hashtbl.t; (* dedup of projected bindings *)
   governor : Governor.t;
+  registry : Obs.Metrics.t; (* shared by every layer of this stream *)
+  h_answer_dist : Obs.Metrics.histogram;
+  agg : Exec_stats.t; (* reused aggregate returned by [stream_stats] *)
 }
 
 (* A conjunct answer as a variable binding.  A conjunct with two constants
@@ -46,14 +55,28 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
     | Ok () -> ()
     | Error msg -> invalid_arg ("Engine.open_query: " ^ msg)));
   let governor = match governor with Some g -> g | None -> Options.governor options in
-  let closed = { graph; head = q.head; evaluators = []; pull = (fun () -> None);
-                 projected = Hashtbl.create 1; governor } in
+  let registry = Obs.Metrics.create () in
+  let closed =
+    {
+      graph;
+      head = q.head;
+      evaluators = [];
+      pull = (fun () -> None);
+      projected = Hashtbl.create 1;
+      governor;
+      registry;
+      h_answer_dist = Obs.Metrics.histogram registry "answer_distance";
+      agg = Exec_stats.create ();
+    }
+  in
   (* Opening can itself hit a failpoint (e.g. the ontology lookups of RELAX
      seeding): the stream is then born already tripped rather than raising
      through the public surface. *)
   match
     let evaluators =
-      List.map (fun c -> (c, Evaluator.create ~graph ~ontology ~options ~governor c)) q.conjuncts
+      List.map
+        (fun c -> (c, Evaluator.create ~graph ~ontology ~options ~governor ~metrics:registry c))
+        q.conjuncts
     in
     let stream_of (c, ev) () =
       match Evaluator.next ev with
@@ -64,13 +87,12 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
       match evaluators with
       | [ single ] -> stream_of single
       | several ->
-        let join = Ranked_join.create ~governor (List.map stream_of several) in
+        let join = Ranked_join.create ~governor ~metrics:registry (List.map stream_of several) in
         fun () -> Ranked_join.next join
     in
     (List.map snd evaluators, pull)
   with
-  | evaluators, pull ->
-    { closed with evaluators; pull; projected = Hashtbl.create 64 }
+  | evaluators, pull -> { closed with evaluators; pull; projected = Hashtbl.create 64 }
   | exception Failpoints.Injected name ->
     Governor.fault governor name;
     closed
@@ -100,25 +122,30 @@ let rec next st =
       else begin
         Hashtbl.add st.projected values ();
         Governor.note_answer st.governor;
+        Obs.Metrics.observe st.h_answer_dist distance;
         Some { bindings = List.combine st.head values; distance }
       end
 
 let status st = Governor.termination st.governor
 let governor st = st.governor
 
+(* Aggregated once per stream into a record the stream owns and reuses:
+   polling mid-stream allocates nothing and cannot perturb the per-conjunct
+   accumulators (the evaluators' own [stats] are read-only merges too).
+   Callers wanting a stable snapshot take an [Exec_stats.copy]. *)
 let stream_stats st =
-  let acc = Exec_stats.create () in
-  List.iter (fun ev -> Exec_stats.merge_into acc (Evaluator.stats ev)) st.evaluators;
-  acc
+  Exec_stats.reset st.agg;
+  List.iter (fun ev -> Exec_stats.merge_into st.agg (Evaluator.stats ev)) st.evaluators;
+  st.agg
 
-let run ~graph ~ontology ?options ?limit q =
-  let options = match options with Some o -> o | None -> Options.default in
-  let governor = Options.governor ?limit options in
-  let st = open_query ~graph ~ontology ~options ~governor q in
+let metrics st =
+  Exec_stats.record_into st.registry (stream_stats st);
+  st.registry
+
+let drain ?limit st =
   let rec collect acc k =
     if k <= 0 then List.rev acc
-    else
-      match next st with Some a -> collect (a :: acc) (k - 1) | None -> List.rev acc
+    else match next st with Some a -> collect (a :: acc) (k - 1) | None -> List.rev acc
   in
   let answers = collect [] (Option.value limit ~default:max_int) in
   let termination = status st in
@@ -127,9 +154,63 @@ let run ~graph ~ontology ?options ?limit q =
     | Exhausted { reason = Governor.Tuple_budget; _ } -> true
     | _ -> false
   in
-  { answers; termination; aborted; stats = stream_stats st }
+  { answers; termination; aborted; stats = Exec_stats.copy (stream_stats st); metrics = metrics st }
+
+let run ~graph ~ontology ?options ?limit q =
+  let options = match options with Some o -> o | None -> Options.default in
+  let governor = Options.governor ?limit options in
+  let st = open_query ~graph ~ontology ~options ~governor q in
+  drain ?limit st
 
 let run_string ~graph ~ontology ?options ?limit s =
   match Query_parser.parse_result s with
   | Error msg -> Error msg
   | Ok q -> Ok (run ~graph ~ontology ?options ?limit q)
+
+let explain ~graph ~ontology ?(options = Options.default) (q : Query.t) =
+  (match Query.validate q with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.explain: " ^ msg));
+  let conjuncts =
+    List.mapi (fun i c -> Evaluator.describe ~graph ~ontology ~options ~index:(i + 1) c) q.conjuncts
+  in
+  let join =
+    match q.conjuncts with
+    | [ _ ] -> "single-conjunct"
+    | cs -> Printf.sprintf "ranked-join(%d)" (List.length cs)
+  in
+  let governor =
+    [
+      ( "timeout",
+        match options.Options.timeout_ns with
+        | None -> "none"
+        | Some ns -> Printf.sprintf "%dms" (ns / 1_000_000) );
+      ( "tuples",
+        match options.Options.max_tuples with None -> "none" | Some n -> string_of_int n );
+      ( "answers",
+        match options.Options.max_answers with None -> "none" | Some n -> string_of_int n );
+    ]
+  in
+  {
+    Obs.Explain.query = Format.asprintf "%a" Query.pp q;
+    head = q.head;
+    join;
+    governor;
+    conjuncts;
+    analysis = [];
+  }
+
+let annotate st (plan : Obs.Explain.plan) =
+  (* A born-tripped stream has no evaluators; leave its counters empty. *)
+  (try
+     List.iter2
+       (fun (cp : Obs.Explain.conjunct_plan) ev ->
+         cp.Obs.Explain.counters <- Exec_stats.to_assoc (Exec_stats.copy (Evaluator.stats ev)))
+       plan.Obs.Explain.conjuncts st.evaluators
+   with Invalid_argument _ -> ());
+  plan.Obs.Explain.analysis <-
+    [
+      ("termination", Format.asprintf "%a" Governor.pp_termination (status st));
+      ("answers", string_of_int (Governor.answers st.governor));
+      ("tuples", string_of_int (Governor.tuples st.governor));
+    ]

@@ -38,7 +38,10 @@ type outcome = {
       (** compatibility view of [termination]: true iff the tuple budget
           ([options.max_tuples], the paper's memory stand-in) tripped;
           prefer matching on [termination] *)
-  stats : Exec_stats.t;  (** aggregated over all conjuncts *)
+  stats : Exec_stats.t;  (** aggregated over all conjuncts (a stable snapshot) *)
+  metrics : Obs.Metrics.t;
+      (** the stream's metrics registry: the {!histogram_names} distributions
+          plus the absorbed [stats] counters *)
 }
 
 val pp_answer : Format.formatter -> answer -> unit
@@ -76,6 +79,45 @@ val governor : stream -> Governor.t
     {!Governor.cancel} it to stop the evaluation cooperatively. *)
 
 val stream_stats : stream -> Exec_stats.t
+(** Counters aggregated over all conjuncts so far.  The returned record is
+    {e owned and reused} by the stream — polling it mid-stream allocates
+    nothing and does not perturb the evaluation (pinned by a regression
+    test); take an [Exec_stats.copy] for a stable snapshot. *)
+
+val metrics : stream -> Obs.Metrics.t
+(** The stream's metrics registry: the engine's distribution histograms
+    ({!histogram_names}) with the current {!stream_stats} counters absorbed
+    (re-absorbed at each call, so the scalar values are fresh). *)
+
+val histogram_names : string list
+(** The distribution metrics the engine layers register
+    ([answer_distance], [queue_depth], [succ_edges], [seed_batch_ns],
+    [join_combos]); together with [Exec_stats.field_names] this is the
+    pinned metrics manifest checked in CI. *)
+
+val drain : ?limit:int -> stream -> outcome
+(** Pull up to [limit] answers (default: all) from an open stream and
+    package the result — {!run} is [open_query] followed by [drain].
+    Exposed so callers holding a stream (e.g. [--explain-analyze]) can
+    finish it and still interrogate the stream afterwards. *)
+
+val explain :
+  graph:Graphstore.Graph.t ->
+  ontology:Ontology.t ->
+  ?options:Options.t ->
+  Query.t ->
+  Obs.Explain.plan
+(** The physical plan the engine would choose for [q] under [options]:
+    per-conjunct automata (compiled for real, so sizes are exact),
+    strategies, seeding regimes, join method and governor limits — without
+    evaluating anything.
+    @raise Invalid_argument if the query fails {!Query.validate}. *)
+
+val annotate : stream -> Obs.Explain.plan -> unit
+(** Fill a plan's per-conjunct [counters] and the plan [analysis] from a
+    stream's live state ([--explain-analyze]): call after draining (or at
+    any point mid-stream).  The plan must come from {!explain} on the same
+    query — conjuncts are matched positionally. *)
 
 val run :
   graph:Graphstore.Graph.t ->

@@ -17,22 +17,26 @@ type levelled = {
   ontology : Ontology.t;
   options : Options.t;
   governor : Governor.t;
+  metrics : Obs.Metrics.t; (* shared with every part this evaluator opens *)
   emitted : (int * int, int) Hashtbl.t;
   phi : int;
   mutable psi : int;
   mutable remaining : Query.conjunct list; (* parts not yet run at this level *)
   mutable current : (Conjunct.t * Query.conjunct) option;
   mutable current_count : int;
+  mutable part_start_ns : int; (* clock sample at the current part's open *)
   mutable counts : (Query.conjunct * int) list; (* finished parts, this level *)
   mutable level_complete : bool; (* no part pruned anything so far this level *)
   mutable exhausted : bool;
   stats : Exec_stats.t;
+  agg : Exec_stats.t; (* reused aggregate returned by [stats] *)
 }
 
 type t = Plain of Conjunct.t | Levelled of levelled
 
-let create ~graph ~ontology ~options ?governor (conjunct : Query.conjunct) =
+let create ~graph ~ontology ~options ?governor ?metrics (conjunct : Query.conjunct) =
   let governor = match governor with Some g -> g | None -> Options.governor options in
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   let alternatives = Regex.top_level_alternatives conjunct.regex in
   let decomposed = options.Options.decompose && List.length alternatives > 1 in
   if decomposed || options.Options.distance_aware then begin
@@ -46,24 +50,31 @@ let create ~graph ~ontology ~options ?governor (conjunct : Query.conjunct) =
         ontology;
         options;
         governor;
+        metrics;
         emitted = Hashtbl.create 64;
         phi = Options.phi options conjunct.cmode;
         psi = 0;
         remaining = parts;
         current = None;
         current_count = 0;
+        part_start_ns = 0;
         counts = [];
         level_complete = true;
         exhausted = false;
         stats = Exec_stats.create ();
+        agg = Exec_stats.create ();
       }
   end
-  else Plain (Conjunct.open_ ~graph ~ontology ~options ~governor conjunct)
+  else Plain (Conjunct.open_ ~graph ~ontology ~options ~governor ~metrics conjunct)
 
 let finish_part lev eval part =
   Exec_stats.merge_into lev.stats (Conjunct.stats eval);
   lev.stats.restarts <- lev.stats.restarts + 1;
   if Conjunct.pruned eval then lev.level_complete <- false;
+  if Obs.Trace.enabled () then
+    Obs.Trace.complete ~cat:"psi" ~start_ns:lev.part_start_ns
+      ~args:[ ("psi", Obs.Trace.Num lev.psi); ("answers", Obs.Trace.Num lev.current_count) ]
+      "psi.part";
   lev.counts <- (part, lev.current_count) :: lev.counts;
   lev.current <- None;
   lev.current_count <- 0
@@ -92,10 +103,12 @@ let rec next_levelled lev =
       match lev.remaining with
       | part :: rest ->
         lev.remaining <- rest;
+        lev.part_start_ns <- !Exec_stats.now_ns ();
         lev.current <-
           Some
             ( Conjunct.open_ ~graph:lev.graph ~ontology:lev.ontology ~options:lev.options
-                ~governor:lev.governor ~ceiling:lev.psi ~suppress:lev.emitted part,
+                ~governor:lev.governor ~metrics:lev.metrics ~ceiling:lev.psi
+                ~suppress:lev.emitted part,
               part );
         next_levelled lev
       | [] ->
@@ -110,6 +123,8 @@ let rec next_levelled lev =
           lev.counts <- [];
           lev.level_complete <- true;
           lev.psi <- lev.psi + lev.phi;
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant ~cat:"psi" ~args:[ ("psi", Obs.Trace.Num lev.psi) ] "psi.level";
           next_levelled lev
         end)
 
@@ -124,12 +139,68 @@ let take t k =
   in
   loop [] k
 
+(* The levelled aggregate is computed into a record owned and reused by the
+   evaluator — polling stats mid-stream therefore allocates nothing and
+   perturbs nothing.  Callers wanting a snapshot use [Exec_stats.copy]. *)
 let stats = function
   | Plain c -> Conjunct.stats c
   | Levelled lev ->
-    let acc = Exec_stats.create () in
-    Exec_stats.merge_into acc lev.stats;
+    Exec_stats.reset lev.agg;
+    Exec_stats.merge_into lev.agg lev.stats;
     (match lev.current with
-    | Some (eval, _) -> Exec_stats.merge_into acc (Conjunct.stats eval)
+    | Some (eval, _) -> Exec_stats.merge_into lev.agg (Conjunct.stats eval)
     | None -> ());
-    acc
+    lev.agg
+
+let automaton_name : Automaton.Compile.mode -> string = function
+  | Automaton.Compile.Exact -> "M_R"
+  | Automaton.Compile.Approx _ -> "A_R"
+  | Automaton.Compile.Relax _ -> "M^K_R"
+
+let mode_string : Query.mode -> string = function
+  | Query.Exact -> "exact"
+  | Query.Approx -> "approx"
+  | Query.Relax -> "relax"
+
+(* The EXPLAIN view of [create]: reproduce the strategy choice and compile
+   the automata, without opening any evaluation state. *)
+let describe ~graph ~ontology ~options ~index (conjunct : Query.conjunct) =
+  let nfa, seeding, reversed = Conjunct.describe ~graph ~ontology ~options conjunct in
+  let mode = Options.compile_mode options conjunct.Query.cmode in
+  let alternatives = Regex.top_level_alternatives conjunct.Query.regex in
+  let decomposed = options.Options.decompose && List.length alternatives > 1 in
+  let phi = Options.phi options conjunct.Query.cmode in
+  let strategy =
+    if decomposed then Printf.sprintf "decomposed(%d, phi=%d)" (List.length alternatives) phi
+    else if options.Options.distance_aware then Printf.sprintf "distance-aware(phi=%d)" phi
+    else "plain"
+  in
+  let parts =
+    if not decomposed then []
+    else
+      List.map
+        (fun regex ->
+          let pnfa, _, _ =
+            Conjunct.describe ~graph ~ontology ~options { conjunct with Query.regex }
+          in
+          {
+            Obs.Explain.p_regex = Format.asprintf "%a" Regex.pp regex;
+            p_states = Automaton.Nfa.n_states pnfa;
+            p_transitions = Automaton.Nfa.n_transitions pnfa;
+          })
+        alternatives
+  in
+  {
+    Obs.Explain.index;
+    (* [pp] prefixes the mode itself, so the source is the bare triple *)
+    source = Format.asprintf "%a" Query.pp_conjunct { conjunct with Query.cmode = Query.Exact };
+    mode = mode_string conjunct.Query.cmode;
+    automaton = automaton_name mode;
+    states = Automaton.Nfa.n_states nfa;
+    transitions = Automaton.Nfa.n_transitions nfa;
+    reversed;
+    strategy;
+    seeding;
+    parts;
+    counters = [];
+  }

@@ -28,13 +28,15 @@ val create :
   ontology:Ontology.t ->
   options:Options.t ->
   ?governor:Governor.t ->
+  ?metrics:Obs.Metrics.t ->
   Query.conjunct ->
   t
 (** [governor] (default: a fresh one implementing the options' limits) is
     shared by every conjunct run this evaluator opens, including
     distance-aware/decomposed restarts — so the tuple budget is cumulative
     across ψ levels, and a deadline or cancellation also stops the restart
-    loop itself. *)
+    loop itself.  [metrics] (default: a fresh private registry) is likewise
+    shared by every conjunct run, so histograms accumulate across restarts. *)
 
 val next : t -> Conjunct.answer option
 (** Next answer, or [None] when exhausted or when the governor tripped
@@ -47,4 +49,18 @@ val take : t -> int -> Conjunct.answer list
 (** [take t k]: up to [k] further answers. *)
 
 val stats : t -> Exec_stats.t
-(** Counters aggregated over all runs/sub-automata so far. *)
+(** Counters aggregated over all runs/sub-automata so far.  The returned
+    record is {e owned and reused} by the evaluator (polling mid-stream
+    allocates nothing); take an [Exec_stats.copy] for a stable snapshot. *)
+
+val describe :
+  graph:Graphstore.Graph.t ->
+  ontology:Ontology.t ->
+  options:Options.t ->
+  index:int ->
+  Query.conjunct ->
+  Obs.Explain.conjunct_plan
+(** The EXPLAIN view of {!create}: reproduces the strategy choice (plain /
+    distance-aware / decomposed), compiles the automaton (and each
+    decomposition part's), and renders the seeding regime — without opening
+    any evaluation state.  [index] is the conjunct's 1-based position. *)

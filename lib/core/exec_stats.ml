@@ -13,11 +13,12 @@ type t = {
   mutable pruned : int;
 }
 
-(* Monotonic clock used to attribute time to neighbour scans ([scan_ns]).
-   The default reads nothing so the engine stays dependency-free and pays no
-   syscall on the hot path; binaries that want the breakdown (the CLI's
-   --stats, the bench harness) install a real nanosecond clock. *)
-let now_ns : (unit -> int) ref = ref (fun () -> 0)
+(* The monotonic clock used to attribute time to neighbour scans ([scan_ns])
+   is the shared process clock: one [Obs.Clock.install] in a binary's init
+   turns on every time attribution at once (scan_ns, governor deadlines,
+   trace timestamps).  The default reads nothing, so the engine stays
+   dependency-free and pays no syscall on the hot path. *)
+let now_ns = Obs.Clock.now_ns
 
 let create () =
   {
@@ -34,6 +35,8 @@ let create () =
     restarts = 0;
     pruned = 0;
   }
+
+let copy t = { t with pushes = t.pushes }
 
 let reset t =
   t.pushes <- 0;
@@ -63,9 +66,47 @@ let merge_into acc x =
   acc.restarts <- acc.restarts + x.restarts;
   acc.pruned <- acc.pruned + x.pruned
 
+let field_names =
+  [
+    "pushes";
+    "pops";
+    "succ_calls";
+    "edges_scanned";
+    "adjacency_bytes";
+    "scan_ns";
+    "batches";
+    "seeds";
+    "answers";
+    "peak_queue";
+    "restarts";
+    "pruned";
+  ]
+
+let to_assoc t =
+  [
+    ("pushes", t.pushes);
+    ("pops", t.pops);
+    ("succ_calls", t.succ_calls);
+    ("edges_scanned", t.edges_scanned);
+    ("adjacency_bytes", t.adjacency_bytes);
+    ("scan_ns", t.scan_ns);
+    ("batches", t.batches);
+    ("seeds", t.seeds);
+    ("answers", t.answers);
+    ("peak_queue", t.peak_queue);
+    ("restarts", t.restarts);
+    ("pruned", t.pruned);
+  ]
+
+let record_into registry t =
+  List.iter (fun (name, v) -> Obs.Metrics.set (Obs.Metrics.counter registry name) v) (to_assoc t)
+
 let pp ppf t =
-  Format.fprintf ppf
-    "pushes=%d pops=%d succ=%d edges=%d adj-bytes=%d scan-ns=%d batches=%d seeds=%d answers=%d \
-     peak=%d restarts=%d pruned=%d"
-    t.pushes t.pops t.succ_calls t.edges_scanned t.adjacency_bytes t.scan_ns t.batches t.seeds
-    t.answers t.peak_queue t.restarts t.pruned
+  Format.fprintf ppf "pushes=%d pops=%d succ=%d edges=%d adj-bytes=%d " t.pushes t.pops t.succ_calls
+    t.edges_scanned t.adjacency_bytes;
+  (* A silent 0 used to be indistinguishable from "no clock installed"; flag
+     the uninstalled case instead of reporting a fake measurement. *)
+  if t.scan_ns = 0 && not (Obs.Clock.installed ()) then Format.fprintf ppf "scan-ns=n/a"
+  else Format.fprintf ppf "scan-ns=%d" t.scan_ns;
+  Format.fprintf ppf " batches=%d seeds=%d answers=%d peak=%d restarts=%d pruned=%d" t.batches
+    t.seeds t.answers t.peak_queue t.restarts t.pruned

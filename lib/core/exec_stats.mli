@@ -3,7 +3,12 @@
     These are the quantities the paper reasons with when explaining the
     performance study ("a large number of intermediate results being
     generated … converted into tuples in GetNext and added to D_R"), so the
-    benchmark harness reports them alongside wall-clock times. *)
+    benchmark harness reports them alongside wall-clock times.
+
+    The scalar counters here are the raw collection point; the query-level
+    view is the per-stream {!Obs.Metrics} registry, which absorbs them
+    (via {!record_into}) next to the distribution metrics the engine
+    records directly (answer-distance, queue-depth, … histograms). *)
 
 type t = {
   mutable pushes : int;  (** tuples added to [D_R] *)
@@ -15,7 +20,7 @@ type t = {
           traffic the CSR layout (see {!Graphstore.Graph.freeze}) compacts *)
   mutable scan_ns : int;
       (** time spent inside neighbour scans, in nanoseconds; 0 unless a
-          clock is installed in {!now_ns} *)
+          clock is installed in {!Obs.Clock} *)
   mutable batches : int;  (** seed batches delivered by the coroutine *)
   mutable seeds : int;  (** initial nodes added *)
   mutable answers : int;  (** answers emitted *)
@@ -25,16 +30,37 @@ type t = {
 }
 
 val now_ns : (unit -> int) ref
-(** The clock behind [scan_ns].  Defaults to [fun () -> 0] (no syscalls on
-    the hot path); install a monotonic nanosecond clock to get real
-    attributions, e.g. [Exec_stats.now_ns := fun () -> int_of_float (1e9 *. Unix.gettimeofday ())]. *)
+(** The clock behind [scan_ns] — an alias of {!Obs.Clock.now_ns}, the one
+    shared process clock.  Prefer [Obs.Clock.install] (it also marks the
+    clock installed, so printers stop flagging [scan-ns=n/a]); direct
+    assignment still works for deterministic test clocks. *)
 
 val create : unit -> t
+
+val copy : t -> t
+(** A snapshot — needed because aggregation entry points
+    ([Engine.stream_stats], [Evaluator.stats]) return records they own and
+    reuse. *)
 
 val reset : t -> unit
 
 val merge_into : t -> t -> unit
 (** [merge_into acc x] adds [x]'s counters into [acc] ([peak_queue] takes the
-    max). *)
+    max).  Associative and commutative over disjoint accumulators (pinned by
+    the observability test suite). *)
+
+val field_names : string list
+(** The canonical counter names, in declaration order — the scalar half of
+    the metrics manifest ([bench/metrics_manifest.txt]). *)
+
+val to_assoc : t -> (string * int) list
+(** Field name → value, in [field_names] order. *)
+
+val record_into : Obs.Metrics.t -> t -> unit
+(** Absorb the counters into a metrics registry (as counters named by
+    [field_names], values {e set}, not added — call it with the final
+    aggregate). *)
 
 val pp : Format.formatter -> t -> unit
+(** Renders [scan-ns=n/a] instead of a silent [0] when no clock has been
+    installed in {!Obs.Clock}. *)

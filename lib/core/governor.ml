@@ -4,10 +4,11 @@ type termination =
   | Completed
   | Exhausted of { reason : reason; elapsed_ns : int; tuples : int; answers : int }
 
-(* Monotonic clock behind deadlines, mirroring [Exec_stats.now_ns]: the
-   default reads nothing, so a governor without a deadline (or a binary that
-   never installs a clock) pays no syscall anywhere on the hot path. *)
-let now_ns : (unit -> int) ref = ref (fun () -> 0)
+(* Monotonic clock behind deadlines — the shared process clock, the same
+   ref [Exec_stats.now_ns] aliases.  One [Obs.Clock.install] in a binary's
+   init arms every deadline; the default reads nothing, so a governor
+   without a deadline pays no syscall anywhere on the hot path. *)
+let now_ns = Obs.Clock.now_ns
 
 type t = {
   mutable stop : reason option;
@@ -35,7 +36,26 @@ let create ?timeout_ns ?max_tuples ?max_answers () =
 
 let unlimited () = create ()
 
-let trip t reason = if t.stop = None then t.stop <- Some reason
+let reason_string = function
+  | Tuple_budget -> "tuple-budget"
+  | Deadline -> "deadline"
+  | Answer_limit -> "answer-limit"
+  | Fault name -> "fault:" ^ name
+
+let trip t reason =
+  if t.stop = None then begin
+    t.stop <- Some reason;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"governor"
+        ~args:
+          [
+            ("reason", Obs.Trace.Str (reason_string reason));
+            ("tuples", Obs.Trace.Num t.tuples);
+            ("answers", Obs.Trace.Num t.answers);
+          ]
+        "governor.trip"
+  end
+
 let fault t name = trip t (Fault name)
 let cancel ?(reason = "cancelled") t = trip t (Fault reason)
 let tripped t = t.stop
@@ -54,17 +74,17 @@ let poll t =
       t.polls land 15 <> 0
       || !now_ns () <= t.deadline
       ||
-      (t.stop <- Some Deadline;
+      (trip t Deadline;
        false)
     end
 
 let tick_tuple t =
   t.tuples <- t.tuples + 1;
-  if t.tuples > t.tuple_budget && t.stop = None then t.stop <- Some Tuple_budget
+  if t.tuples > t.tuple_budget && t.stop = None then trip t Tuple_budget
 
 let note_answer t =
   t.answers <- t.answers + 1;
-  if t.answers >= t.answer_cap && t.stop = None then t.stop <- Some Answer_limit
+  if t.answers >= t.answer_cap && t.stop = None then trip t Answer_limit
 
 let tuples t = t.tuples
 let answers t = t.answers
@@ -75,12 +95,6 @@ let termination t =
   | None -> Completed
   | Some reason ->
     Exhausted { reason; elapsed_ns = elapsed_ns t; tuples = t.tuples; answers = t.answers }
-
-let reason_string = function
-  | Tuple_budget -> "tuple-budget"
-  | Deadline -> "deadline"
-  | Answer_limit -> "answer-limit"
-  | Fault name -> "fault:" ^ name
 
 let pp_termination ppf = function
   | Completed -> Format.fprintf ppf "completed"

@@ -29,10 +29,11 @@ type termination =
           installed in {!now_ns}. *)
 
 val now_ns : (unit -> int) ref
-(** The installable monotonic clock behind deadlines, mirroring
-    [Exec_stats.now_ns]: defaults to [fun () -> 0] (no syscall on the hot
-    path, deadlines never fire); binaries wanting wall-clock control install
-    a real nanosecond clock. *)
+(** The monotonic clock behind deadlines — an alias of {!Obs.Clock.now_ns},
+    the same ref as [Exec_stats.now_ns]: defaults to [fun () -> 0] (no
+    syscall on the hot path, deadlines never fire).  Binaries wanting
+    wall-clock control call [Obs.Clock.install] once; direct assignment
+    still works for deterministic test clocks. *)
 
 type t
 

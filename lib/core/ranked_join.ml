@@ -33,10 +33,12 @@ type t = {
   buffer : (binding * int) Dr_queue.t; (* keyed by total distance *)
   emitted : (binding, unit) Hashtbl.t;
   governor : Governor.t;
+  h_combos : Obs.Metrics.histogram; (* combinations produced per input pull *)
 }
 
-let create ?(governor = Governor.unlimited ()) streams =
+let create ?(governor = Governor.unlimited ()) ?metrics streams =
   if streams = [] then invalid_arg "Ranked_join.create: no streams";
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   {
     inputs =
       Array.of_list
@@ -46,6 +48,7 @@ let create ?(governor = Governor.unlimited ()) streams =
     buffer = Dr_queue.create ();
     emitted = Hashtbl.create 64;
     governor;
+    h_combos = Obs.Metrics.histogram metrics "join_combos";
   }
 
 (* Lower bound on the total distance of any joined combination that uses at
@@ -87,19 +90,31 @@ let combinations t idx fresh fresh_dist =
 let pull_one t idx =
   Failpoints.check Failpoints.Join_pull;
   let input = t.inputs.(idx) in
+  let start_ns = if Obs.Trace.enabled () then !Obs.Clock.now_ns () else 0 in
   match input.pull () with
-  | None -> input.exhausted <- true
+  | None ->
+    input.exhausted <- true;
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~cat:"join" ~start_ns
+        ~args:[ ("input", Obs.Trace.Num idx); ("combos", Obs.Trace.Num 0) ]
+        "join.pull"
   | Some (b, d) ->
     input.seen <- (b, d) :: input.seen;
     input.last <- max input.last d;
     (match input.top with Some top when top <= d -> () | _ -> input.top <- Some d);
+    let combos = combinations t idx b d in
     List.iter
       (fun (binding, total) ->
         Dr_queue.push t.buffer ~dist:total ~final:false (binding, total);
         (* buffered join combinations are held in memory just like D_R
            tuples, so they draw on the same governor budget *)
         Governor.tick_tuple t.governor)
-      (combinations t idx b d)
+      combos;
+    Obs.Metrics.observe t.h_combos (List.length combos);
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~cat:"join" ~start_ns
+        ~args:[ ("input", Obs.Trace.Num idx); ("combos", Obs.Trace.Num (List.length combos)) ]
+        "join.pull"
 
 let next_source t =
   (* The non-exhausted input with the smallest last-seen distance; inputs

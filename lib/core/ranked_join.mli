@@ -28,11 +28,14 @@ val merge : binding -> binding -> binding
 
 type t
 
-val create : ?governor:Governor.t -> (unit -> (binding * int) option) list -> t
+val create :
+  ?governor:Governor.t -> ?metrics:Obs.Metrics.t -> (unit -> (binding * int) option) list -> t
 (** [create streams] — each stream must yield answers in non-decreasing
     distance.  The pull loop polls [governor] (default: unlimited) and
     every buffered combination ticks its tuple budget, so the join's own
     memory draws on the same per-query ceiling as the conjuncts' [D_R].
+    [metrics] (default: a fresh private registry) receives the
+    [join_combos] histogram — combinations produced per input pull.
     @raise Invalid_argument on the empty list. *)
 
 val next : t -> (binding * int) option

@@ -1,0 +1,12 @@
+let now_ns : (unit -> int) ref = ref (fun () -> 0)
+let flag = ref false
+
+let install f =
+  now_ns := f;
+  flag := true
+
+let installed () = !flag
+
+let uninstall () =
+  now_ns := (fun () -> 0);
+  flag := false

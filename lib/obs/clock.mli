@@ -1,0 +1,25 @@
+(** The one process-wide monotonic clock behind every time attribution:
+    [Exec_stats.scan_ns], governor deadlines, trace timestamps and metric
+    latency histograms all read this reference.
+
+    The default reads nothing and returns 0, so a library user who never
+    installs a clock pays no syscall anywhere on the hot paths — and the
+    printers can tell "no clock" apart from "measured 0" via {!installed}.
+    Binaries (the CLI, the bench harness) install a real nanosecond clock
+    once, in one shared init, instead of poking the per-module references
+    that used to exist. *)
+
+val now_ns : (unit -> int) ref
+(** Current time in nanoseconds.  Defaults to [fun () -> 0]. *)
+
+val install : (unit -> int) -> unit
+(** Install a monotonic nanosecond clock and mark it {!installed}.  E.g.
+    [Clock.install (fun () -> int_of_float (1e9 *. Unix.gettimeofday ()))]. *)
+
+val installed : unit -> bool
+(** Whether {!install} has been called.  Assigning {!now_ns} directly (the
+    pre-obs compatibility surface, and what the deterministic-clock tests
+    do) deliberately does {e not} set this flag. *)
+
+val uninstall : unit -> unit
+(** Restore the zero clock and clear the flag — for tests. *)

@@ -1,0 +1,92 @@
+type part = { p_regex : string; p_states : int; p_transitions : int }
+
+type conjunct_plan = {
+  index : int;
+  source : string;
+  mode : string;
+  automaton : string;
+  states : int;
+  transitions : int;
+  reversed : bool;
+  strategy : string;
+  seeding : string;
+  parts : part list;
+  mutable counters : (string * int) list;
+}
+
+type plan = {
+  query : string;
+  head : string list;
+  join : string;
+  governor : (string * string) list;
+  conjuncts : conjunct_plan list;
+  mutable analysis : (string * string) list;
+}
+
+let pp_kvs pp_v ppf kvs =
+  List.iteri
+    (fun i (k, v) -> Format.fprintf ppf (if i = 0 then "%s=%a" else " %s=%a") k pp_v v)
+    kvs
+
+let pp_conjunct ppf (c : conjunct_plan) =
+  Format.fprintf ppf "[%d] %s %s@," c.index (String.uppercase_ascii c.mode) c.source;
+  Format.fprintf ppf "    automaton %s: %d states, %d transitions@," c.automaton c.states
+    c.transitions;
+  Format.fprintf ppf "    strategy: %s@," c.strategy;
+  Format.fprintf ppf "    seeding: %s@," c.seeding;
+  if c.reversed then Format.fprintf ppf "    reversed: subject/object swapped (case 2)@,";
+  List.iteri
+    (fun i (p : part) ->
+      Format.fprintf ppf "    part %d: %s — %d states, %d transitions@," (i + 1) p.p_regex
+        p.p_states p.p_transitions)
+    c.parts;
+  if c.counters <> [] then
+    Format.fprintf ppf "    counters: %a@," (pp_kvs Format.pp_print_int) c.counters
+
+let pp ppf (p : plan) =
+  Format.fprintf ppf "@[<v>EXPLAIN %s@," p.query;
+  Format.fprintf ppf "  join: %s@," p.join;
+  Format.fprintf ppf "  governor: %a@," (pp_kvs Format.pp_print_string) p.governor;
+  List.iter (fun c -> Format.fprintf ppf "  @[<v>%a@]" pp_conjunct c) p.conjuncts;
+  if p.analysis <> [] then
+    Format.fprintf ppf "  analysis: %a@," (pp_kvs Format.pp_print_string) p.analysis;
+  Format.fprintf ppf "@]"
+
+let to_json (p : plan) =
+  Json.Obj
+    [
+      ("query", Json.String p.query);
+      ("head", Json.List (List.map (fun v -> Json.String v) p.head));
+      ("join", Json.String p.join);
+      ("governor", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) p.governor));
+      ( "conjuncts",
+        Json.List
+          (List.map
+             (fun (c : conjunct_plan) ->
+               Json.Obj
+                 [
+                   ("index", Json.Int c.index);
+                   ("source", Json.String c.source);
+                   ("mode", Json.String c.mode);
+                   ("automaton", Json.String c.automaton);
+                   ("states", Json.Int c.states);
+                   ("transitions", Json.Int c.transitions);
+                   ("reversed", Json.Bool c.reversed);
+                   ("strategy", Json.String c.strategy);
+                   ("seeding", Json.String c.seeding);
+                   ( "parts",
+                     Json.List
+                       (List.map
+                          (fun (pt : part) ->
+                            Json.Obj
+                              [
+                                ("regex", Json.String pt.p_regex);
+                                ("states", Json.Int pt.p_states);
+                                ("transitions", Json.Int pt.p_transitions);
+                              ])
+                          c.parts) );
+                   ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) c.counters));
+                 ])
+             p.conjuncts) );
+      ("analysis", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) p.analysis));
+    ]

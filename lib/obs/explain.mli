@@ -1,0 +1,54 @@
+(** The EXPLAIN layer's plan representation: a plain-data description of the
+    physical plan the engine chose for a query, rendered as text
+    ([omega query --explain]) or JSON.
+
+    The datatypes live here, below the engine, so the renderer stays
+    dependency-free; [Engine.explain] builds the plan and
+    [Engine.annotate] fills in the live counters after execution
+    ([--explain-analyze]).
+
+    Concrete grammar of the text rendering (one plan):
+    {v
+    EXPLAIN <query>
+      join: <single-conjunct | ranked-join(n)>
+      governor: timeout=<ms|none> tuples=<n|none> answers=<n|none>
+      [<i>] <mode> <conjunct>
+          automaton <M_R | A_R | M^K_R>: <s> states, <t> transitions
+          strategy: <plain | distance-aware(phi=k) | decomposed(n, phi=k)>
+          seeding: <constant "C" | constant+ancestors "C" (k seeds) |
+                    batched(k) | up-front | empty (unknown constant)>
+          [reversed: subject/object swapped (case 2)]
+          [part <j>: <regex> — <s> states, <t> transitions]
+          [counters: k=v ...]            (analyze only)
+      [analysis: k=v ...]                (analyze only)
+    v} *)
+
+type part = { p_regex : string; p_states : int; p_transitions : int }
+(** One decomposition part (a top-level alternative compiled alone). *)
+
+type conjunct_plan = {
+  index : int;  (** 1-based position in the query body *)
+  source : string;  (** the conjunct, pretty-printed *)
+  mode : string;  (** ["exact"] | ["approx"] | ["relax"] *)
+  automaton : string;  (** ["M_R"] | ["A_R"] | ["M^K_R"] (paper §3.3) *)
+  states : int;
+  transitions : int;
+  reversed : bool;  (** case 2: [(?X, R, C)] evaluated as [(C, R-, ?X)] *)
+  strategy : string;
+  seeding : string;
+  parts : part list;  (** non-empty only under decomposition *)
+  mutable counters : (string * int) list;  (** filled by annotate *)
+}
+
+type plan = {
+  query : string;
+  head : string list;
+  join : string;  (** ["single-conjunct"] | ["ranked-join(n)"] *)
+  governor : (string * string) list;  (** limit name → rendered value *)
+  conjuncts : conjunct_plan list;
+  mutable analysis : (string * string) list;  (** filled by annotate *)
+}
+
+val pp : Format.formatter -> plan -> unit
+
+val to_json : plan -> Json.t

@@ -1,0 +1,247 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
+      (* NaN is not JSON; integral floats print without the trailing dot *)
+      Buffer.add_string buf (string_of_int (int_of_float (if Float.is_nan f then 0. else f)))
+    else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  | String s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\":";
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+let pp ppf j = Format.pp_print_string ppf (to_string j)
+
+let to_channel oc j = output_string oc (to_string j)
+
+(* ---- parsing ------------------------------------------------------- *)
+
+exception Fail of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let utf8 buf cp =
+    (* encode a BMP code point; surrogate pairs are rare in our files and
+       decoded as two separate 3-byte sequences, which round-trips. *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let string_body () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'u' ->
+          advance ();
+          utf8 buf (hex4 ());
+          (* hex4 advanced past the digits; counteract the advance below *)
+          pos := !pos - 1
+        | _ -> fail "bad escape");
+        advance ();
+        go ())
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          expect '"';
+          let k = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+    | Some '"' ->
+      advance ();
+      String (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (at, msg) -> Error (Printf.sprintf "json parse error at byte %d: %s" at msg)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_int = function
+  | Int n -> Some n
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int n -> Some (float_of_int n) | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_str = function String s -> Some s | _ -> None

@@ -1,0 +1,35 @@
+(** A minimal JSON tree, encoder and parser — just enough for the
+    observability exports (trace files, metric registries, EXPLAIN plans,
+    [BENCH_*.json]) and their validation, without pulling an external
+    dependency into the engine. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+(** Compact (single-line) rendering with proper string escaping. *)
+
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict-enough parser for everything {!pp} emits (and ordinary JSON
+    files): objects, arrays, strings with escapes, ints, floats, booleans,
+    null.  Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the first binding of [k]; [None] otherwise. *)
+
+val to_int : t -> int option
+(** [Int n] (or an integral [Float]) as an int. *)
+
+val to_float : t -> float option
+val to_list : t -> t list option
+val to_str : t -> string option

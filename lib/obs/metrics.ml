@@ -1,0 +1,142 @@
+type counter = { mutable v : int }
+
+let n_buckets = 63
+
+type histogram = {
+  hb : int array; (* n_buckets *)
+  mutable count : int;
+  mutable sum : int;
+  mutable max_v : int;
+}
+
+type metric = Counter of counter | Histogram of histogram
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list; (* reverse insertion order, for stable JSON *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let register t name make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.add t.tbl name m;
+    t.order <- name :: t.order;
+    m
+
+let counter t name =
+  match register t name (fun () -> Counter { v = 0 }) with
+  | Counter c -> c
+  | Histogram _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is a histogram" name)
+
+let incr ?(by = 1) c = c.v <- c.v + by
+let set c v = c.v <- v
+let value c = c.v
+
+let histogram t name =
+  match
+    register t name (fun () -> Histogram { hb = Array.make n_buckets 0; count = 0; sum = 0; max_v = 0 })
+  with
+  | Histogram h -> h
+  | Counter _ -> invalid_arg (Printf.sprintf "Metrics.histogram: %S is a counter" name)
+
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    (* floor log2 + 1, capped into the bucket array *)
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+    min (n_buckets - 1) (log2 0 v + 1)
+  end
+
+let bucket_bounds i =
+  if i <= 0 then (min_int, 0)
+  else if i >= n_buckets - 1 then (1 lsl (n_buckets - 2), max_int)
+  else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let observe h v =
+  h.hb.(bucket_index v) <- h.hb.(bucket_index v) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v > h.max_v then h.max_v <- v
+
+let h_count h = h.count
+let h_sum h = h.sum
+let h_max h = h.max_v
+
+let buckets h =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.hb.(i) > 0 then begin
+      let lo, hi = bucket_bounds i in
+      acc := (lo, hi, h.hb.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let names t = List.sort compare (List.rev t.order)
+
+let merge_into acc x =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt x.tbl name with
+      | None -> ()
+      | Some (Counter c) -> incr ~by:c.v (counter acc name)
+      | Some (Histogram h) ->
+        let dst = histogram acc name in
+        Array.iteri (fun i n -> dst.hb.(i) <- dst.hb.(i) + n) h.hb;
+        dst.count <- dst.count + h.count;
+        dst.sum <- dst.sum + h.sum;
+        if h.max_v > dst.max_v then dst.max_v <- h.max_v)
+    (List.rev x.order)
+
+let pp_bound ppf b =
+  if b = min_int then Format.pp_print_string ppf "-inf"
+  else if b = max_int then Format.pp_print_string ppf "inf"
+  else Format.pp_print_int ppf b
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  let first = ref true in
+  List.iter
+    (fun name ->
+      if not !first then Format.pp_print_cut ppf ();
+      first := false;
+      match Hashtbl.find t.tbl name with
+      | Counter c -> Format.fprintf ppf "%s = %d" name c.v
+      | Histogram h ->
+        Format.fprintf ppf "%s: count=%d sum=%d max=%d" name h.count h.sum h.max_v;
+        List.iter
+          (fun (lo, hi, n) -> Format.fprintf ppf " [%a..%a]:%d" pp_bound lo pp_bound hi n)
+          (buckets h))
+    (names t);
+  Format.pp_close_box ppf ()
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun name ->
+         ( name,
+           match Hashtbl.find t.tbl name with
+           | Counter c -> Json.Int c.v
+           | Histogram h ->
+             Json.Obj
+               [
+                 ("count", Json.Int h.count);
+                 ("sum", Json.Int h.sum);
+                 ("max", Json.Int h.max_v);
+                 ( "buckets",
+                   Json.List
+                     (List.map
+                        (fun (lo, hi, n) ->
+                          Json.List
+                            [
+                              (if lo = min_int then Json.Null else Json.Int lo);
+                              (if hi = max_int then Json.Null else Json.Int hi);
+                              Json.Int n;
+                            ])
+                        (buckets h)) );
+               ] ))
+       (names t))

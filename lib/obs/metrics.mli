@@ -1,0 +1,64 @@
+(** A metrics registry: named monotone counters and log₂-bucketed
+    histograms, with text and JSON encoders.
+
+    The engine creates one registry per query stream and registers its
+    distribution metrics there (answer-distance, queue depth, edges per
+    [Succ] scan, seed-batch latency, join combinations); the scalar
+    [Exec_stats] counters are absorbed into the same registry by
+    [Exec_stats.record_into], so one [pp]/[to_json] call reports the whole
+    execution.  Handles ({!counter}, {!histogram}) are resolved once at open
+    time; recording is allocation-free (an array increment), cheap enough to
+    stay on unconditionally.
+
+    Names are unique across kinds: registering ["x"] as both a counter and
+    a histogram raises [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+
+val counter : t -> string -> counter
+(** Get-or-create. *)
+
+val incr : ?by:int -> counter -> unit
+val set : counter -> int -> unit
+val value : counter -> int
+
+type histogram
+
+val histogram : t -> string -> histogram
+(** Get-or-create.  Buckets are powers of two: bucket 0 holds values ≤ 0,
+    bucket [i ≥ 1] holds [2{^i-1} … 2{^i}-1]. *)
+
+val observe : histogram -> int -> unit
+
+val bucket_index : int -> int
+(** The bucket a value lands in — exposed so tests can pin the boundaries. *)
+
+val bucket_bounds : int -> int * int
+(** [(lo, hi)] of a bucket, inclusive.  Bucket 0 is [(min_int, 0)]. *)
+
+val h_count : histogram -> int
+val h_sum : histogram -> int
+val h_max : histogram -> int
+
+val buckets : histogram -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending. *)
+
+val names : t -> string list
+(** All registered metric names, sorted. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into acc x]: add [x]'s metrics into [acc] by name — counters
+    add, histograms add bucket-wise ([h_max] takes the max).  Metrics
+    missing from [acc] are created.
+    @raise Invalid_argument on a name registered with different kinds. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** [{"name": n, ...}] for counters;
+    [{"name": {"count": …, "sum": …, "max": …, "buckets": [[lo, hi, n], …]}}]
+    for histograms. *)

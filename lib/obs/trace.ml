@@ -1,0 +1,108 @@
+type arg = Str of string | Num of int
+type phase = Begin | End | Instant | Complete of int
+type event = { name : string; cat : string; ph : phase; ts_ns : int; args : (string * arg) list }
+
+let dummy = { name = ""; cat = ""; ph = Instant; ts_ns = 0; args = [] }
+
+type state = {
+  mutable buf : event array;
+  mutable len : int; (* events currently stored *)
+  mutable head : int; (* next write slot *)
+  mutable dropped : int;
+}
+
+let st = { buf = [||]; len = 0; head = 0; dropped = 0 }
+let on = ref false
+let enabled () = !on
+
+let enable ?(capacity = 65536) () =
+  st.buf <- Array.make (max 16 capacity) dummy;
+  st.len <- 0;
+  st.head <- 0;
+  st.dropped <- 0;
+  on := true
+
+let disable () = on := false
+
+let clear () =
+  if Array.length st.buf > 0 then Array.fill st.buf 0 (Array.length st.buf) dummy;
+  st.len <- 0;
+  st.head <- 0;
+  st.dropped <- 0
+
+let record ev =
+  let cap = Array.length st.buf in
+  if cap > 0 then begin
+    st.buf.(st.head) <- ev;
+    st.head <- (st.head + 1) mod cap;
+    if st.len < cap then st.len <- st.len + 1 else st.dropped <- st.dropped + 1
+  end
+
+let now () = !Clock.now_ns ()
+
+let with_span ?(cat = "") ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    record { name; cat; ph = Begin; ts_ns = now (); args };
+    Fun.protect ~finally:(fun () -> record { name; cat; ph = End; ts_ns = now (); args = [] }) f
+  end
+
+let instant ?(cat = "") ?(args = []) name =
+  if !on then record { name; cat; ph = Instant; ts_ns = now (); args }
+
+let complete ?(cat = "") ?(args = []) ~start_ns name =
+  if !on then record { name; cat; ph = Complete (now () - start_ns); ts_ns = start_ns; args }
+
+let events () =
+  let cap = Array.length st.buf in
+  List.init st.len (fun i -> st.buf.(((st.head - st.len + i) mod cap + cap) mod cap))
+
+let dropped () = st.dropped
+
+let us ns = Json.Float (float_of_int ns /. 1e3)
+
+let json_of_event ~t0 e =
+  let ph, extra =
+    match e.ph with
+    | Begin -> ("B", [])
+    | End -> ("E", [])
+    | Instant -> ("i", [ ("s", Json.String "t") ])
+    | Complete dur -> ("X", [ ("dur", us dur) ])
+  in
+  let args =
+    match e.args with
+    | [] -> []
+    | l ->
+      [
+        ( "args",
+          Json.Obj (List.map (fun (k, v) -> (k, match v with Str s -> Json.String s | Num n -> Json.Int n)) l)
+        );
+      ]
+  in
+  Json.Obj
+    ([
+       ("name", Json.String e.name);
+       ("cat", Json.String (if e.cat = "" then "omega" else e.cat));
+       ("ph", Json.String ph);
+       ("ts", us (e.ts_ns - t0));
+       ("pid", Json.Int 1);
+       ("tid", Json.Int 1);
+     ]
+    @ extra @ args)
+
+let to_json () =
+  let evs = events () in
+  (* Timestamps are rebased to the earliest buffered event: an epoch-based
+     wall clock would otherwise put every event ~10^15 µs from the origin,
+     which viewers render poorly and floats print imprecisely. *)
+  let t0 = List.fold_left (fun acc e -> min acc e.ts_ns) max_int evs in
+  let t0 = if t0 = max_int then 0 else t0 in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map (json_of_event ~t0) evs));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let export path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Json.to_channel oc (to_json ()))

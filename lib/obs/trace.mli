@@ -1,0 +1,69 @@
+(** Span/event tracer for the query engine: a process-wide ring buffer of
+    timestamped events, exportable as Chrome [trace_event] JSON (loadable in
+    [chrome://tracing] and Perfetto).
+
+    Disabled by default and {e zero-cost} when disabled: {!with_span} is a
+    single flag check before calling the thunk, and the instrumented call
+    sites guard their argument construction on {!enabled} — nothing on the
+    [Succ] hot path touches the tracer at all (the span taxonomy stops at
+    batch/window granularity; see DESIGN.md §Observability).
+
+    Timestamps come from {!Clock.now_ns}; without an installed clock every
+    event sits at t=0 (the export is still structurally valid).
+
+    Single-threaded by design, like the engine: all events carry pid=1,
+    tid=1. *)
+
+type arg = Str of string | Num of int
+(** Argument values attached to events (the [args] object of the trace
+    format). *)
+
+type phase =
+  | Begin  (** span open — ["B"] *)
+  | End  (** span close — ["E"] *)
+  | Instant  (** point event — ["i"] *)
+  | Complete of int  (** retro-recorded span with duration in ns — ["X"] *)
+
+type event = { name : string; cat : string; ph : phase; ts_ns : int; args : (string * arg) list }
+
+val enabled : unit -> bool
+(** The flag every instrumentation point checks first. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Turn tracing on with a fresh ring buffer (default capacity 65536
+    events; the oldest events are overwritten past that, counted by
+    {!dropped}). *)
+
+val disable : unit -> unit
+(** Turn tracing off; the buffered events stay readable. *)
+
+val clear : unit -> unit
+
+val with_span : ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] brackets [f] with matching [Begin]/[End] events; the
+    [End] is recorded even if [f] raises, so span nesting is always
+    well-formed.  When disabled this is exactly [f ()]. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+(** A point event (e.g. a governor trip, a ψ-level bump). *)
+
+val complete : ?cat:string -> ?args:(string * arg) list -> start_ns:int -> string -> unit
+(** A retro-recorded span: [start_ns] was sampled from {!Clock.now_ns}
+    before the work, the duration is measured at the call.  Used where a
+    window is not lexically scoped (a ψ-restart part streaming across many
+    [next] calls).  [Complete] events do not participate in [Begin]/[End]
+    nesting. *)
+
+val events : unit -> event list
+(** Buffered events, oldest first. *)
+
+val dropped : unit -> int
+(** Events overwritten by the ring since {!enable}/{!clear}. *)
+
+val to_json : unit -> Json.t
+(** The buffer as a Chrome [trace_event] document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with microsecond
+    [ts]/[dur] fields. *)
+
+val export : string -> unit
+(** Write {!to_json} to a file. *)

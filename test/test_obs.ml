@@ -1,0 +1,390 @@
+(* Observability test suite.
+
+   Pins the algebra the metrics pipeline relies on ([Exec_stats.merge_into]
+   associativity/commutativity with [peak_queue] as max, [reset], [copy]
+   independence), the histogram bucket boundaries ([Metrics.bucket_index] /
+   [bucket_bounds]), the registry merge semantics, and two engine-level
+   contracts: trace span nesting stays well-formed under injected faults and
+   deterministic deadlines, and polling [Engine.stream_stats] mid-stream
+   does not perturb the evaluation (the satellite-6 regression). *)
+
+module Graph = Graphstore.Graph
+module Q = Core.Query
+module R = Rpq_regex.Regex
+module Engine = Core.Engine
+module Governor = Core.Governor
+module Failpoints = Core.Failpoints
+module Options = Core.Options
+module Stats = Core.Exec_stats
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Json = Obs.Json
+open Instance_gen
+
+(* --- Exec_stats algebra ------------------------------------------------ *)
+
+let set_fields (s : Stats.t) = function
+  | [ a; b; c; d; e; f; g; h; i; j; k; m ] ->
+    s.Stats.pushes <- a;
+    s.Stats.pops <- b;
+    s.Stats.succ_calls <- c;
+    s.Stats.edges_scanned <- d;
+    s.Stats.adjacency_bytes <- e;
+    s.Stats.scan_ns <- f;
+    s.Stats.batches <- g;
+    s.Stats.seeds <- h;
+    s.Stats.answers <- i;
+    s.Stats.peak_queue <- j;
+    s.Stats.restarts <- k;
+    s.Stats.pruned <- m
+  | _ -> assert false
+
+let gen_stats =
+  QCheck2.Gen.(
+    map
+      (fun fields ->
+        let s = Stats.create () in
+        set_fields s fields;
+        s)
+      (list_repeat 12 (int_bound 10_000)))
+
+let assoc s = Stats.to_assoc s
+
+let merge_assoc_prop =
+  QCheck2.Test.make ~name:"merge_into is associative and commutative" ~count:200
+    QCheck2.Gen.(triple gen_stats gen_stats gen_stats)
+    (fun (a, b, c) ->
+      (* ((a ⊕ b) ⊕ c) = (a ⊕ (b ⊕ c)) over disjoint accumulators *)
+      let ab = Stats.copy a in
+      Stats.merge_into ab b;
+      let abc_l = Stats.copy ab in
+      Stats.merge_into abc_l c;
+      let bc = Stats.copy b in
+      Stats.merge_into bc c;
+      let abc_r = Stats.copy a in
+      Stats.merge_into abc_r bc;
+      let ba = Stats.copy b in
+      Stats.merge_into ba a;
+      assoc abc_l = assoc abc_r && assoc ab = assoc ba)
+
+let peak_queue_max_test () =
+  let a = Stats.create () and b = Stats.create () in
+  a.Stats.peak_queue <- 5;
+  a.Stats.pushes <- 10;
+  b.Stats.peak_queue <- 3;
+  b.Stats.pushes <- 7;
+  Stats.merge_into a b;
+  Alcotest.(check int) "peak_queue takes the max, not the sum" 5 a.Stats.peak_queue;
+  Alcotest.(check int) "pushes add" 17 a.Stats.pushes;
+  (* and the max is symmetric: a smaller accumulator adopts the larger peak *)
+  let c = Stats.create () in
+  c.Stats.peak_queue <- 2;
+  Stats.merge_into c a;
+  Alcotest.(check int) "max adopted when accumulator is smaller" 5 c.Stats.peak_queue
+
+let reset_test () =
+  let s = Stats.create () in
+  set_fields s [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ];
+  Stats.reset s;
+  List.iter (fun (k, v) -> Alcotest.(check int) (k ^ " reset to 0") 0 v) (assoc s)
+
+let copy_independent_test () =
+  let s = Stats.create () in
+  s.Stats.pushes <- 4;
+  let snap = Stats.copy s in
+  s.Stats.pushes <- 99;
+  Alcotest.(check int) "copy is a snapshot" 4 snap.Stats.pushes
+
+let field_names_test () =
+  Alcotest.(check int) "12 scalar counters" 12 (List.length Stats.field_names);
+  let s = Stats.create () in
+  Alcotest.(check (list string)) "to_assoc follows field_names order" Stats.field_names
+    (List.map fst (assoc s))
+
+let scan_ns_na_test () =
+  Obs.Clock.uninstall ();
+  let s = Stats.create () in
+  let rendered = Format.asprintf "%a" Stats.pp s in
+  let contains sub str =
+    let n = String.length sub and m = String.length str in
+    let rec go i = i + n <= m && (String.sub str i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "scan-ns flagged n/a without a clock" true (contains "scan-ns=n/a" rendered);
+  Obs.Clock.install (fun () -> 42);
+  Alcotest.(check bool) "installed flag set" true (Obs.Clock.installed ());
+  Alcotest.(check int) "installed clock read" 42 (!Obs.Clock.now_ns ());
+  let with_clock = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "measured 0 printed as 0 once a clock exists" false
+    (contains "scan-ns=n/a" with_clock);
+  Obs.Clock.uninstall ();
+  Alcotest.(check bool) "uninstall clears the flag" false (Obs.Clock.installed ());
+  Alcotest.(check int) "zero clock restored" 0 (!Obs.Clock.now_ns ())
+
+(* --- histogram bucket boundaries --------------------------------------- *)
+
+let bucket_boundary_test () =
+  Alcotest.(check int) "0 lands in bucket 0" 0 (Metrics.bucket_index 0);
+  Alcotest.(check int) "negatives land in bucket 0" 0 (Metrics.bucket_index (-17));
+  Alcotest.(check int) "1 lands in bucket 1" 1 (Metrics.bucket_index 1);
+  Alcotest.(check (pair int int)) "bucket 0 bounds" (min_int, 0) (Metrics.bucket_bounds 0);
+  for i = 1 to 30 do
+    let lo = 1 lsl (i - 1) and hi = (1 lsl i) - 1 in
+    Alcotest.(check int) (Printf.sprintf "lo 2^%d lands in bucket %d" (i - 1) i) i
+      (Metrics.bucket_index lo);
+    Alcotest.(check int) (Printf.sprintf "hi 2^%d-1 lands in bucket %d" i i) i
+      (Metrics.bucket_index hi);
+    Alcotest.(check (pair int int)) (Printf.sprintf "bucket %d bounds" i) (lo, hi)
+      (Metrics.bucket_bounds i)
+  done
+
+let bucket_membership_prop =
+  QCheck2.Test.make ~name:"bucket_bounds contains every observed value" ~count:500
+    QCheck2.Gen.(int_range (-1000) 1_000_000_000)
+    (fun v ->
+      let i = Metrics.bucket_index v in
+      let lo, hi = Metrics.bucket_bounds i in
+      lo <= v && v <= hi)
+
+let histogram_observe_test () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "h" in
+  List.iter (Metrics.observe h) [ 1; 2; 3; 100; 0 ];
+  Alcotest.(check int) "count" 5 (Metrics.h_count h);
+  Alcotest.(check int) "sum" 106 (Metrics.h_sum h);
+  Alcotest.(check int) "max" 100 (Metrics.h_max h);
+  let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 (Metrics.buckets h) in
+  Alcotest.(check int) "bucket counts total the observations" 5 total
+
+let registry_merge_test () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter a "c");
+  Metrics.incr ~by:4 (Metrics.counter b "c");
+  let hb = Metrics.histogram b "h" in
+  List.iter (Metrics.observe hb) [ 1; 2; 3; 100 ];
+  Metrics.merge_into a b;
+  Alcotest.(check int) "counters add" 7 (Metrics.value (Metrics.counter a "c"));
+  let ha = Metrics.histogram a "h" in
+  Alcotest.(check int) "absent histogram created on merge" 4 (Metrics.h_count ha);
+  Alcotest.(check int) "merged sum" 106 (Metrics.h_sum ha);
+  Alcotest.(check int) "merged max" 100 (Metrics.h_max ha);
+  Alcotest.(check (list string)) "names sorted" [ "c"; "h" ] (Metrics.names a);
+  (* kind clash: "c" is a counter in [a], a histogram in [clash] *)
+  let clash = Metrics.create () in
+  ignore (Metrics.histogram clash "c");
+  (match Metrics.merge_into a clash with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "merging a histogram into a counter must raise");
+  match Metrics.histogram a "c" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "re-registering a counter name as a histogram must raise"
+
+(* --- tracer ------------------------------------------------------------- *)
+
+let span_depth_ok events =
+  let rec go depth = function
+    | [] -> depth = 0
+    | (e : Trace.event) :: rest -> (
+      match e.Trace.ph with
+      | Trace.Begin -> go (depth + 1) rest
+      | Trace.End -> depth > 0 && go (depth - 1) rest
+      | Trace.Instant | Trace.Complete _ -> go depth rest)
+  in
+  go 0 events
+
+let trace_disabled_test () =
+  Trace.enable ~capacity:16 ();
+  Trace.disable ();
+  (* a fresh (empty) buffer, tracer off: nothing may be recorded *)
+  Alcotest.(check int) "with_span is transparent when disabled" 7
+    (Trace.with_span "off" (fun () -> 7));
+  Trace.instant "off";
+  Trace.complete ~start_ns:0 "off";
+  Alcotest.(check int) "no events recorded while disabled" 0 (List.length (Trace.events ()))
+
+let trace_exception_test () =
+  Trace.enable ~capacity:64 ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      (try Trace.with_span "outer" (fun () -> Trace.with_span "boom" (fun () -> failwith "x"))
+       with Failure _ -> ());
+      let events = Trace.events () in
+      Alcotest.(check int) "two B + two E" 4 (List.length events);
+      Alcotest.(check bool) "spans closed despite the raise" true (span_depth_ok events))
+
+let trace_json_test () =
+  Trace.enable ~capacity:64 ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      Obs.Clock.install (fun () -> 1_000_000_000 + (List.length (Trace.events ()) * 1000));
+      Fun.protect ~finally:Obs.Clock.uninstall (fun () ->
+          Trace.with_span ~cat:"t" ~args:[ ("k", Trace.Num 3) ] "span" (fun () -> Trace.instant "tick");
+          let doc = Trace.to_json () in
+          match Json.parse (Json.to_string doc) with
+          | Error msg -> Alcotest.failf "trace JSON does not re-parse: %s" msg
+          | Ok j -> (
+            match Json.member "traceEvents" j with
+            | None -> Alcotest.fail "no traceEvents array"
+            | Some evs -> (
+              match Json.to_list evs with
+              | None -> Alcotest.fail "traceEvents is not an array"
+              | Some l ->
+                Alcotest.(check int) "B + i + E exported" 3 (List.length l);
+                List.iter
+                  (fun e ->
+                    match Json.to_float (Option.get (Json.member "ts" e)) with
+                    | Some ts -> Alcotest.(check bool) "ts rebased to non-negative" true (ts >= 0.)
+                    | None -> Alcotest.fail "ts is not a number")
+                  l))))
+
+(* Randomized engine runs under injected faults and a deterministic counter
+   deadline: whatever trips, the buffered span events must nest. *)
+let query_of inst =
+  let inst =
+    match (inst.subj, inst.obj) with
+    | (`Node _ | `Ghost), (`Node _ | `Ghost) -> { inst with obj = `Fresh }
+    | _ -> inst
+  in
+  (inst, Q.make ~head:(Q.conjunct_vars (conjunct_of inst)) [ conjunct_of inst ])
+
+let trace_nesting_prop =
+  QCheck2.Test.make ~name:"trace spans stay balanced under faults + deadlines" ~count:40
+    QCheck2.Gen.(triple (gen_instance ~mode:Q.Approx) (int_bound 1_000_000) (int_bound 30_000))
+    (fun (inst, seed, timeout_ns) ->
+      let inst, q = query_of inst in
+      let g, k = build inst in
+      let options = { Options.default with Options.timeout_ns = Some timeout_ns } in
+      Trace.enable ();
+      let counter = ref 0 in
+      (Governor.now_ns :=
+         fun () ->
+           incr counter;
+           !counter * 97);
+      Failpoints.arm ~seed (List.map (fun p -> (p, 0.01)) Failpoints.all_points);
+      let _ =
+        Fun.protect
+          ~finally:(fun () ->
+            Failpoints.disarm ();
+            Governor.now_ns := (fun () -> 0);
+            Trace.disable ())
+          (fun () -> Engine.run ~graph:g ~ontology:k ~options q)
+      in
+      Trace.dropped () > 0 || span_depth_ok (Trace.events ()))
+
+(* --- engine: stream_stats mid-stream polling regression ----------------- *)
+
+let poll_instance =
+  {
+    n_base = 12;
+    edges = List.init 40 (fun i -> (i mod 12, "p", (i * 7) mod 12));
+    types = [ (0, 0); (3, 1) ];
+    regex = R.star (R.lbl "p");
+    mode = Q.Approx;
+    subj = `Var;
+    obj = `Fresh;
+  }
+
+let collect ~poll st =
+  let rec go acc =
+    if poll then begin
+      (* the regression: interrogating the stream between pulls must be
+         free of side effects on the evaluation *)
+      ignore (Engine.stream_stats st);
+      ignore (Stats.copy (Engine.stream_stats st));
+      ignore (Engine.metrics st)
+    end;
+    match Engine.next st with
+    | Some a -> go ((a.Engine.bindings, a.Engine.distance) :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let polling_regression_test () =
+  let g, k = build poll_instance in
+  let q = Q.single ~mode:Q.Approx (Q.Var "X") poll_instance.regex (Q.Var "Y") in
+  let limit = 200 in
+  let run ~poll =
+    let governor = Governor.create ~max_answers:limit () in
+    let st = Engine.open_query ~graph:g ~ontology:k ~governor q in
+    let answers = collect ~poll st in
+    (answers, Stats.copy (Engine.stream_stats st))
+  in
+  let plain_answers, plain_stats = run ~poll:false in
+  let polled_answers, polled_stats = run ~poll:true in
+  Alcotest.(check int) "same answer count" (List.length plain_answers) (List.length polled_answers);
+  Alcotest.(check bool) "same answers in the same order" true (plain_answers = polled_answers);
+  List.iter2
+    (fun (k, v) (k', v') ->
+      Alcotest.(check string) "same counter" k k';
+      Alcotest.(check int) ("counter " ^ k ^ " unperturbed") v v')
+    (assoc plain_stats) (assoc polled_stats)
+
+let stream_stats_cached_test () =
+  let g, k = build poll_instance in
+  let q = Q.single ~mode:Q.Approx (Q.Var "X") poll_instance.regex (Q.Var "Y") in
+  let st = Engine.open_query ~graph:g ~ontology:k q in
+  ignore (Engine.next st);
+  Alcotest.(check bool) "stream_stats reuses one record (no per-poll allocation)" true
+    (Engine.stream_stats st == Engine.stream_stats st)
+
+(* --- explain ------------------------------------------------------------ *)
+
+let explain_test () =
+  let g, k = build poll_instance in
+  let q = Q.single ~mode:Q.Approx (Q.Var "X") (R.star (R.lbl "p")) (Q.Var "Y") in
+  let plan = Engine.explain ~graph:g ~ontology:k q in
+  Alcotest.(check string) "single conjunct join" "single-conjunct" plan.Obs.Explain.join;
+  Alcotest.(check int) "one conjunct plan" 1 (List.length plan.Obs.Explain.conjuncts);
+  let c = List.hd plan.Obs.Explain.conjuncts in
+  Alcotest.(check string) "APPROX compiles A_R" "A_R" c.Obs.Explain.automaton;
+  Alcotest.(check bool) "automaton has states" true (c.Obs.Explain.states > 0);
+  Alcotest.(check bool) "counters empty before annotate" true (c.Obs.Explain.counters = []);
+  let rendered = Format.asprintf "%a" Obs.Explain.pp plan in
+  Alcotest.(check bool) "text rendering non-empty" true (String.length rendered > 0);
+  (match Json.parse (Json.to_string (Obs.Explain.to_json plan)) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "explain JSON does not re-parse: %s" msg);
+  (* annotate after a drain fills live counters *)
+  let st = Engine.open_query ~graph:g ~ontology:k q in
+  let outcome = Engine.drain ~limit:50 st in
+  Engine.annotate st plan;
+  Alcotest.(check bool) "counters filled after annotate" true (c.Obs.Explain.counters <> []);
+  Alcotest.(check bool) "analysis filled after annotate" true (plan.Obs.Explain.analysis <> []);
+  Alcotest.(check int) "annotated answers match the outcome"
+    (List.length outcome.Engine.answers)
+    (List.assoc "answers" c.Obs.Explain.counters);
+  match Json.parse (Json.to_string (Metrics.to_json outcome.Engine.metrics)) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "metrics JSON does not re-parse: %s" msg
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "exec_stats",
+        [
+          QCheck_alcotest.to_alcotest merge_assoc_prop;
+          Alcotest.test_case "peak_queue merges as max" `Quick peak_queue_max_test;
+          Alcotest.test_case "reset zeroes every field" `Quick reset_test;
+          Alcotest.test_case "copy is independent" `Quick copy_independent_test;
+          Alcotest.test_case "field_names/to_assoc agree" `Quick field_names_test;
+          Alcotest.test_case "scan-ns n/a without a clock" `Quick scan_ns_na_test;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "log2 bucket boundaries" `Quick bucket_boundary_test;
+          QCheck_alcotest.to_alcotest bucket_membership_prop;
+          Alcotest.test_case "observe aggregates" `Quick histogram_observe_test;
+          Alcotest.test_case "registry merge" `Quick registry_merge_test;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled tracer records nothing" `Quick trace_disabled_test;
+          Alcotest.test_case "spans close on exceptions" `Quick trace_exception_test;
+          Alcotest.test_case "export re-parses, ts rebased" `Quick trace_json_test;
+          QCheck_alcotest.to_alcotest trace_nesting_prop;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "mid-stream polling does not perturb" `Quick polling_regression_test;
+          Alcotest.test_case "stream_stats is cached" `Quick stream_stats_cached_test;
+          Alcotest.test_case "explain + annotate" `Quick explain_test;
+        ] );
+    ]
