@@ -3,9 +3,14 @@
      validate BENCH_smoke.json ...       # schema-check benchmark exports
      validate --manifest FILE            # engine metric names vs the pinned manifest
      validate --trace FILE               # Chrome trace structure + span nesting
+     validate --compare OLD NEW          # per-section perf regression gate
+     validate --threshold PCT            # --compare slowdown tolerance (default 25)
 
    Exits non-zero with a message on the first violation, so a schema drift,
-   a silently renamed metric or an unbalanced span pair fails the build. *)
+   a silently renamed metric, an unbalanced span pair or a benchmark
+   section that got more than [threshold]% slower fails the build.  A trace
+   whose ring buffer overflowed (top-level "dropped" > 0) is reported as a
+   warning: the file is valid but truncated. *)
 
 module Json = Obs.Json
 
@@ -116,12 +121,94 @@ let check_trace path =
       | ph -> failf "%s: %s has unknown phase %S" path what ph)
     events;
   if !depth <> 0 then failf "%s: %d span(s) opened but never closed" path !depth;
+  (* satellite: surfaced ring-buffer truncation — a clipped trace is valid
+     but not complete, and a consumer should know *)
+  (match Json.member "dropped" j with
+  | Some v -> (
+    match Json.to_int v with
+    | Some d when d > 0 ->
+      Printf.eprintf
+        "validate: warning: %s: the trace ring buffer dropped %d event(s) — the export is a \
+         truncated suffix\n"
+        path d
+    | Some _ -> ()
+    | None -> failf "%s: \"dropped\" is not an integer" path)
+  | None -> ());
   Printf.printf "validate: %s ok (%d event(s), spans balanced)\n" path (List.length events)
+
+(* --- benchmark comparison (perf regression gate) --------------------- *)
+
+(* Rows are matched by (dataset, scale, query, mode); the gate is on the
+   per-section sum of mean_ns over the matched rows, so a single noisy
+   query does not fail the build but a systematic slowdown does.  Rows
+   present on only one side are reported (the section changed shape) but
+   do not fail the comparison. *)
+let check_compare ~threshold old_path new_path =
+  let load path =
+    let j = parse_file path in
+    let section = want_str path "document" j "section" in
+    match Json.to_list (get path "document" j "results") with
+    | None -> failf "%s: \"results\" is not an array" path
+    | Some results ->
+      ( section,
+        List.mapi
+          (fun i r ->
+            let what = Printf.sprintf "results[%d]" i in
+            ( ( want_str path what r "dataset",
+                want_str path what r "scale",
+                want_str path what r "query",
+                want_str path what r "mode" ),
+              want_int path what r "mean_ns" ))
+          results )
+  in
+  let old_section, old_rows = load old_path in
+  let new_section, new_rows = load new_path in
+  if old_section <> new_section then
+    failf "--compare: section mismatch: %s is %S, %s is %S" old_path old_section new_path
+      new_section;
+  let key_str (d, s, q, m) = Printf.sprintf "%s/%s/%s/%s" d s q m in
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k new_rows) then
+        Printf.eprintf "validate: warning: --compare: %s disappeared from %s\n" (key_str k)
+          new_path)
+    old_rows;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k old_rows) then
+        Printf.eprintf "validate: warning: --compare: %s is new in %s (not gated)\n" (key_str k)
+          new_path)
+    new_rows;
+  let paired =
+    List.filter_map
+      (fun (k, o) -> Option.map (fun n -> (k, o, n)) (List.assoc_opt k new_rows))
+      old_rows
+  in
+  if paired = [] then failf "--compare: no common rows between %s and %s" old_path new_path;
+  let old_sum = List.fold_left (fun acc (_, o, _) -> acc + o) 0 paired in
+  let new_sum = List.fold_left (fun acc (_, _, n) -> acc + n) 0 paired in
+  let pct =
+    if old_sum = 0 then 0. else 100. *. (float_of_int new_sum -. float_of_int old_sum) /. float_of_int old_sum
+  in
+  List.iter
+    (fun (k, o, n) ->
+      if o > 0 && float_of_int n > float_of_int o *. (1. +. (float_of_int threshold /. 100.)) then
+        Printf.eprintf "validate: note: --compare: %s: %d ns -> %d ns (%+.1f%%)\n" (key_str k) o n
+          (100. *. (float_of_int n -. float_of_int o) /. float_of_int o))
+    paired;
+  if float_of_int new_sum > float_of_int old_sum *. (1. +. (float_of_int threshold /. 100.)) then
+    failf
+      "--compare: section %S regressed: total mean_ns %d -> %d (%+.1f%%, threshold +%d%%) over %d \
+       matched row(s)"
+      old_section old_sum new_sum pct threshold (List.length paired);
+  Printf.printf "validate: compare ok: section %S total mean_ns %d -> %d (%+.1f%%) over %d row(s)\n"
+    old_section old_sum new_sum pct (List.length paired)
 
 (* --------------------------------------------------------------------- *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let threshold = ref 25 in
   let rec go = function
     | [] -> ()
     | "--manifest" :: path :: rest ->
@@ -130,11 +217,22 @@ let () =
     | "--trace" :: path :: rest ->
       check_trace path;
       go rest
-    | [ "--manifest" ] | [ "--trace" ] -> failf "missing file operand"
+    | "--threshold" :: pct :: rest ->
+      (match int_of_string_opt pct with
+      | Some n when n >= 0 -> threshold := n
+      | _ -> failf "--threshold expects a non-negative integer percentage, got %S" pct);
+      go rest
+    | "--compare" :: old_path :: new_path :: rest ->
+      check_compare ~threshold:!threshold old_path new_path;
+      go rest
+    | [ "--manifest" ] | [ "--trace" ] | [ "--threshold" ] -> failf "missing file operand"
+    | [ "--compare" ] | [ "--compare"; _ ] -> failf "--compare needs OLD.json and NEW.json"
     | path :: rest ->
       check_bench path;
       go rest
   in
   if args = [] then
-    failf "usage: validate [BENCH_*.json ...] [--manifest FILE] [--trace FILE]";
+    failf
+      "usage: validate [BENCH_*.json ...] [--manifest FILE] [--trace FILE] [--threshold PCT] \
+       [--compare OLD.json NEW.json]";
   go args

@@ -235,10 +235,38 @@ let query_cmd =
           ~doc:
             "Record the evaluation as a Chrome trace_event timeline (automaton build phases, seed \
              batches, ψ windows, join pulls, governor trips) and write it to FILE — loadable in \
-             chrome://tracing or Perfetto.")
+             chrome://tracing or Perfetto.  When provenance is on ($(b,--why)/$(b,--profile)), the \
+             wasted-work profile is embedded in the export's top-level object.")
+  in
+  let why =
+    Arg.(
+      value & flag
+      & info [ "why" ]
+          ~doc:
+            "Print each answer's witness under it: the data path traversed and the \
+             edit/relaxation script whose operation costs sum to the reported distance.  Enables \
+             provenance tracking (parent pointers on queued tuples).")
+  in
+  let why_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "why-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the answers with their witnesses as JSON to FILE (implies provenance tracking \
+             like $(b,--why)).")
+  in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print the wasted-work query profile: tuples popped vs answers emitted per distance \
+             bucket, discard attribution (visited dedup / duplicate finals / ψ pruning / tuples \
+             left queued) and per-operation cost totals.  Enables provenance tracking.")
   in
   let run data lenient query limit distance_aware decompose max_tuples timeout_ms max_answers
-      failpoints edit_cost relax_cost show_stats explain_flag explain_analyze trace =
+      failpoints edit_cost relax_cost show_stats explain_flag explain_analyze trace why why_json
+      profile_flag =
     let wall_ns () = int_of_float (1e9 *. Unix.gettimeofday ()) in
     (* One shared init for every time source: scan-time attribution, governor
        deadlines and trace timestamps all read the same installed clock.
@@ -272,13 +300,16 @@ let query_cmd =
         failpoints;
         final_priority = true;
         batched_seeding = true;
+        (* --explain-analyze turns provenance on too, so its profile section
+           includes the per-operation cost totals (fed by witnesses) *)
+        provenance = why || why_json <> None || profile_flag || explain_analyze;
       }
     in
-    let export_trace () =
+    let export_trace ?(extra = []) () =
       match trace with
       | None -> ()
       | Some path ->
-        Obs.Trace.export path;
+        Obs.Trace.export ~extra path;
         Format.printf "trace written to %s (%d event(s))@." path
           (List.length (Obs.Trace.events ()))
     in
@@ -306,9 +337,40 @@ let query_cmd =
           Printf.eprintf "query error: %s\n" msg;
           exit 2
         | st, outcome ->
+          let node oid = Graphstore.Graph.node_label graph oid in
+          let label l = Graphstore.Interner.name (Graphstore.Graph.interner graph) l in
           List.iteri
-            (fun i a -> Format.printf "%3d. %a@." (i + 1) Core.Engine.pp_answer a)
+            (fun i a ->
+              Format.printf "%3d. %a@." (i + 1) Core.Engine.pp_answer a;
+              if why then
+                List.iter
+                  (fun w -> Format.printf "     @[<v>%a@]@." (Core.Witness.pp ~node ~label) w)
+                  a.Core.Engine.witnesses)
             outcome.Core.Engine.answers;
+          (match why_json with
+          | None -> ()
+          | Some path ->
+            let answers_json =
+              Obs.Json.List
+                (List.map
+                   (fun (a : Core.Engine.answer) ->
+                     Obs.Json.Obj
+                       [
+                         ( "bindings",
+                           Obs.Json.Obj
+                             (List.map (fun (v, x) -> (v, Obs.Json.String x)) a.bindings) );
+                         ("distance", Obs.Json.Int a.distance);
+                         ( "witnesses",
+                           Obs.Json.List
+                             (List.map (Core.Witness.to_json ~node ~label) a.witnesses) );
+                       ])
+                   outcome.Core.Engine.answers)
+            in
+            let oc = open_out path in
+            Obs.Json.to_channel oc (Obs.Json.Obj [ ("answers", answers_json) ]);
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "witnesses written to %s@." path);
           if explain_analyze then begin
             let plan = Core.Engine.explain ~graph ~ontology ~options q in
             Core.Engine.annotate st plan;
@@ -333,7 +395,14 @@ let query_cmd =
             Format.printf "stats: %a@." Core.Exec_stats.pp outcome.Core.Engine.stats;
             Format.printf "metrics:@.%a@." Obs.Metrics.pp outcome.Core.Engine.metrics
           end;
-          export_trace ();
+          let profile = Obs.Profile.of_metrics outcome.Core.Engine.metrics in
+          if profile_flag then Format.printf "%a@." Obs.Profile.pp profile;
+          export_trace
+            ~extra:
+              (if options.Core.Options.provenance then
+                 [ ("profile", Obs.Profile.to_json profile) ]
+               else [])
+            ();
           if exit_code <> 0 then exit exit_code)
   in
   Cmd.v
@@ -341,7 +410,7 @@ let query_cmd =
     Term.(
       const run $ data_arg $ lenient_arg $ query $ limit $ distance_aware $ decompose $ max_tuples
       $ timeout_ms $ max_answers $ failpoints $ edit_cost $ relax_cost $ show_stats $ explain_flag
-      $ explain_analyze $ trace)
+      $ explain_analyze $ trace $ why $ why_json $ profile_flag)
 
 let () =
   let doc = "flexible regular path queries over graph data (APPROX / RELAX)" in

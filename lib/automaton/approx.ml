@@ -6,14 +6,14 @@ let transform ~ins ~del ~sub m =
   let originals = ref [] in
   Nfa.iter_transitions m (fun s tr -> originals := (s, tr) :: !originals);
   for s = 0 to Nfa.n_states m - 1 do
-    Nfa.add_transition a s Nfa.Any ins s
+    Nfa.add_transition ~ops:[ (Nfa.Insert, ins) ] a s Nfa.Any ins s
   done;
   List.iter
     (fun (s, (tr : Nfa.transition)) ->
       match tr.lbl with
       | Nfa.Eps -> ()
       | Nfa.Sym _ | Nfa.Any_dir _ | Nfa.Any | Nfa.Sub_closure _ | Nfa.Type_to _ ->
-        Nfa.add_transition a s Nfa.Eps (tr.cost + del) tr.dst;
-        Nfa.add_transition a s Nfa.Any (tr.cost + sub) tr.dst)
+        Nfa.add_transition ~ops:(tr.ops @ [ (Nfa.Delete, del) ]) a s Nfa.Eps (tr.cost + del) tr.dst;
+        Nfa.add_transition ~ops:(tr.ops @ [ (Nfa.Subst, sub) ]) a s Nfa.Any (tr.cost + sub) tr.dst)
     !originals;
   a

@@ -1,16 +1,23 @@
 (* Dijkstra over the ε-subgraph from [start].  Costs are small non-negative
    ints, so a simple bucket/array priority scheme suffices; we use a sorted
    association list as the frontier (closures are tiny: a handful of states
-   per Thompson fragment). *)
+   per Thompson fragment).
+
+   Each settled state carries, besides its ε-distance, the operation tags
+   accumulated along the (first-found) shortest ε-path — positive-cost ε
+   transitions are exactly the APPROX deletions, so a closure step may stand
+   for a whole run of deletes that the surviving transition must account
+   for. *)
 let eps_closure a start =
   let dist = Hashtbl.create 8 in
-  Hashtbl.add dist start 0;
+  Hashtbl.add dist start (0, []);
   let rec loop frontier =
     match frontier with
     | [] -> ()
     | (d, s) :: rest ->
-      if d > Hashtbl.find dist s then loop rest
+      if d > fst (Hashtbl.find dist s) then loop rest
       else begin
+        let s_ops = snd (Hashtbl.find dist s) in
         let rest =
           List.fold_left
             (fun acc (tr : Nfa.transition) ->
@@ -18,10 +25,12 @@ let eps_closure a start =
               | Nfa.Eps ->
                 let nd = d + tr.cost in
                 let better =
-                  match Hashtbl.find_opt dist tr.dst with None -> true | Some old -> nd < old
+                  match Hashtbl.find_opt dist tr.dst with
+                  | None -> true
+                  | Some (old, _) -> nd < old
                 in
                 if better then begin
-                  Hashtbl.replace dist tr.dst nd;
+                  Hashtbl.replace dist tr.dst (nd, s_ops @ tr.ops);
                   List.merge compare [ (nd, tr.dst) ] acc
                 end
                 else acc
@@ -44,15 +53,15 @@ let remove a =
   for s = 0 to Nfa.n_states a - 1 do
     let closure = eps_closure a s in
     Hashtbl.iter
-      (fun u d ->
+      (fun u (d, ops) ->
         List.iter
           (fun (tr : Nfa.transition) ->
             match tr.lbl with
             | Nfa.Eps -> ()
-            | lbl -> Nfa.add_transition b s lbl (tr.cost + d) tr.dst)
+            | lbl -> Nfa.add_transition ~ops:(ops @ tr.ops) b s lbl (tr.cost + d) tr.dst)
           (Nfa.out a u);
         match Nfa.final_weight a u with
-        | Some w -> Nfa.set_final b s (d + w)
+        | Some w -> Nfa.set_final ~ops:(ops @ Nfa.final_ops a u) b s (d + w)
         | None -> ())
       closure
   done;

@@ -8,13 +8,20 @@ type tlabel =
   | Sub_closure of dir * int array
   | Type_to of int
 
-type transition = { lbl : tlabel; cost : int; dst : int }
+type op =
+  | Insert
+  | Delete
+  | Subst
+  | Super_prop of int
+  | Type_edge
+
+type transition = { lbl : tlabel; cost : int; dst : int; ops : (op * int) list }
 
 type t = {
   mutable out : transition list array;
   mutable state_count : int;
   mutable initial : int;
-  finals : (int, int) Hashtbl.t;
+  finals : (int, int * (op * int) list) Hashtbl.t;
 }
 
 let create () =
@@ -41,25 +48,28 @@ let set_initial t s =
   check_state t s "set_initial";
   t.initial <- s
 
-let add_transition t src lbl cost dst =
+let add_transition ?(ops = []) t src lbl cost dst =
   check_state t src "add_transition";
   check_state t dst "add_transition";
   if cost < 0 then invalid_arg "Nfa.add_transition: negative cost";
-  t.out.(src) <- { lbl; cost; dst } :: t.out.(src)
+  t.out.(src) <- { lbl; cost; dst; ops } :: t.out.(src)
 
-let set_final t s weight =
+let set_final ?(ops = []) t s weight =
   check_state t s "set_final";
   if weight < 0 then invalid_arg "Nfa.set_final: negative weight";
   match Hashtbl.find_opt t.finals s with
-  | Some w when w <= weight -> ()
-  | _ -> Hashtbl.replace t.finals s weight
+  | Some (w, _) when w <= weight -> ()
+  | _ -> Hashtbl.replace t.finals s (weight, ops)
 
 let clear_final t s = Hashtbl.remove t.finals s
 let is_final t s = Hashtbl.mem t.finals s
-let final_weight t s = Hashtbl.find_opt t.finals s
+let final_weight t s = Option.map fst (Hashtbl.find_opt t.finals s)
+
+let final_ops t s =
+  match Hashtbl.find_opt t.finals s with Some (_, ops) -> ops | None -> []
 
 let finals t =
-  Hashtbl.fold (fun s w acc -> (s, w) :: acc) t.finals [] |> List.sort compare
+  Hashtbl.fold (fun s (w, _) acc -> (s, w) :: acc) t.finals [] |> List.sort compare
 
 let out t s =
   check_state t s "out";
@@ -122,9 +132,31 @@ let pp_tlabel name ppf = function
       (match d with Fwd -> "" | Bwd -> "-")
   | Type_to c -> Format.fprintf ppf "type->#%d" c
 
+let op_name = function
+  | Insert -> "ins"
+  | Delete -> "del"
+  | Subst -> "sub"
+  | Super_prop _ -> "relax-sp"
+  | Type_edge -> "relax-dr"
+
+let pp_op ppf (op, c) =
+  match op with
+  | Super_prop depth -> Format.fprintf ppf "relax-sp^%d(+%d)" depth c
+  | op -> Format.fprintf ppf "%s(+%d)" (op_name op) c
+
+let pp_ops ppf = function
+  | [] -> ()
+  | ops ->
+    Format.pp_print_string ppf " [";
+    List.iteri (fun i o -> Format.fprintf ppf (if i = 0 then "%a" else ",%a") pp_op o) ops;
+    Format.pp_print_char ppf ']'
+
 let pp ?(name = string_of_int) ppf t =
   Format.fprintf ppf "@[<v>states=%d initial=%d@," t.state_count t.initial;
-  List.iter (fun (s, w) -> Format.fprintf ppf "final %d (weight %d)@," s w) (finals t);
+  List.iter
+    (fun (s, w) -> Format.fprintf ppf "final %d (weight %d)%a@," s w pp_ops (final_ops t s))
+    (finals t);
   iter_transitions t (fun s tr ->
-      Format.fprintf ppf "%d --%a/%d--> %d@," s (pp_tlabel name) tr.lbl tr.cost tr.dst);
+      Format.fprintf ppf "%d --%a/%d--> %d%a@," s (pp_tlabel name) tr.lbl tr.cost tr.dst pp_ops
+        tr.ops);
   Format.fprintf ppf "@]"

@@ -26,7 +26,26 @@ type tlabel =
       (** a [type] edge whose target is the given class-node oid — RELAX
           rule (ii), replacing a property by [type] into its domain/range *)
 
-type transition = { lbl : tlabel; cost : int; dst : int }
+type op =
+  | Insert  (** APPROX insertion — traverse one extra edge (§3.2) *)
+  | Delete  (** APPROX deletion — skip one regex symbol *)
+  | Subst  (** APPROX substitution — traverse a different edge *)
+  | Super_prop of int
+      (** RELAX rule (iii): replace a property by a super-property [depth]
+          levels up the ontology (§2.3); cost is [depth × beta] *)
+  | Type_edge
+      (** RELAX rule (ii): replace a property edge by a [type] edge into its
+          domain/range class *)
+
+type transition = { lbl : tlabel; cost : int; dst : int; ops : (op * int) list }
+(** [ops] records which flexible operations created this transition, each
+    paired with its own cost contribution.  The Thompson construction emits
+    [ops = []]; the APPROX/RELAX transforms tag the transitions they add, and
+    ε-removal composes the tags of the ε-prefix into the surviving
+    transition.  Invariant: the op costs of a transition sum to its flexible
+    surcharge (exact transitions contribute cost 0 and carry no ops), which
+    is what lets a witness's edit script sum exactly to the answer
+    distance. *)
 
 type t
 
@@ -41,19 +60,24 @@ val initial : t -> int
 
 val set_initial : t -> int -> unit
 
-val add_transition : t -> int -> tlabel -> int -> int -> unit
-(** [add_transition a src lbl cost dst].
+val add_transition : ?ops:(op * int) list -> t -> int -> tlabel -> int -> int -> unit
+(** [add_transition ?ops a src lbl cost dst].  [ops] defaults to [[]] (an
+    exact transition).
     @raise Invalid_argument if [cost < 0]. *)
 
-val set_final : t -> int -> int -> unit
-(** [set_final a s weight] marks [s] final; if already final the minimum
-    weight is kept. *)
+val set_final : ?ops:(op * int) list -> t -> int -> int -> unit
+(** [set_final ?ops a s weight] marks [s] final; if already final the minimum
+    weight is kept (together with its ops). *)
 
 val clear_final : t -> int -> unit
 
 val is_final : t -> int -> bool
 
 val final_weight : t -> int -> int option
+
+val final_ops : t -> int -> (op * int) list
+(** The operations behind a final weight ([[]] when the state is not final or
+    the weight is exact); composed by ε-removal like transition ops. *)
 
 val finals : t -> (int * int) list
 (** All [(state, weight)] pairs, sorted by state. *)
@@ -74,6 +98,17 @@ val normalize : t -> unit
 val has_eps : t -> bool
 
 val copy : t -> t
+
+val pp_tlabel : (int -> string) -> Format.formatter -> tlabel -> unit
+(** Renders one transition label; the argument renders interned label ids. *)
+
+val op_name : op -> string
+(** Short stable name ("ins", "del", "sub", "relax-sp", "relax-dr") — used by
+    the profile's per-operation histograms and the witness renderer. *)
+
+val pp_op : Format.formatter -> op * int -> unit
+(** Renders one tagged operation with its cost, e.g. [sub(+1)] or
+    [relax-sp^2(+4)]. *)
 
 val pp : ?name:(int -> string) -> Format.formatter -> t -> unit
 (** Debug printer; [name] renders interned label ids. *)

@@ -8,7 +8,12 @@ let transform ~beta ~gamma ~ontology ~class_node m =
       (fun (q, depth) ->
         if depth > 0 then begin
           let closure = Array.of_list (Ontology.sub_properties_closure ontology q) in
-          Nfa.add_transition a s (Nfa.Sub_closure (d, closure)) (tr.cost + (depth * beta)) tr.dst
+          Nfa.add_transition
+            ~ops:(tr.ops @ [ (Nfa.Super_prop depth, depth * beta) ])
+            a s
+            (Nfa.Sub_closure (d, closure))
+            (tr.cost + (depth * beta))
+            tr.dst
         end)
       (Ontology.property_ancestors ontology p);
     (* Rule (ii): type edge into the domain (forward) / range (backward). *)
@@ -20,7 +25,10 @@ let transform ~beta ~gamma ~ontology ~class_node m =
     match target_class with
     | Some c -> (
       match class_node c with
-      | Some oid -> Nfa.add_transition a s (Nfa.Type_to oid) (tr.cost + gamma) tr.dst
+      | Some oid ->
+        Nfa.add_transition
+          ~ops:(tr.ops @ [ (Nfa.Type_edge, gamma) ])
+          a s (Nfa.Type_to oid) (tr.cost + gamma) tr.dst
       | None -> ())
     | None -> ()
   in

@@ -3,12 +3,13 @@ module Interner = Graphstore.Interner
 module Nfa = Automaton.Nfa
 module Regex = Rpq_regex.Regex
 
-type answer = { x : int; y : int; dist : int }
+type answer = { x : int; y : int; dist : int; witness : Witness.t option }
 
-type tup = { v : int; n : int; s : int; fin : bool }
+type tup = { v : int; n : int; s : int; fin : bool; prov : int }
 (* [fin] is carried in the tuple (not only as the D_R key) so that the
    final-priority ablation can disable priority popping without losing the
-   final/non-final distinction. *)
+   final/non-final distinction.  [prov] is the tuple's provenance-arena
+   index, [Provenance.no_parent] whenever provenance is off. *)
 
 type t = {
   graph : Graph.t;
@@ -37,6 +38,16 @@ type t = {
   h_queue_depth : Obs.Metrics.histogram;
   h_succ_edges : Obs.Metrics.histogram;
   h_seed_batch_ns : Obs.Metrics.histogram;
+  h_pop_distance : Obs.Metrics.histogram;
+  h_ops_insert : Obs.Metrics.histogram;
+  h_ops_delete : Obs.Metrics.histogram;
+  h_ops_subst : Obs.Metrics.histogram;
+  h_ops_relax_beta : Obs.Metrics.histogram;
+  h_ops_relax_gamma : Obs.Metrics.histogram;
+  (* Provenance arena ([Some] iff [options.provenance]): parent pointers for
+     every pushed tuple, from which [record_answer] rebuilds witnesses. *)
+  prov : Provenance.t option;
+  seed_beta : int; (* RELAX ancestor-seed ops: cost = depth × beta *)
 }
 
 let stats t = t.stats
@@ -128,6 +139,14 @@ let open_ ~graph ~ontology ~options ?governor ?metrics ?ceiling ?suppress
     h_queue_depth = Obs.Metrics.histogram metrics "queue_depth";
     h_succ_edges = Obs.Metrics.histogram metrics "succ_edges";
     h_seed_batch_ns = Obs.Metrics.histogram metrics "seed_batch_ns";
+    h_pop_distance = Obs.Metrics.histogram metrics "pop_distance";
+    h_ops_insert = Obs.Metrics.histogram metrics "ops_insert";
+    h_ops_delete = Obs.Metrics.histogram metrics "ops_delete";
+    h_ops_subst = Obs.Metrics.histogram metrics "ops_subst";
+    h_ops_relax_beta = Obs.Metrics.histogram metrics "ops_relax_beta";
+    h_ops_relax_gamma = Obs.Metrics.histogram metrics "ops_relax_gamma";
+    prov = (if options.Options.provenance then Some (Provenance.create ()) else None);
+    seed_beta = options.Options.costs.beta;
   }
 
 (* The EXPLAIN view of [open_]: the same case analysis (reversal, compile
@@ -203,7 +222,9 @@ let fill_ucache t n lbl =
   Obs.Metrics.observe t.h_succ_edges t.ulen
 
 (* [Succ (s, n)]: transitions leaving (s, n) in the product automaton H_R,
-   delivered to [f cost dst m].  Out-transitions are sorted by label
+   delivered to [f tr m] (the automaton transition taken and the neighbour
+   reached — provenance needs the whole transition, its ops included).
+   Out-transitions are sorted by label
    (Nfa.normalize), so consecutive identical labels reuse the U-cache buffer
    filled by the previous scan (§3.4).
 
@@ -225,7 +246,7 @@ let iter_succ t s n ~dist f =
           cached := Some tr.lbl
         end;
         for i = 0 to t.ulen - 1 do
-          f tr.cost tr.dst t.ubuf.(i)
+          f tr t.ubuf.(i)
         done)
     (Nfa.out t.nfa s)
 
@@ -262,7 +283,21 @@ let refill_if_needed t =
       t.stats.seeds <- t.stats.seeds + List.length batch;
       List.iter
         (fun (oid, dist) ->
-          push t ~dist ~final:false { v = oid; n = oid; s = Nfa.initial t.nfa; fin = false })
+          let prov =
+            match t.prov with
+            | None -> Provenance.no_parent
+            | Some arena ->
+              (* the only positive-cost seeds are RELAX class ancestors,
+                 admitted by rule (i) at depth × beta *)
+              let ops =
+                if dist = 0 then []
+                else
+                  [ (Nfa.Super_prop (if t.seed_beta > 0 then dist / t.seed_beta else dist), dist) ]
+              in
+              Provenance.add arena ~parent:Provenance.no_parent ~node:oid
+                (Provenance.Seed { cost = dist; ops })
+          in
+          push t ~dist ~final:false { v = oid; n = oid; s = Nfa.initial t.nfa; fin = false; prov })
         batch
     end;
     if clocked then Obs.Metrics.observe t.h_seed_batch_ns (!Exec_stats.now_ns () - t0);
@@ -280,11 +315,49 @@ let annotation_matches t tup =
   (match t.target with Some oid -> tup.n = oid | None -> true)
   && ((not t.same_var) || tup.v = tup.n)
 
+(* Rebuild the answer's witness by walking the parent chain from the
+   tuple's arena entry back to its seed: one [Edge] hop per Succ expansion
+   (its [src] read off the parent entry), the [Seed] hop at the root, and a
+   trailing [Final] hop when the accepting state carries a positive final
+   weight (an ε-removed trailing deletion) — so hop costs sum to [dist]. *)
+let witness_of t (tup : tup) dist =
+  match t.prov with
+  | None -> None
+  | Some arena ->
+    let rec walk i acc =
+      let parent, node, edge = Provenance.get arena i in
+      match edge with
+      | Provenance.Seed { cost; ops } -> (node, Witness.Seed { node; cost; ops } :: acc)
+      | Provenance.Step tr ->
+        let _, src, _ = Provenance.get arena parent in
+        walk parent
+          (Witness.Edge { src; dst = node; lbl = tr.Nfa.lbl; cost = tr.Nfa.cost; ops = tr.Nfa.ops }
+          :: acc)
+    in
+    let source, hops = walk tup.prov [] in
+    let fw = match Nfa.final_weight t.nfa tup.s with Some w -> w | None -> 0 in
+    let fops = Nfa.final_ops t.nfa tup.s in
+    let hops =
+      if fw > 0 || fops <> [] then hops @ [ Witness.Final { cost = fw; ops = fops } ] else hops
+    in
+    Some { Witness.source; target = tup.n; dist; hops }
+
+let h_op t : Nfa.op -> Obs.Metrics.histogram = function
+  | Nfa.Insert -> t.h_ops_insert
+  | Nfa.Delete -> t.h_ops_delete
+  | Nfa.Subst -> t.h_ops_subst
+  | Nfa.Super_prop _ -> t.h_ops_relax_beta
+  | Nfa.Type_edge -> t.h_ops_relax_gamma
+
 let record_answer t tup dist =
   Hashtbl.replace t.answers (tup.v, tup.n) dist;
   (match t.suppress with Some tbl -> Hashtbl.replace tbl (tup.v, tup.n) dist | None -> ());
   t.stats.answers <- t.stats.answers + 1;
-  if t.swap then { x = tup.n; y = tup.v; dist } else { x = tup.v; y = tup.n; dist }
+  let witness = witness_of t tup dist in
+  (match witness with
+  | Some w -> List.iter (fun (op, c) -> Obs.Metrics.observe (h_op t op) c) (Witness.ops w)
+  | None -> ());
+  if t.swap then { x = tup.n; y = tup.v; dist; witness } else { x = tup.v; y = tup.n; dist; witness }
 
 let rec get_next t =
   if not (Governor.poll t.governor) then None
@@ -295,20 +368,37 @@ let rec get_next t =
   | None -> None (* seeder exhausted too, or everything pruned *)
   | Some (tup, dist, _) when tup.fin ->
     t.stats.pops <- t.stats.pops + 1;
-    if already_answered t tup.v tup.n then get_next t else Some (record_answer t tup dist)
+    Obs.Metrics.observe t.h_pop_distance dist;
+    if already_answered t tup.v tup.n then begin
+      t.stats.drop_dup <- t.stats.drop_dup + 1;
+      get_next t
+    end
+    else Some (record_answer t tup dist)
   | Some (tup, dist, _) ->
     t.stats.pops <- t.stats.pops + 1;
+    Obs.Metrics.observe t.h_pop_distance dist;
     let key = (tup.v, tup.n, tup.s) in
     if not (Hashtbl.mem t.visited key) then begin
       Hashtbl.add t.visited key ();
-      iter_succ t tup.s tup.n ~dist (fun cost s' m ->
-          if not (Hashtbl.mem t.visited (tup.v, m, s')) then
-            push t ~dist:(dist + cost) ~final:false { v = tup.v; n = m; s = s'; fin = false });
+      iter_succ t tup.s tup.n ~dist (fun tr m ->
+          let s' = tr.Nfa.dst in
+          if not (Hashtbl.mem t.visited (tup.v, m, s')) then begin
+            (* the one provenance branch on the hot path: off, [prov] is the
+               shared [no_parent] sentinel and nothing is allocated *)
+            let prov =
+              match t.prov with
+              | None -> Provenance.no_parent
+              | Some arena -> Provenance.add arena ~parent:tup.prov ~node:m (Provenance.Step tr)
+            in
+            push t ~dist:(dist + tr.Nfa.cost) ~final:false
+              { v = tup.v; n = m; s = s'; fin = false; prov }
+          end);
       match Nfa.final_weight t.nfa tup.s with
       | Some weight
         when annotation_matches t tup && not (already_answered t tup.v tup.n) ->
         push t ~dist:(dist + weight) ~final:true { tup with fin = true }
       | _ -> ()
-    end;
+    end
+    else t.stats.drop_visited <- t.stats.drop_visited + 1;
     get_next t
   end

@@ -30,6 +30,11 @@ type answer = {
   x : int;  (** instantiation of the conjunct's subject position (node oid) *)
   y : int;  (** instantiation of the object position *)
   dist : int;
+  witness : Witness.t option;
+      (** the answer's provenance — [Some] iff [options.provenance]; its hop
+          costs sum to [dist].  Under case-2 reversal the witness runs in
+          traversal order (from the object constant), so its
+          [source]/[target] are [y]/[x]. *)
 }
 
 type t

@@ -1,6 +1,10 @@
 module Graph = Graphstore.Graph
 
-type answer = { bindings : (string * string) list; distance : int }
+type answer = {
+  bindings : (string * string) list;
+  distance : int;
+  witnesses : Witness.t list; (* one per conjunct answer; [] unless options.provenance *)
+}
 
 type termination = Governor.termination =
   | Completed
@@ -21,13 +25,25 @@ let pp_answer ppf a =
 (* The distribution metrics the engine layers register, next to the scalar
    [Exec_stats.field_names] — together the pinned metrics manifest. *)
 let histogram_names =
-  [ "answer_distance"; "queue_depth"; "succ_edges"; "seed_batch_ns"; "join_combos" ]
+  [
+    "answer_distance";
+    "queue_depth";
+    "succ_edges";
+    "seed_batch_ns";
+    "join_combos";
+    "pop_distance";
+    "ops_insert";
+    "ops_delete";
+    "ops_subst";
+    "ops_relax_beta";
+    "ops_relax_gamma";
+  ]
 
 type stream = {
   graph : Graph.t;
   head : string list;
   evaluators : Evaluator.t list;
-  pull : unit -> (Ranked_join.binding * int) option;
+  pull : unit -> (Ranked_join.binding * int * Witness.t list) option;
   projected : (string list, unit) Hashtbl.t; (* dedup of projected bindings *)
   governor : Governor.t;
   registry : Obs.Metrics.t; (* shared by every layer of this stream *)
@@ -80,7 +96,9 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
     in
     let stream_of (c, ev) () =
       match Evaluator.next ev with
-      | Some a -> Some (binding_of_answer c a, a.Conjunct.dist)
+      | Some a ->
+        let wits = match a.Conjunct.witness with Some w -> [ w ] | None -> [] in
+        Some (binding_of_answer c a, a.Conjunct.dist, wits)
       | None -> None
     in
     let pull =
@@ -105,7 +123,7 @@ let rec next st =
       Governor.fault st.governor name;
       None
     | None -> None
-    | Some (binding, distance) ->
+    | Some (binding, distance, witnesses) ->
       let values =
         List.map
           (fun v ->
@@ -123,7 +141,7 @@ let rec next st =
         Hashtbl.add st.projected values ();
         Governor.note_answer st.governor;
         Obs.Metrics.observe st.h_answer_dist distance;
-        Some { bindings = List.combine st.head values; distance }
+        Some { bindings = List.combine st.head values; distance; witnesses }
       end
 
 let status st = Governor.termination st.governor
@@ -198,6 +216,7 @@ let explain ~graph ~ontology ?(options = Options.default) (q : Query.t) =
     governor;
     conjuncts;
     analysis = [];
+    profile = None;
   }
 
 let annotate st (plan : Obs.Explain.plan) =
@@ -213,4 +232,5 @@ let annotate st (plan : Obs.Explain.plan) =
       ("termination", Format.asprintf "%a" Governor.pp_termination (status st));
       ("answers", string_of_int (Governor.answers st.governor));
       ("tuples", string_of_int (Governor.tuples st.governor));
-    ]
+    ];
+  plan.Obs.Explain.profile <- Some (Obs.Profile.of_metrics (metrics st))

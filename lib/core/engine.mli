@@ -21,6 +21,10 @@ type answer = {
   bindings : (string * string) list;
       (** head variable → node label, in head order *)
   distance : int;  (** total edit/relaxation distance of the combination *)
+  witnesses : Witness.t list;
+      (** one witness per participating conjunct answer, in body order —
+          empty unless [options.provenance]; the witnesses' distances sum to
+          [distance] *)
 }
 
 type termination = Governor.termination =
@@ -92,7 +96,9 @@ val metrics : stream -> Obs.Metrics.t
 val histogram_names : string list
 (** The distribution metrics the engine layers register
     ([answer_distance], [queue_depth], [succ_edges], [seed_batch_ns],
-    [join_combos]); together with [Exec_stats.field_names] this is the
+    [join_combos], [pop_distance] and the per-operation cost histograms
+    [ops_insert], [ops_delete], [ops_subst], [ops_relax_beta],
+    [ops_relax_gamma]); together with [Exec_stats.field_names] this is the
     pinned metrics manifest checked in CI. *)
 
 val drain : ?limit:int -> stream -> outcome
@@ -114,10 +120,11 @@ val explain :
     @raise Invalid_argument if the query fails {!Query.validate}. *)
 
 val annotate : stream -> Obs.Explain.plan -> unit
-(** Fill a plan's per-conjunct [counters] and the plan [analysis] from a
-    stream's live state ([--explain-analyze]): call after draining (or at
-    any point mid-stream).  The plan must come from {!explain} on the same
-    query — conjuncts are matched positionally. *)
+(** Fill a plan's per-conjunct [counters], the plan [analysis] and the
+    wasted-work [profile] section from a stream's live state
+    ([--explain-analyze]): call after draining (or at any point
+    mid-stream).  The plan must come from {!explain} on the same query —
+    conjuncts are matched positionally. *)
 
 val run :
   graph:Graphstore.Graph.t ->

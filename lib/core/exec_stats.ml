@@ -11,6 +11,8 @@ type t = {
   mutable peak_queue : int;
   mutable restarts : int;
   mutable pruned : int;
+  mutable drop_visited : int;
+  mutable drop_dup : int;
 }
 
 (* The monotonic clock used to attribute time to neighbour scans ([scan_ns])
@@ -34,6 +36,8 @@ let create () =
     peak_queue = 0;
     restarts = 0;
     pruned = 0;
+    drop_visited = 0;
+    drop_dup = 0;
   }
 
 let copy t = { t with pushes = t.pushes }
@@ -50,7 +54,9 @@ let reset t =
   t.answers <- 0;
   t.peak_queue <- 0;
   t.restarts <- 0;
-  t.pruned <- 0
+  t.pruned <- 0;
+  t.drop_visited <- 0;
+  t.drop_dup <- 0
 
 let merge_into acc x =
   acc.pushes <- acc.pushes + x.pushes;
@@ -64,7 +70,9 @@ let merge_into acc x =
   acc.answers <- acc.answers + x.answers;
   acc.peak_queue <- max acc.peak_queue x.peak_queue;
   acc.restarts <- acc.restarts + x.restarts;
-  acc.pruned <- acc.pruned + x.pruned
+  acc.pruned <- acc.pruned + x.pruned;
+  acc.drop_visited <- acc.drop_visited + x.drop_visited;
+  acc.drop_dup <- acc.drop_dup + x.drop_dup
 
 let field_names =
   [
@@ -80,6 +88,8 @@ let field_names =
     "peak_queue";
     "restarts";
     "pruned";
+    "drop_visited";
+    "drop_dup";
   ]
 
 let to_assoc t =
@@ -96,6 +106,8 @@ let to_assoc t =
     ("peak_queue", t.peak_queue);
     ("restarts", t.restarts);
     ("pruned", t.pruned);
+    ("drop_visited", t.drop_visited);
+    ("drop_dup", t.drop_dup);
   ]
 
 let record_into registry t =
@@ -109,4 +121,5 @@ let pp ppf t =
   if t.scan_ns = 0 && not (Obs.Clock.installed ()) then Format.fprintf ppf "scan-ns=n/a"
   else Format.fprintf ppf "scan-ns=%d" t.scan_ns;
   Format.fprintf ppf " batches=%d seeds=%d answers=%d peak=%d restarts=%d pruned=%d" t.batches
-    t.seeds t.answers t.peak_queue t.restarts t.pruned
+    t.seeds t.answers t.peak_queue t.restarts t.pruned;
+  Format.fprintf ppf " drop-visited=%d drop-dup=%d" t.drop_visited t.drop_dup

@@ -27,6 +27,13 @@ type t = {
   mutable peak_queue : int;  (** high-water mark of [D_R] *)
   mutable restarts : int;  (** distance-aware re-evaluations *)
   mutable pruned : int;  (** pushes suppressed by the ψ ceiling *)
+  mutable drop_visited : int;
+      (** non-final pops discarded because their [(v, n, s)] triple had
+          already been processed — re-surfacings at a higher distance *)
+  mutable drop_dup : int;
+      (** final pops discarded because the [(v, n)] pair was already emitted
+          (here or in the restart-suppress table) — the wasted half of the
+          final-state re-queue *)
 }
 
 val now_ns : (unit -> int) ref

@@ -11,6 +11,7 @@ type t = {
   failpoints : string option;
   final_priority : bool;
   batched_seeding : bool;
+  provenance : bool;
 }
 
 exception Out_of_budget
@@ -29,6 +30,7 @@ let default =
     failpoints = None;
     final_priority = true;
     batched_seeding = true;
+    provenance = false;
   }
 
 let governor ?limit t =

@@ -56,6 +56,12 @@ type t = {
           coroutine batches of [batch_size].  When false, all seeds enter
           [D_R] up-front (the paper reports batching "reduced the execution
           time of some queries by half", §3.3). *)
+  provenance : bool;
+      (** record parent pointers on enqueued tuples (default false) so each
+          answer carries a {!Witness.t} — the data path plus the
+          edit/relaxation script behind its distance.  Off, the evaluator
+          pays exactly one branch per Succ expansion and allocates
+          nothing. *)
 }
 
 exception

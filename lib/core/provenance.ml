@@ -1,0 +1,50 @@
+module Nfa = Automaton.Nfa
+
+type edge =
+  | Seed of { cost : int; ops : (Nfa.op * int) list }
+  | Step of Nfa.transition
+
+(* Growable parallel arrays rather than a record array: an entry costs three
+   words plus the shared [edge] pointer (transitions are shared with the
+   automaton, seed records with the seed list), and appending is two stores
+   and an increment — cheap enough to sit on the Succ path when provenance
+   is on. *)
+type t = {
+  mutable parent : int array;
+  mutable node : int array;
+  mutable edge : edge array;
+  mutable len : int;
+}
+
+let no_parent = -1
+let dummy_edge = Seed { cost = 0; ops = [] }
+
+let create () =
+  { parent = Array.make 1024 0; node = Array.make 1024 0; edge = Array.make 1024 dummy_edge; len = 0 }
+
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.parent in
+  let parent = Array.make (2 * cap) 0 in
+  let node = Array.make (2 * cap) 0 in
+  let edge = Array.make (2 * cap) dummy_edge in
+  Array.blit t.parent 0 parent 0 t.len;
+  Array.blit t.node 0 node 0 t.len;
+  Array.blit t.edge 0 edge 0 t.len;
+  t.parent <- parent;
+  t.node <- node;
+  t.edge <- edge
+
+let add t ~parent ~node edge =
+  if t.len = Array.length t.parent then grow t;
+  let i = t.len in
+  t.parent.(i) <- parent;
+  t.node.(i) <- node;
+  t.edge.(i) <- edge;
+  t.len <- i + 1;
+  i
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Provenance.get: index %d" i);
+  (t.parent.(i), t.node.(i), t.edge.(i))

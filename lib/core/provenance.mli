@@ -1,0 +1,34 @@
+(** Compact parent pointers for answer provenance.
+
+    When {!Options.t.provenance} is on, every tuple pushed to [D_R] records
+    how it was derived — its parent's arena index, the data node reached and
+    the automaton transition (or seed) that produced it — in an append-only
+    arena owned by the conjunct.  Walking the parent chain from an answer's
+    entry reconstructs its {!Witness.t}.  Entries are never freed before the
+    conjunct is dropped: answers may be requested at any point of the
+    stream, and tuples still in [D_R] hold arena indices. *)
+
+type edge =
+  | Seed of { cost : int; ops : (Automaton.Nfa.op * int) list }
+      (** an [Open] seed at the given starting distance — positive only for
+          RELAX class-ancestor seeds, whose cost is [depth × beta] *)
+  | Step of Automaton.Nfa.transition
+      (** one [Succ] expansion: the product-automaton transition taken *)
+
+type t
+
+val no_parent : int
+(** The parent index of a seed entry (-1); also the [prov] field of every
+    tuple when provenance is off. *)
+
+val create : unit -> t
+
+val length : t -> int
+
+val add : t -> parent:int -> node:int -> edge -> int
+(** Append an entry and return its index. [node] is the data-graph node the
+    tuple sits on ([Seed]: the seed node itself). *)
+
+val get : t -> int -> int * int * edge
+(** [(parent, node, edge)] of an entry.
+    @raise Invalid_argument on an out-of-range index. *)

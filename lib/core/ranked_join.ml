@@ -21,8 +21,8 @@ let compatible b1 b2 =
 let merge b1 b2 = List.sort_uniq compare (b1 @ b2)
 
 type input = {
-  pull : unit -> (binding * int) option;
-  mutable seen : (binding * int) list;
+  pull : unit -> (binding * int * Witness.t list) option;
+  mutable seen : (binding * int * Witness.t list) list;
   mutable top : int option; (* smallest distance seen *)
   mutable last : int; (* largest distance seen *)
   mutable exhausted : bool;
@@ -30,7 +30,7 @@ type input = {
 
 type t = {
   inputs : input array;
-  buffer : (binding * int) Dr_queue.t; (* keyed by total distance *)
+  buffer : (binding * int * Witness.t list) Dr_queue.t; (* keyed by total distance *)
   emitted : (binding, unit) Hashtbl.t;
   governor : Governor.t;
   h_combos : Obs.Metrics.histogram; (* combinations produced per input pull *)
@@ -72,20 +72,22 @@ let threshold t =
   !bound
 
 (* All join combinations of [fresh] (from input [idx]) with the seen answers
-   of every other input. *)
-let combinations t idx fresh fresh_dist =
+   of every other input.  Witness lists concatenate: a combined binding's
+   provenance is one witness per participating conjunct answer. *)
+let combinations t idx fresh fresh_dist fresh_wits =
   let n = Array.length t.inputs in
-  let rec extend j acc_binding acc_dist combos =
-    if j = n then (acc_binding, acc_dist) :: combos
-    else if j = idx then extend (j + 1) acc_binding acc_dist combos
+  let rec extend j acc_binding acc_dist acc_wits combos =
+    if j = n then (acc_binding, acc_dist, acc_wits) :: combos
+    else if j = idx then extend (j + 1) acc_binding acc_dist acc_wits combos
     else
       List.fold_left
-        (fun combos (b, d) ->
-          if compatible acc_binding b then extend (j + 1) (merge acc_binding b) (acc_dist + d) combos
+        (fun combos (b, d, ws) ->
+          if compatible acc_binding b then
+            extend (j + 1) (merge acc_binding b) (acc_dist + d) (acc_wits @ ws) combos
           else combos)
         combos t.inputs.(j).seen
   in
-  extend 0 fresh fresh_dist []
+  extend 0 fresh fresh_dist fresh_wits []
 
 let pull_one t idx =
   Failpoints.check Failpoints.Join_pull;
@@ -98,14 +100,14 @@ let pull_one t idx =
       Obs.Trace.complete ~cat:"join" ~start_ns
         ~args:[ ("input", Obs.Trace.Num idx); ("combos", Obs.Trace.Num 0) ]
         "join.pull"
-  | Some (b, d) ->
-    input.seen <- (b, d) :: input.seen;
+  | Some (b, d, ws) ->
+    input.seen <- (b, d, ws) :: input.seen;
     input.last <- max input.last d;
     (match input.top with Some top when top <= d -> () | _ -> input.top <- Some d);
-    let combos = combinations t idx b d in
+    let combos = combinations t idx b d ws in
     List.iter
-      (fun (binding, total) ->
-        Dr_queue.push t.buffer ~dist:total ~final:false (binding, total);
+      (fun (binding, total, wits) ->
+        Dr_queue.push t.buffer ~dist:total ~final:false (binding, total, wits);
         (* buffered join combinations are held in memory just like D_R
            tuples, so they draw on the same governor budget *)
         Governor.tick_tuple t.governor)
@@ -142,11 +144,11 @@ let rec next t =
   in
   if releasable then begin
     match Dr_queue.pop t.buffer with
-    | Some ((binding, total), _, _) ->
+    | Some ((binding, total, wits), _, _) ->
       if Hashtbl.mem t.emitted binding then next t
       else begin
         Hashtbl.add t.emitted binding ();
-        Some (binding, total)
+        Some (binding, total, wits)
       end
     | None ->
       Invariant.fail
@@ -160,11 +162,11 @@ let rec next t =
     | -1 -> (
       (* every input exhausted: flush the buffer *)
       match Dr_queue.pop t.buffer with
-      | Some ((binding, total), _, _) ->
+      | Some ((binding, total, wits), _, _) ->
         if Hashtbl.mem t.emitted binding then next t
         else begin
           Hashtbl.add t.emitted binding ();
-          Some (binding, total)
+          Some (binding, total, wits)
         end
       | None -> None)
     | idx ->

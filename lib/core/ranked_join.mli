@@ -29,7 +29,10 @@ val merge : binding -> binding -> binding
 type t
 
 val create :
-  ?governor:Governor.t -> ?metrics:Obs.Metrics.t -> (unit -> (binding * int) option) list -> t
+  ?governor:Governor.t ->
+  ?metrics:Obs.Metrics.t ->
+  (unit -> (binding * int * Witness.t list) option) list ->
+  t
 (** [create streams] — each stream must yield answers in non-decreasing
     distance.  The pull loop polls [governor] (default: unlimited) and
     every buffered combination ticks its tuple budget, so the join's own
@@ -38,10 +41,12 @@ val create :
     [join_combos] histogram — combinations produced per input pull.
     @raise Invalid_argument on the empty list. *)
 
-val next : t -> (binding * int) option
-(** Next joined binding with its total distance, in non-decreasing total
-    order.  Identical bindings arising from different answer combinations
-    are emitted once, at their smallest total.  Returns [None] when the
+val next : t -> (binding * int * Witness.t list) option
+(** Next joined binding with its total distance and the witnesses of the
+    participating conjunct answers (empty unless provenance is on), in
+    non-decreasing total order.  Identical bindings arising from different
+    answer combinations are emitted once, at their smallest total.  Returns
+    [None] when the
     inputs are exhausted {e or the governor tripped} (the emitted prefix
     stays valid).
     @raise Failpoints.Injected when the [Join_pull] failpoint fires. *)

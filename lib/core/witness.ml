@@ -1,0 +1,99 @@
+module Nfa = Automaton.Nfa
+
+type hop =
+  | Seed of { node : int; cost : int; ops : (Nfa.op * int) list }
+  | Edge of { src : int; dst : int; lbl : Nfa.tlabel; cost : int; ops : (Nfa.op * int) list }
+  | Final of { cost : int; ops : (Nfa.op * int) list }
+
+type t = { source : int; target : int; dist : int; hops : hop list }
+
+let hop_cost = function Seed h -> h.cost | Edge h -> h.cost | Final h -> h.cost
+let hop_ops = function Seed h -> h.ops | Edge h -> h.ops | Final h -> h.ops
+let cost t = List.fold_left (fun acc h -> acc + hop_cost h) 0 t.hops
+let ops t = List.concat_map hop_ops t.hops
+let ops_cost t = List.fold_left (fun acc (_, c) -> acc + c) 0 (ops t)
+
+(* An Edge hop whose cost exceeds its op costs traversed a real graph edge
+   (the exact part, cost charged by the base automaton); [Delete] ops and
+   the [Seed]/[Final] hops consume no edge.  [edges w] is therefore the data
+   path the witness claims to have walked. *)
+let edges t =
+  List.filter_map (function Edge e -> Some (e.src, e.lbl, e.dst) | _ -> None) t.hops
+
+(* A hop already names its destination node, so a [Type_to] label renders as
+   plain [type] instead of repeating the class oid (which the generic tlabel
+   printer can only show as [#oid]). *)
+let pp_hop_label label ppf = function
+  | Nfa.Type_to _ -> Format.pp_print_string ppf "type"
+  | lbl -> Nfa.pp_tlabel label ppf lbl
+
+let pp_path ~node ~label ppf t =
+  Format.fprintf ppf "@[<hov 2>%s" (node t.source);
+  List.iter
+    (fun h ->
+      match h with
+      | Seed s -> if s.cost > 0 then Format.fprintf ppf "@ ~seed(+%d)~ %s" s.cost (node s.node)
+      | Edge e -> Format.fprintf ppf "@ --%a--> %s" (pp_hop_label label) e.lbl (node e.dst)
+      | Final f -> if f.cost > 0 then Format.fprintf ppf "@ =final(+%d)=" f.cost)
+    t.hops;
+  Format.fprintf ppf "@]"
+
+let pp_script ppf t =
+  match ops t with
+  | [] -> Format.pp_print_string ppf "exact (no edits)"
+  | ops ->
+    List.iteri
+      (fun i op -> Format.fprintf ppf (if i = 0 then "%a" else ",@ %a") Nfa.pp_op op)
+      ops
+
+let pp ~node ~label ppf t =
+  Format.fprintf ppf "@[<v 2>path: %a@,script: @[<hov>%a@]  (distance %d)@]" (pp_path ~node ~label)
+    t (fun ppf -> pp_script ppf) t t.dist
+
+let ops_to_json ops =
+  Obs.Json.List
+    (List.map
+       (fun (op, c) ->
+         Obs.Json.Obj
+           (("op", Obs.Json.String (Nfa.op_name op))
+           :: (match op with
+              | Nfa.Super_prop depth -> [ ("depth", Obs.Json.Int depth) ]
+              | _ -> [])
+           @ [ ("cost", Obs.Json.Int c) ]))
+       ops)
+
+let hop_to_json ~node ~label = function
+  | Seed s ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.String "seed");
+        ("node", Obs.Json.String (node s.node));
+        ("cost", Obs.Json.Int s.cost);
+        ("ops", ops_to_json s.ops);
+      ]
+  | Edge e ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.String "edge");
+        ("src", Obs.Json.String (node e.src));
+        ("label", Obs.Json.String (Format.asprintf "%a" (pp_hop_label label) e.lbl));
+        ("dst", Obs.Json.String (node e.dst));
+        ("cost", Obs.Json.Int e.cost);
+        ("ops", ops_to_json e.ops);
+      ]
+  | Final f ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.String "final");
+        ("cost", Obs.Json.Int f.cost);
+        ("ops", ops_to_json f.ops);
+      ]
+
+let to_json ~node ~label t =
+  Obs.Json.Obj
+    [
+      ("source", Obs.Json.String (node t.source));
+      ("target", Obs.Json.String (node t.target));
+      ("dist", Obs.Json.Int t.dist);
+      ("hops", Obs.Json.List (List.map (hop_to_json ~node ~label) t.hops));
+    ]

@@ -1,0 +1,59 @@
+(** Answer witnesses: the data path an answer traversed plus the
+    edit/relaxation script that admitted it (§3.2/§2.3 made inspectable).
+
+    A witness is the parent chain of the answer tuple, re-walked from the
+    seed: one [Seed] hop (with a positive cost only for RELAX class-ancestor
+    seeds), one [Edge] hop per [Succ] expansion, and a trailing [Final] hop
+    when the accepting state carried a positive final weight (an ε-removed
+    trailing deletion).  The invariant pinned by the provenance property
+    suite: hop costs sum to the answer's distance, each hop's op costs sum
+    to the flexible part of its cost, and every [Edge] hop is a real edge of
+    the data graph under its label. *)
+
+type hop =
+  | Seed of { node : int; cost : int; ops : (Automaton.Nfa.op * int) list }
+  | Edge of {
+      src : int;
+      dst : int;
+      lbl : Automaton.Nfa.tlabel;
+      cost : int;
+      ops : (Automaton.Nfa.op * int) list;
+    }
+  | Final of { cost : int; ops : (Automaton.Nfa.op * int) list }
+
+type t = {
+  source : int;  (** the seed node the exploration started from *)
+  target : int;  (** the node the answer binds (before case-2 swap-back) *)
+  dist : int;  (** the answer's reported distance *)
+  hops : hop list;  (** seed first, in traversal order *)
+}
+
+val hop_cost : hop -> int
+val hop_ops : hop -> (Automaton.Nfa.op * int) list
+
+val cost : t -> int
+(** Sum of hop costs — equals [dist] for every witness the engine emits. *)
+
+val ops : t -> (Automaton.Nfa.op * int) list
+(** The edit/relaxation script: all hop ops, in traversal order. *)
+
+val ops_cost : t -> int
+(** Sum of the script's op costs — the flexible part of [dist] (all of it
+    under unit costs, where exact transitions are free). *)
+
+val edges : t -> (int * Automaton.Nfa.tlabel * int) list
+(** The data edges traversed, as [(src, label, dst)] — the replayable path. *)
+
+val pp_path :
+  node:(int -> string) -> label:(int -> string) -> Format.formatter -> t -> unit
+(** [source --lbl--> n1 --lbl--> target], with seed/final surcharges shown
+    inline; [node] renders node oids, [label] interned label ids. *)
+
+val pp_script : Format.formatter -> t -> unit
+(** The operation list alone, e.g. [sub(+1), relax-sp^2(+2)] — or
+    ["exact (no edits)"]. *)
+
+val pp : node:(int -> string) -> label:(int -> string) -> Format.formatter -> t -> unit
+(** Two-line rendering: path, then script with the distance. *)
+
+val to_json : node:(int -> string) -> label:(int -> string) -> t -> Obs.Json.t

@@ -21,6 +21,7 @@ type plan = {
   governor : (string * string) list;
   conjuncts : conjunct_plan list;
   mutable analysis : (string * string) list;
+  mutable profile : Profile.t option;
 }
 
 let pp_kvs pp_v ppf kvs =
@@ -50,6 +51,9 @@ let pp ppf (p : plan) =
   List.iter (fun c -> Format.fprintf ppf "  @[<v>%a@]" pp_conjunct c) p.conjuncts;
   if p.analysis <> [] then
     Format.fprintf ppf "  analysis: %a@," (pp_kvs Format.pp_print_string) p.analysis;
+  (match p.profile with
+  | Some prof -> Format.fprintf ppf "  @[<v>%a@]@," Profile.pp prof
+  | None -> ());
   Format.fprintf ppf "@]"
 
 let to_json (p : plan) =
@@ -89,4 +93,5 @@ let to_json (p : plan) =
                  ])
              p.conjuncts) );
       ("analysis", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) p.analysis));
+      ("profile", match p.profile with Some prof -> Profile.to_json prof | None -> Json.Null);
     ]

@@ -47,6 +47,9 @@ type plan = {
   governor : (string * string) list;  (** limit name → rendered value *)
   conjuncts : conjunct_plan list;
   mutable analysis : (string * string) list;  (** filled by annotate *)
+  mutable profile : Profile.t option;
+      (** the wasted-work profile, filled by annotate (analyze only);
+          rendered as a trailing section / [null] in JSON when absent *)
 }
 
 val pp : Format.formatter -> plan -> unit

@@ -25,10 +25,23 @@ let rec write buf = function
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int n -> Buffer.add_string buf (string_of_int n)
   | Float f ->
-    if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
-      (* NaN is not JSON; integral floats print without the trailing dot *)
-      Buffer.add_string buf (string_of_int (int_of_float (if Float.is_nan f then 0. else f)))
-    else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    (* JSON has no NaN/Infinity tokens: emit null for non-finite values
+       (matching what e.g. JavaScript's JSON.stringify does).  Integral
+       floats below 2^53-ish print without a trailing dot; everything else
+       prints with the fewest digits that parse back to the same double. *)
+    if not (Float.is_finite f) then Buffer.add_string buf "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (string_of_int (int_of_float f))
+    else begin
+      let s15 = Printf.sprintf "%.15g" f in
+      let s16 = Printf.sprintf "%.16g" f in
+      let s =
+        if float_of_string s15 = f then s15
+        else if float_of_string s16 = f then s16
+        else Printf.sprintf "%.17g" f
+      in
+      Buffer.add_string buf s
+    end
   | String s ->
     Buffer.add_char buf '"';
     escape buf s;

@@ -13,7 +13,11 @@ type t =
   | Obj of (string * t) list
 
 val pp : Format.formatter -> t -> unit
-(** Compact (single-line) rendering with proper string escaping. *)
+(** Compact (single-line) rendering with proper string escaping.  Floats are
+    written round-trip safe: the shortest decimal text that parses back to
+    the same double; non-finite values ([nan], [infinity]) become [null]
+    (JSON has no tokens for them); integral floats up to 1e15 print as
+    integers. *)
 
 val to_string : t -> string
 

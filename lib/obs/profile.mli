@@ -1,0 +1,52 @@
+(** The wasted-work query profile: where tuples went versus where answers
+    came from.
+
+    Built from a stream's {!Metrics} registry after (or during) execution,
+    it aligns the [pop_distance] histogram (tuples taken off [D_R] per
+    distance bucket) with [answer_distance] (answers emitted per bucket),
+    attributes the discarded pops (visited-set dedup, duplicate finals, the
+    ψ ceiling, tuples left in the queue when the governor cut the run) and
+    totals the per-operation cost histograms ([ops_insert] … ) that answer
+    witnesses feed.  Rendered by the CLI's [--profile], embedded in
+    [--trace] exports and in [Engine.explain_analyze] plans. *)
+
+type bucket_row = {
+  lo : int;  (** bucket lower bound, inclusive; [min_int] for the ≤0 bucket *)
+  hi : int;  (** upper bound, inclusive; [max_int] for the overflow bucket *)
+  popped : int;
+  answers : int;
+}
+
+type op_stat = {
+  op : string;  (** "ins" | "del" | "sub" | "relax-sp" | "relax-dr" *)
+  op_count : int;  (** operations applied across all emitted answers *)
+  op_cost : int;  (** their total distance contribution *)
+}
+
+type t = {
+  buckets : bucket_row list;  (** ascending; union of pop/answer buckets *)
+  drop_visited : int;
+  drop_dup : int;
+  pruned : int;
+  queue_left : int;  (** pushes - pops: never-popped tuples *)
+  pops : int;
+  answers : int;
+  ops : op_stat list;  (** all five operations, zero rows included *)
+}
+
+val op_histograms : (string * string) list
+(** Report op name → registry histogram name — the five [ops_*] entries of
+    the metrics manifest. *)
+
+val of_metrics : Metrics.t -> t
+(** Reads the [pop_distance]/[answer_distance]/[ops_*] histograms and the
+    [pushes]/[pops]/[answers]/[drop_visited]/[drop_dup]/[pruned] counters
+    (get-or-create: absent metrics read as zero). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> t option
+(** Inverse of {!to_json} (used by the round-trip tests and external
+    consumers of trace exports). *)

@@ -90,7 +90,7 @@ let json_of_event ~t0 e =
      ]
     @ extra @ args)
 
-let to_json () =
+let to_json ?(extra = []) () =
   let evs = events () in
   (* Timestamps are rebased to the earliest buffered event: an epoch-based
      wall clock would otherwise put every event ~10^15 µs from the origin,
@@ -98,11 +98,15 @@ let to_json () =
   let t0 = List.fold_left (fun acc e -> min acc e.ts_ns) max_int evs in
   let t0 = if t0 = max_int then 0 else t0 in
   Json.Obj
-    [
-      ("traceEvents", Json.List (List.map (json_of_event ~t0) evs));
-      ("displayTimeUnit", Json.String "ms");
-    ]
+    ([
+       ("traceEvents", Json.List (List.map (json_of_event ~t0) evs));
+       ("displayTimeUnit", Json.String "ms");
+       (* ring-buffer truncation is part of the export: a consumer (or
+          bench/validate) can tell a complete trace from a clipped one *)
+       ("dropped", Json.Int st.dropped);
+     ]
+    @ extra)
 
-let export path =
+let export ?extra path =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Json.to_channel oc (to_json ()))
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Json.to_channel oc (to_json ?extra ()))

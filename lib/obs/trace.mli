@@ -60,10 +60,12 @@ val events : unit -> event list
 val dropped : unit -> int
 (** Events overwritten by the ring since {!enable}/{!clear}. *)
 
-val to_json : unit -> Json.t
+val to_json : ?extra:(string * Json.t) list -> unit -> Json.t
 (** The buffer as a Chrome [trace_event] document:
-    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with microsecond
-    [ts]/[dur] fields. *)
+    [{"traceEvents": [...], "displayTimeUnit": "ms", "dropped": n}] with
+    microsecond [ts]/[dur] fields.  [dropped] is {!dropped} — non-zero means
+    the ring truncated the trace.  [extra] fields are appended to the
+    top-level object (the CLI embeds the query profile there). *)
 
-val export : string -> unit
+val export : ?extra:(string * Json.t) list -> string -> unit
 (** Write {!to_json} to a file. *)

@@ -34,17 +34,21 @@ let test_compatible_merge () =
 
 (* --- streams ----------------------------------------------------------- *)
 
+(* Test streams carry no witnesses: these tests exercise the binding/distance
+   algebra; witness passthrough is pinned by the provenance suite. *)
 let stream_of_list l =
   let rest = ref l in
   fun () ->
     match !rest with
     | [] -> None
-    | x :: tl ->
+    | (bind, d) :: tl ->
       rest := tl;
-      Some x
+      Some (bind, d, [])
 
 let drain join =
-  let rec go acc = match RJ.next join with None -> List.rev acc | Some r -> go (r :: acc) in
+  let rec go acc =
+    match RJ.next join with None -> List.rev acc | Some (bind, d, _) -> go ((bind, d) :: acc)
+  in
   go []
 
 let b pairs = RJ.binding_of pairs

@@ -24,7 +24,7 @@ open Instance_gen
 (* --- Exec_stats algebra ------------------------------------------------ *)
 
 let set_fields (s : Stats.t) = function
-  | [ a; b; c; d; e; f; g; h; i; j; k; m ] ->
+  | [ a; b; c; d; e; f; g; h; i; j; k; m; n; o ] ->
     s.Stats.pushes <- a;
     s.Stats.pops <- b;
     s.Stats.succ_calls <- c;
@@ -36,7 +36,9 @@ let set_fields (s : Stats.t) = function
     s.Stats.answers <- i;
     s.Stats.peak_queue <- j;
     s.Stats.restarts <- k;
-    s.Stats.pruned <- m
+    s.Stats.pruned <- m;
+    s.Stats.drop_visited <- n;
+    s.Stats.drop_dup <- o
   | _ -> assert false
 
 let gen_stats =
@@ -46,7 +48,7 @@ let gen_stats =
         let s = Stats.create () in
         set_fields s fields;
         s)
-      (list_repeat 12 (int_bound 10_000)))
+      (list_repeat 14 (int_bound 10_000)))
 
 let assoc s = Stats.to_assoc s
 
@@ -84,7 +86,7 @@ let peak_queue_max_test () =
 
 let reset_test () =
   let s = Stats.create () in
-  set_fields s [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ];
+  set_fields s [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14 ];
   Stats.reset s;
   List.iter (fun (k, v) -> Alcotest.(check int) (k ^ " reset to 0") 0 v) (assoc s)
 
@@ -96,7 +98,7 @@ let copy_independent_test () =
   Alcotest.(check int) "copy is a snapshot" 4 snap.Stats.pushes
 
 let field_names_test () =
-  Alcotest.(check int) "12 scalar counters" 12 (List.length Stats.field_names);
+  Alcotest.(check int) "14 scalar counters" 14 (List.length Stats.field_names);
   let s = Stats.create () in
   Alcotest.(check (list string)) "to_assoc follows field_names order" Stats.field_names
     (List.map fst (assoc s))
@@ -179,6 +181,100 @@ let registry_merge_test () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "re-registering a counter name as a histogram must raise"
 
+(* --- JSON float writer (satellite: round-trip safety) ------------------- *)
+
+let float_nonfinite_test () =
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "non-finite floats encode as null" "null"
+        (Json.to_string (Json.Float f)))
+    [ infinity; neg_infinity; nan ];
+  (* a document containing them stays valid JSON *)
+  match Json.parse (Json.to_string (Json.Obj [ ("x", Json.Float nan) ])) with
+  | Ok (Json.Obj [ ("x", Json.Null) ]) -> ()
+  | Ok _ -> Alcotest.fail "expected {\"x\":null}"
+  | Error msg -> Alcotest.failf "does not re-parse: %s" msg
+
+let float_roundtrip f =
+  match Json.parse (Json.to_string (Json.Float f)) with
+  | Error _ -> false
+  | Ok j -> ( match Json.to_float j with Some g -> f = g | None -> false)
+
+let float_roundtrip_cases_test () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (Printf.sprintf "%h survives encode/parse" f) true (float_roundtrip f))
+    [
+      0.1;
+      0.2;
+      0.3;
+      1.5;
+      -2.75;
+      Float.pi;
+      1e15 +. 1. (* just past the integral shortcut: needs full precision *);
+      1e-300;
+      4.9e-324 (* smallest subnormal *);
+      1.7976931348623157e308 (* max finite *);
+      123456789.123456789;
+    ]
+
+let float_roundtrip_prop =
+  QCheck2.Test.make ~name:"finite floats survive encode/parse exactly" ~count:1000
+    QCheck2.Gen.float
+    (fun f -> (not (Float.is_finite f)) || float_roundtrip f)
+
+(* --- profile (wasted-work report) ---------------------------------------- *)
+
+module Profile = Obs.Profile
+
+let profile_roundtrip_test () =
+  let r = Metrics.create () in
+  let pop = Metrics.histogram r "pop_distance" in
+  List.iter (Metrics.observe pop) [ 0; 1; 1; 2; 3; 5; 9 ];
+  let ans = Metrics.histogram r "answer_distance" in
+  List.iter (Metrics.observe ans) [ 0; 2; 5 ];
+  let ins = Metrics.histogram r "ops_insert" in
+  List.iter (Metrics.observe ins) [ 1; 1; 2 ];
+  Metrics.incr ~by:20 (Metrics.counter r "pushes");
+  Metrics.incr ~by:7 (Metrics.counter r "pops");
+  Metrics.incr ~by:3 (Metrics.counter r "answers");
+  Metrics.incr ~by:2 (Metrics.counter r "drop_visited");
+  Metrics.incr ~by:1 (Metrics.counter r "drop_dup");
+  Metrics.incr ~by:4 (Metrics.counter r "pruned");
+  let p = Profile.of_metrics r in
+  Alcotest.(check int) "queue_left = pushes - pops" 13 p.Profile.queue_left;
+  Alcotest.(check int) "pops counter" 7 p.Profile.pops;
+  Alcotest.(check int) "discards attributed" 2 p.Profile.drop_visited;
+  let popped_total =
+    List.fold_left (fun acc (b : Profile.bucket_row) -> acc + b.Profile.popped) 0 p.Profile.buckets
+  in
+  let answer_total =
+    List.fold_left (fun acc (b : Profile.bucket_row) -> acc + b.Profile.answers) 0 p.Profile.buckets
+  in
+  Alcotest.(check int) "bucket pops total the observations" 7 popped_total;
+  Alcotest.(check int) "bucket answers total the observations" 3 answer_total;
+  let ins_stat = List.find (fun (o : Profile.op_stat) -> o.Profile.op = "ins") p.Profile.ops in
+  Alcotest.(check int) "ins op count" 3 ins_stat.Profile.op_count;
+  Alcotest.(check int) "ins op cost" 4 ins_stat.Profile.op_cost;
+  Alcotest.(check int) "all five ops reported (zero rows included)" 5 (List.length p.Profile.ops);
+  Alcotest.(check bool) "text rendering non-empty" true
+    (String.length (Format.asprintf "%a" Profile.pp p) > 0);
+  match Json.parse (Json.to_string (Profile.to_json p)) with
+  | Error msg -> Alcotest.failf "profile JSON does not re-parse: %s" msg
+  | Ok j -> (
+    match Profile.of_json j with
+    | None -> Alcotest.fail "of_json rejected to_json output"
+    | Some p' -> Alcotest.(check bool) "of_json inverts to_json" true (p = p'))
+
+let profile_empty_test () =
+  (* an untouched registry yields a well-formed all-zero profile *)
+  let p = Profile.of_metrics (Metrics.create ()) in
+  Alcotest.(check int) "no buckets" 0 (List.length p.Profile.buckets);
+  Alcotest.(check int) "zero queue_left" 0 p.Profile.queue_left;
+  match Profile.of_json (Profile.to_json p) with
+  | Some p' -> Alcotest.(check bool) "empty profile round-trips" true (p = p')
+  | None -> Alcotest.fail "empty profile did not round-trip"
+
 (* --- tracer ------------------------------------------------------------- *)
 
 let span_depth_ok events =
@@ -234,6 +330,21 @@ let trace_json_test () =
                     | Some ts -> Alcotest.(check bool) "ts rebased to non-negative" true (ts >= 0.)
                     | None -> Alcotest.fail "ts is not a number")
                   l))))
+
+let trace_dropped_test () =
+  Trace.enable ~capacity:16 ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      for _ = 1 to 40 do
+        Trace.instant "tick"
+      done;
+      Alcotest.(check int) "ring buffer truncation counted" 24 (Trace.dropped ());
+      let doc = Trace.to_json ~extra:[ ("profile", Json.Obj [ ("pops", Json.Int 0) ]) ] () in
+      (match Json.member "dropped" doc with
+      | Some (Json.Int d) -> Alcotest.(check int) "dropped surfaced in the export" 24 d
+      | _ -> Alcotest.fail "no top-level dropped field in trace export");
+      match Json.member "profile" doc with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "extra fields not carried through to_json")
 
 (* Randomized engine runs under injected faults and a deterministic counter
    deadline: whatever trips, the buffered span events must nest. *)
@@ -374,11 +485,23 @@ let () =
           Alcotest.test_case "observe aggregates" `Quick histogram_observe_test;
           Alcotest.test_case "registry merge" `Quick registry_merge_test;
         ] );
+      ( "json",
+        [
+          Alcotest.test_case "non-finite floats encode as null" `Quick float_nonfinite_test;
+          Alcotest.test_case "awkward floats round-trip" `Quick float_roundtrip_cases_test;
+          QCheck_alcotest.to_alcotest float_roundtrip_prop;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "of_metrics / JSON round-trip" `Quick profile_roundtrip_test;
+          Alcotest.test_case "empty registry profile" `Quick profile_empty_test;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "disabled tracer records nothing" `Quick trace_disabled_test;
           Alcotest.test_case "spans close on exceptions" `Quick trace_exception_test;
           Alcotest.test_case "export re-parses, ts rebased" `Quick trace_json_test;
+          Alcotest.test_case "dropped count surfaced in export" `Quick trace_dropped_test;
           QCheck_alcotest.to_alcotest trace_nesting_prop;
         ] );
       ( "engine",
