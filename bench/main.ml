@@ -109,6 +109,7 @@ type measured = {
   times_ms : float list; (* the individual post-warm-up protocol times *)
   count : int;
   tuples : int; (* D_R pushes of the counting run — the memory proxy *)
+  mem_bytes_peak : int; (* Mem cost-model high-water mark of the counting run *)
   histogram : (int * int) list; (* distance -> #answers *)
   aborted : bool; (* tuple budget tripped: the paper's '?' (out-of-memory) cells *)
   termination : Engine.termination; (* full reason, per run (budget/deadline/fault/...) *)
@@ -116,15 +117,18 @@ type measured = {
 
 let aborted_of = function
   | Engine.Exhausted { reason = Core.Governor.Tuple_budget; _ } -> true
-  | Engine.Completed | Engine.Exhausted _ -> false
+  | Engine.Completed | Engine.Exhausted _ | Engine.Rejected _ -> false
 
 (* table cell marker: '?' = tuple budget (as in Fig. 10), 'T' = deadline,
-   'F' = injected fault; completion and answer-limit print normally *)
+   'M' = memory budget, 'F' = injected fault, 'R' = rejected by admission
+   control; completion and answer-limit print normally *)
 let marker_of = function
   | Engine.Completed | Engine.Exhausted { reason = Core.Governor.Answer_limit; _ } -> None
   | Engine.Exhausted { reason = Core.Governor.Tuple_budget; _ } -> Some "?"
   | Engine.Exhausted { reason = Core.Governor.Deadline; _ } -> Some "T"
+  | Engine.Exhausted { reason = Core.Governor.Memory_budget; _ } -> Some "M"
   | Engine.Exhausted { reason = Core.Governor.Fault _; _ } -> Some "F"
+  | Engine.Rejected _ -> Some "R"
 
 let histogram_of answers =
   let h = Hashtbl.create 8 in
@@ -146,9 +150,10 @@ let mode_name = function
 let termination_string = function
   | Engine.Completed -> "completed"
   | Engine.Exhausted { reason; _ } -> Core.Governor.reason_string reason
+  | Engine.Rejected _ -> "rejected"
 
 (* One row of the BENCH_<section>.json results array (see
-   bench/bench_schema.json, schema_version 1). *)
+   bench/bench_schema.json, schema_version 2). *)
 let json_row ~dataset ~scale ~query ~mode (m : measured) =
   let ns_of t = int_of_float (t *. 1e6) in
   let times = match m.times_ms with [] -> [ m.time_ms ] | l -> l in
@@ -163,6 +168,7 @@ let json_row ~dataset ~scale ~query ~mode (m : measured) =
       ("max_ns", Obs.Json.Int (ns_of (List.fold_left max neg_infinity times)));
       ("answers", Obs.Json.Int m.count);
       ("tuples", Obs.Json.Int m.tuples);
+      ("mem_bytes_peak", Obs.Json.Int m.mem_bytes_peak);
       ("termination", Obs.Json.String (termination_string m.termination));
       ( "marker",
         match marker_of m.termination with
@@ -175,7 +181,7 @@ let write_json ~section rows =
     let doc =
       Obs.Json.Obj
         [
-          ("schema_version", Obs.Json.Int 1);
+          ("schema_version", Obs.Json.Int 2);
           ("section", Obs.Json.String section);
           ("runs", Obs.Json.Int !runs);
           ("results", Obs.Json.List rows);
@@ -201,6 +207,7 @@ let measure_exact (g, k) qtext =
     times_ms = times;
     count = List.length outcome.Engine.answers;
     tuples = outcome.Engine.stats.Core.Exec_stats.pushes;
+    mem_bytes_peak = outcome.Engine.stats.Core.Exec_stats.mem_bytes_peak;
     histogram = histogram_of outcome.Engine.answers;
     aborted = outcome.Engine.aborted;
     termination = outcome.Engine.termination;
@@ -230,13 +237,15 @@ let measure_flex (g, k) ~options qtext =
       in
       batch_times := t :: !batch_times
     done;
-    let pushes = (Engine.stream_stats stream).Core.Exec_stats.pushes in
-    (List.rev !answers, mean !batch_times, Engine.status stream, pushes)
+    let st = Engine.stream_stats stream in
+    let pushes = st.Core.Exec_stats.pushes in
+    let mem_peak = st.Core.Exec_stats.mem_bytes_peak in
+    (List.rev !answers, mean !batch_times, Engine.status stream, pushes, mem_peak)
   in
-  let answers, _, termination, tuples = once () in
+  let answers, _, termination, tuples, mem_bytes_peak = once () in
   let batch_means =
     List.init !runs (fun _ ->
-        let _, t, _, _ = once () in
+        let _, t, _, _, _ = once () in
         t)
   in
   {
@@ -244,6 +253,7 @@ let measure_flex (g, k) ~options qtext =
     times_ms = batch_means;
     count = List.length answers;
     tuples;
+    mem_bytes_peak;
     histogram = histogram_of answers;
     aborted = aborted_of termination;
     termination;

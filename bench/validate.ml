@@ -35,9 +35,9 @@ let get path what j k = match Json.member k j with Some v -> v | None -> failf "
 let want_int path what v k = match Json.to_int (get path what v k) with Some n -> n | None -> failf "%s: %s field %S is not an integer" path what k
 let want_str path what v k = match Json.to_str (get path what v k) with Some s -> s | None -> failf "%s: %s field %S is not a string" path what k
 
-(* --- BENCH_<section>.json (bench/bench_schema.json, schema_version 1) --- *)
+(* --- BENCH_<section>.json (bench/bench_schema.json, schema_version 2) --- *)
 
-let known_markers = [ "?"; "T"; "F" ]
+let known_markers = [ "?"; "T"; "M"; "F"; "R" ]
 let known_modes = [ "exact"; "approx"; "relax" ]
 
 let check_result path i r =
@@ -52,16 +52,17 @@ let check_result path i r =
     failf "%s: %s violates min_ns <= mean_ns <= max_ns (%d / %d / %d)" path what min_ns mean max_ns;
   if want_int path what r "answers" < 0 then failf "%s: %s has negative answers" path what;
   if want_int path what r "tuples" < 0 then failf "%s: %s has negative tuples" path what;
+  if want_int path what r "mem_bytes_peak" < 0 then failf "%s: %s has negative mem_bytes_peak" path what;
   match get path what r "marker" with
   | Json.Null -> ()
   | Json.String m when List.mem m known_markers -> ()
-  | Json.String m -> failf "%s: %s has unknown marker %S (expected ? T F or null)" path what m
+  | Json.String m -> failf "%s: %s has unknown marker %S (expected ? T M F R or null)" path what m
   | _ -> failf "%s: %s field \"marker\" is neither a string nor null" path what
 
 let check_bench path =
   let j = parse_file path in
   let version = want_int path "document" j "schema_version" in
-  if version <> 1 then failf "%s: unsupported schema_version %d (expected 1)" path version;
+  if version <> 2 then failf "%s: unsupported schema_version %d (expected 2)" path version;
   ignore (want_str path "document" j "section");
   if want_int path "document" j "runs" < 1 then failf "%s: runs < 1" path;
   match Json.to_list (get path "document" j "results") with

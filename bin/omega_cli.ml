@@ -191,6 +191,34 @@ let query_cmd =
       & info [ "max-answers" ] ~docv:"N"
           ~doc:"Stop cleanly after N answers (like $(b,--limit), but reported as a governor trip).")
   in
+  let max_memory_mb =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-memory-mb" ] ~docv:"MB"
+          ~doc:
+            "Memory budget for the evaluation's dominant structures (queues, visited sets, \
+             provenance, join state), tracked by the engine's cost model.  Under pressure the \
+             engine degrades gracefully — drops provenance arenas, then declines ψ window growth \
+             — before terminating with exit code 4; the answers printed are still a correct \
+             ranked prefix.")
+  in
+  let max_states =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Admission control: reject the query (exit code 6, before touching the graph) if any \
+             conjunct's automaton, after APPROX/RELAX expansion, has more than N states.")
+  in
+  let max_product_est =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-product-est" ] ~docv:"N"
+          ~doc:
+            "Admission control: reject the query (exit code 6) if the estimated product-automaton \
+             frontier — automaton states times estimated seed nodes, summed over conjuncts — \
+             exceeds N.")
+  in
   let failpoints =
     Arg.(
       value & opt (some string) None
@@ -265,8 +293,8 @@ let query_cmd =
              left queued) and per-operation cost totals.  Enables provenance tracking.")
   in
   let run data lenient query limit distance_aware decompose max_tuples timeout_ms max_answers
-      failpoints edit_cost relax_cost show_stats explain_flag explain_analyze trace why why_json
-      profile_flag =
+      max_memory_mb max_states max_product_est failpoints edit_cost relax_cost show_stats
+      explain_flag explain_analyze trace why why_json profile_flag =
     let wall_ns () = int_of_float (1e9 *. Unix.gettimeofday ()) in
     (* One shared init for every time source: scan-time attribution, governor
        deadlines and trace timestamps all read the same installed clock.
@@ -297,6 +325,9 @@ let query_cmd =
         max_tuples;
         timeout_ns = Option.map (fun ms -> ms * 1_000_000) timeout_ms;
         max_answers;
+        max_memory_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_memory_mb;
+        max_states;
+        max_product_est;
         failpoints;
         final_priority = true;
         batched_seeding = true;
@@ -381,12 +412,15 @@ let query_cmd =
             | Core.Engine.Completed -> 0
             | Core.Engine.Exhausted { reason; _ } -> (
               Format.printf "-- partial: %a (the ranked prefix above is still correct)@."
-                Core.Governor.pp_termination outcome.Core.Engine.termination;
+                Core.Engine.pp_termination outcome.Core.Engine.termination;
               match reason with
               | Core.Governor.Answer_limit -> 0
               | Core.Governor.Deadline -> 3
-              | Core.Governor.Tuple_budget -> 4
+              | Core.Governor.Tuple_budget | Core.Governor.Memory_budget -> 4
               | Core.Governor.Fault _ -> 5)
+            | Core.Engine.Rejected r ->
+              Format.printf "-- rejected by admission control: %a@." Core.Admission.pp_rejection r;
+              6
           in
           Format.printf "%d answer(s) in %.2f ms@."
             (List.length outcome.Core.Engine.answers)
@@ -409,8 +443,9 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a CRP query (with optional APPROX/RELAX conjuncts) against a triple file.")
     Term.(
       const run $ data_arg $ lenient_arg $ query $ limit $ distance_aware $ decompose $ max_tuples
-      $ timeout_ms $ max_answers $ failpoints $ edit_cost $ relax_cost $ show_stats $ explain_flag
-      $ explain_analyze $ trace $ why $ why_json $ profile_flag)
+      $ timeout_ms $ max_answers $ max_memory_mb $ max_states $ max_product_est $ failpoints
+      $ edit_cost $ relax_cost $ show_stats $ explain_flag $ explain_analyze $ trace $ why
+      $ why_json $ profile_flag)
 
 let () =
   let doc = "flexible regular path queries over graph data (APPROX / RELAX)" in

@@ -1,0 +1,192 @@
+(* omega-fuzz: the resource-safety fuzzing driver.
+
+     omega-fuzz --seed 42 --iters 20000
+     omega-fuzz --seconds 30 --corpus test/corpus
+
+   Feeds a seeded stream of structure-aware inputs ([Datagen.Fuzz]) at the
+   three parsers and, for queries that parse, at the full engine under
+   tight governor budgets.  The contract under test:
+
+   - every parser returns a typed result ([Ok]/[Error]/[Parse_error]) —
+     never an escaping exception and never [Stack_overflow];
+   - admitted queries respect their budgets end-to-end: evaluation
+     terminates with a typed [Engine.termination], a rejected query never
+     touches the graph ([edges_scanned = 0]), and the push count stays
+     within the tuple budget plus bounded overshoot.
+
+   Any violation is a crash: the offending input is written to the corpus
+   directory (replayed forever after by [test/test_fuzz.ml]) and the
+   process exits non-zero.  Each iteration derives its own RNG from
+   [seed + iter], so a single failing iteration reproduces directly. *)
+
+open Cmdliner
+module Fuzz = Datagen.Fuzz
+
+(* A small fixed graph whose node and edge labels overlap the generator's
+   alphabets, so fuzzed queries actually traverse something. *)
+let build_graph () =
+  let g = Graphstore.Graph.create () in
+  let k = Ontology.create (Graphstore.Graph.interner g) in
+  let n = 12 in
+  let nodes = Array.init n (fun i -> Graphstore.Graph.add_node g (Printf.sprintf "N%d" i)) in
+  let consts = Array.map (Graphstore.Graph.add_node g) [| "C0"; "UK"; "Work Episode" |] in
+  let labels = [| "a"; "b"; "c"; "knows"; "worksAt"; "livesIn"; "type"; "p'"; "q0"; "_" |] in
+  Array.iteri
+    (fun i src ->
+      Array.iteri (fun j l -> Graphstore.Graph.add_edge_s g src l nodes.((i + j + 1) mod n)) labels)
+    nodes;
+  Array.iteri
+    (fun i c ->
+      Graphstore.Graph.add_edge_s g c "type" nodes.(i);
+      Graphstore.Graph.add_edge_s g nodes.(i + 1) "knows" c)
+    consts;
+  Ontology.add_subclass k "C0" "UK";
+  Ontology.add_subproperty k "a" "b";
+  Ontology.add_domain k "knows" "C0";
+  Ontology.add_range k "knows" "UK";
+  Graphstore.Graph.freeze g;
+  (g, k)
+
+let tuple_budget = 5_000
+
+(* Governor polling is cooperative: a trip is honoured at the next poll,
+   so pushes can overshoot the budget by one frontier expansion.  The
+   fixture graph's fan-out bounds that well under this slack. *)
+let push_slack = 10_000
+
+let fuzz_options =
+  {
+    Core.Options.default with
+    Core.Options.max_tuples = Some tuple_budget;
+    max_answers = Some 64;
+    max_memory_bytes = Some (256 * 1024);
+    (* tight enough that a fat generated regex occasionally trips them, so
+       the admission path gets fuzzed too *)
+    max_states = Some 24;
+    max_product_est = Some 300;
+  }
+
+exception Violation of string
+
+let run_query graph ontology q =
+  match Core.Engine.run ~graph ~ontology ~options:fuzz_options ~limit:20 q with
+  | exception Invalid_argument _ -> `Invalid (* typed semantic rejection (Query.validate) *)
+  | outcome -> (
+    let stats = outcome.Core.Engine.stats in
+    if stats.Core.Exec_stats.pushes > tuple_budget + push_slack then
+      raise
+        (Violation
+           (Printf.sprintf "tuple budget not respected: %d pushes against a budget of %d"
+              stats.Core.Exec_stats.pushes tuple_budget));
+    match outcome.Core.Engine.termination with
+    | Core.Engine.Rejected _ ->
+      if outcome.Core.Engine.answers <> [] then raise (Violation "rejected query produced answers");
+      if stats.Core.Exec_stats.edges_scanned <> 0 || stats.Core.Exec_stats.pushes <> 0 then
+        raise (Violation "rejected query touched the graph");
+      `Rejected
+    | Core.Engine.Completed | Core.Engine.Exhausted _ -> `Ran)
+
+type tally = {
+  mutable parsed : int;
+  mutable refused : int;  (** typed parse/validation errors — the expected outcome for garbage *)
+  mutable ran : int;
+  mutable rejected : int;  (** turned away by admission control *)
+}
+
+let check_case graph ontology tally = function
+  | Fuzz.Regex_case s -> (
+    match Rpq_regex.Parser.parse_result s with
+    | Ok _ -> tally.parsed <- tally.parsed + 1
+    | Error _ -> tally.refused <- tally.refused + 1)
+  | Fuzz.Query_case s -> (
+    match Core.Query_parser.parse_result s with
+    | Error _ -> tally.refused <- tally.refused + 1
+    | Ok q -> (
+      tally.parsed <- tally.parsed + 1;
+      match run_query graph ontology q with
+      | `Ran -> tally.ran <- tally.ran + 1
+      | `Rejected -> tally.rejected <- tally.rejected + 1
+      | `Invalid -> tally.refused <- tally.refused + 1))
+  | Fuzz.Nt_case s ->
+    (* lenient must always salvage; strict must fail typed or succeed *)
+    let (_ : (Graphstore.Graph.t * Ontology.t) * Ntriples.Nt.report) =
+      Ntriples.Nt.read_string_report ~lenient:true s
+    in
+    (match Ntriples.Nt.read_string_report ~lenient:false s with
+    | _ -> tally.parsed <- tally.parsed + 1
+    | exception Ntriples.Nt.Parse_error _ -> tally.refused <- tally.refused + 1)
+
+let save_crasher corpus case seed iter =
+  match corpus with
+  | None -> None
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let ext = match case with Fuzz.Nt_case _ -> "nt" | _ -> "txt" in
+    let path = Filename.concat dir (Printf.sprintf "%s_seed%d_i%d.%s" (Fuzz.case_label case) seed iter ext) in
+    let oc = open_out_bin path in
+    output_string oc (Fuzz.case_input case);
+    close_out oc;
+    Some path
+
+let truncate_for_display s =
+  if String.length s <= 200 then String.escaped s
+  else String.escaped (String.sub s 0 200) ^ Printf.sprintf "... (%d bytes)" (String.length s)
+
+let run_fuzz seed iters seconds corpus verbose =
+  let graph, ontology = build_graph () in
+  let t0 = Unix.gettimeofday () in
+  let deadline = if seconds > 0. then Some (t0 +. seconds) else None in
+  let tally = { parsed = 0; refused = 0; ran = 0; rejected = 0 } in
+  let crashes = ref 0 in
+  let iter = ref 0 in
+  let expired () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+  in
+  while !iter < iters && not (expired ()) do
+    (* per-iteration rng: [seed + iter] reproduces one case in isolation *)
+    let rng = Datagen.Rng.create (seed + !iter) in
+    let case = Fuzz.case rng in
+    if verbose then
+      Printf.printf "[%d] %s: %s\n%!" !iter (Fuzz.case_label case)
+        (truncate_for_display (Fuzz.case_input case));
+    (match check_case graph ontology tally case with
+    | () -> ()
+    | exception e ->
+      incr crashes;
+      Printf.eprintf "CRASH at seed=%d iter=%d (%s parser): %s\n  input: %s\n" seed !iter
+        (Fuzz.case_label case) (Printexc.to_string e)
+        (truncate_for_display (Fuzz.case_input case));
+      (match save_crasher corpus case seed !iter with
+      | Some path -> Printf.eprintf "  written to %s (add it to the replay corpus)\n" path
+      | None -> ()));
+    incr iter
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "fuzzed %d input(s) in %.1fs (seed %d): %d parsed, %d refused (typed), %d queries ran under \
+     budget, %d rejected by admission, %d crash(es)\n"
+    !iter dt seed tally.parsed tally.refused tally.ran tally.rejected !crashes;
+  if !crashes > 0 then 1 else 0
+
+let cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc:"Base RNG seed (iteration $(i,i) uses seed + $(i,i)).") in
+  let iters =
+    Arg.(value & opt int 10_000 & info [ "iters" ] ~docv:"N" ~doc:"Maximum number of fuzz inputs.")
+  in
+  let seconds =
+    Arg.(
+      value & opt float 0.
+      & info [ "seconds" ] ~docv:"S" ~doc:"Wall-clock bound; 0 (default) means $(b,--iters) alone decides.")
+  in
+  let corpus =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Directory to write crashing inputs to (created if missing).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every input before feeding it.") in
+  Cmd.v
+    (Cmd.info "omega-fuzz" ~version:"1.0.0"
+       ~doc:"Fuzz the omega parsers and engine: typed errors only, budgets respected, no escaping exceptions.")
+    Term.(const run_fuzz $ seed $ iters $ seconds $ corpus $ verbose)
+
+let () = exit (Cmd.eval' cmd)

@@ -59,7 +59,7 @@ let () =
   Format.printf "== Budgeted wide-open APPROX query@.";
   Format.printf "%d answers before the cut: %a (the paper's '?')@."
     (List.length outcome.Core.Engine.answers)
-    Core.Governor.pp_termination outcome.Core.Engine.termination;
+    Core.Engine.pp_termination outcome.Core.Engine.termination;
 
   (* 3b. Deadlines work the same way: install a clock, set timeout_ns, and
      the stream stops with a [Deadline] termination instead of raising. *)
@@ -68,7 +68,7 @@ let () =
   let outcome = Core.Engine.run ~graph ~ontology ~options ~limit:max_int wide in
   Format.printf "20 ms deadline: %d answers, %a@."
     (List.length outcome.Core.Engine.answers)
-    Core.Governor.pp_termination outcome.Core.Engine.termination;
+    Core.Engine.pp_termination outcome.Core.Engine.termination;
 
   (* 4. Costs are configurable: make substitutions cheap and deletions
      expensive, and the ranking changes. *)

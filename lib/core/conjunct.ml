@@ -45,8 +45,9 @@ type t = {
   h_ops_relax_beta : Obs.Metrics.histogram;
   h_ops_relax_gamma : Obs.Metrics.histogram;
   (* Provenance arena ([Some] iff [options.provenance]): parent pointers for
-     every pushed tuple, from which [record_answer] rebuilds witnesses. *)
-  prov : Provenance.t option;
+     every pushed tuple, from which [record_answer] rebuilds witnesses.
+     Mutable so stage-1 memory degradation can drop it mid-query. *)
+  mutable prov : Provenance.t option;
   seed_beta : int; (* RELAX ancestor-seed ops: cost = depth × beta *)
 }
 
@@ -261,8 +262,40 @@ let push t ~dist ~final tup =
     if Dr_queue.size t.dr > t.stats.peak_queue then t.stats.peak_queue <- Dr_queue.size t.dr;
     (* The governor owns the tuple budget (cumulative across conjuncts and
        restarts); past the ceiling it trips and the GetNext loop unwinds at
-       its next poll — no exception crosses the streaming surface. *)
+       its next poll — no exception crosses the streaming surface.  The
+       queued tuple is also charged against the memory budget, released at
+       its pop. *)
+    Governor.charge_mem t.governor Mem.tuple_bytes;
     Governor.tick_tuple t.governor
+
+(* Stage-1 memory degradation, consulted at every arena append: under
+   pressure the arena is dropped once and recording stops for the rest of
+   the query — answers keep their bindings and distances, they lose their
+   witnesses.  Tuples still queued keep their (now dangling) arena indices;
+   [witness_of] only dereferences through [t.prov], so a dropped arena
+   degrades every later answer to [witness = None] rather than faulting. *)
+let prov_arena t =
+  match t.prov with
+  | None -> None
+  | Some arena when Governor.drop_provenance t.governor ->
+    Governor.release_mem t.governor (Provenance.length arena * Mem.prov_entry_bytes);
+    Governor.note_dropped_provenance t.governor;
+    t.prov <- None;
+    None
+  | some -> some
+
+(* Release a discarded evaluation's charges (levelled parts are opened and
+   dropped once per psi level).  The [suppress] table is owned by the
+   caller and keeps its own charges. *)
+let close t =
+  Governor.release_mem t.governor (Dr_queue.size t.dr * Mem.tuple_bytes);
+  Governor.release_mem t.governor (Hashtbl.length t.visited * Mem.visited_entry_bytes);
+  Governor.release_mem t.governor (Hashtbl.length t.answers * Mem.visited_entry_bytes);
+  match t.prov with
+  | None -> ()
+  | Some arena ->
+    Governor.release_mem t.governor (Provenance.length arena * Mem.prov_entry_bytes);
+    t.prov <- None
 
 let refill_if_needed t =
   (* Coroutine seeding (GetNext lines 14–17), performed before popping so
@@ -284,7 +317,7 @@ let refill_if_needed t =
       List.iter
         (fun (oid, dist) ->
           let prov =
-            match t.prov with
+            match prov_arena t with
             | None -> Provenance.no_parent
             | Some arena ->
               (* the only positive-cost seeds are RELAX class ancestors,
@@ -294,6 +327,7 @@ let refill_if_needed t =
                 else
                   [ (Nfa.Super_prop (if t.seed_beta > 0 then dist / t.seed_beta else dist), dist) ]
               in
+              Governor.charge_mem t.governor Mem.prov_entry_bytes;
               Provenance.add arena ~parent:Provenance.no_parent ~node:oid
                 (Provenance.Seed { cost = dist; ops })
           in
@@ -350,8 +384,14 @@ let h_op t : Nfa.op -> Obs.Metrics.histogram = function
   | Nfa.Type_edge -> t.h_ops_relax_gamma
 
 let record_answer t tup dist =
+  (* [already_answered] held, so the keys are new in both tables. *)
   Hashtbl.replace t.answers (tup.v, tup.n) dist;
-  (match t.suppress with Some tbl -> Hashtbl.replace tbl (tup.v, tup.n) dist | None -> ());
+  Governor.charge_mem t.governor Mem.visited_entry_bytes;
+  (match t.suppress with
+  | Some tbl ->
+    Hashtbl.replace tbl (tup.v, tup.n) dist;
+    Governor.charge_mem t.governor Mem.visited_entry_bytes
+  | None -> ());
   t.stats.answers <- t.stats.answers + 1;
   let witness = witness_of t tup dist in
   (match witness with
@@ -368,6 +408,7 @@ let rec get_next t =
   | None -> None (* seeder exhausted too, or everything pruned *)
   | Some (tup, dist, _) when tup.fin ->
     t.stats.pops <- t.stats.pops + 1;
+    Governor.release_mem t.governor Mem.tuple_bytes;
     Obs.Metrics.observe t.h_pop_distance dist;
     if already_answered t tup.v tup.n then begin
       t.stats.drop_dup <- t.stats.drop_dup + 1;
@@ -376,19 +417,23 @@ let rec get_next t =
     else Some (record_answer t tup dist)
   | Some (tup, dist, _) ->
     t.stats.pops <- t.stats.pops + 1;
+    Governor.release_mem t.governor Mem.tuple_bytes;
     Obs.Metrics.observe t.h_pop_distance dist;
     let key = (tup.v, tup.n, tup.s) in
     if not (Hashtbl.mem t.visited key) then begin
       Hashtbl.add t.visited key ();
+      Governor.charge_mem t.governor Mem.visited_entry_bytes;
       iter_succ t tup.s tup.n ~dist (fun tr m ->
           let s' = tr.Nfa.dst in
           if not (Hashtbl.mem t.visited (tup.v, m, s')) then begin
             (* the one provenance branch on the hot path: off, [prov] is the
                shared [no_parent] sentinel and nothing is allocated *)
             let prov =
-              match t.prov with
+              match prov_arena t with
               | None -> Provenance.no_parent
-              | Some arena -> Provenance.add arena ~parent:tup.prov ~node:m (Provenance.Step tr)
+              | Some arena ->
+                Governor.charge_mem t.governor Mem.prov_entry_bytes;
+                Provenance.add arena ~parent:tup.prov ~node:m (Provenance.Step tr)
             in
             push t ~dist:(dist + tr.Nfa.cost) ~final:false
               { v = tup.v; n = m; s = s'; fin = false; prov }

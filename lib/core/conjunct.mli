@@ -86,6 +86,14 @@ val get_next : t -> answer option
     @raise Failpoints.Injected when an armed failpoint fires mid-pull
     (converted to a [Fault] termination by [Engine.next]). *)
 
+val close : t -> unit
+(** Release the evaluation structures' memory-budget charges (D_R tuples
+    still queued, visited/answers tables, provenance arena) — called when a
+    levelled part is discarded at the end of a psi level.  The [suppress]
+    table is owned by the caller and keeps its own charges.  Idempotent
+    enough for its use: the arena is dropped on first call, the table
+    charges are released against a clamped-at-zero accountant. *)
+
 val stats : t -> Exec_stats.t
 
 val pruned : t -> bool

@@ -6,9 +6,21 @@ type answer = {
   witnesses : Witness.t list; (* one per conjunct answer; [] unless options.provenance *)
 }
 
-type termination = Governor.termination =
+(* No longer an alias of [Governor.termination]: admission control rejects a
+   query before any governor-observed work happens, so rejection is an
+   engine-level outcome with its own arm. *)
+type termination =
   | Completed
   | Exhausted of { reason : Governor.reason; elapsed_ns : int; tuples : int; answers : int }
+  | Rejected of Admission.rejection
+
+let pp_termination ppf = function
+  | Completed -> Format.fprintf ppf "completed"
+  | Exhausted { reason; elapsed_ns; tuples; answers } ->
+    Format.fprintf ppf "exhausted (%s) after %d answer(s), %d tuple(s), %.2f ms"
+      (Governor.reason_string reason) answers tuples
+      (float_of_int elapsed_ns /. 1e6)
+  | Rejected r -> Format.fprintf ppf "rejected: %a" Admission.pp_rejection r
 
 type outcome = {
   answers : answer list;
@@ -49,6 +61,8 @@ type stream = {
   registry : Obs.Metrics.t; (* shared by every layer of this stream *)
   h_answer_dist : Obs.Metrics.histogram;
   agg : Exec_stats.t; (* reused aggregate returned by [stream_stats] *)
+  admission : Admission.estimate option; (* computed iff an admission limit is set *)
+  rejection : Admission.rejection option; (* Some: born rejected, no evaluators *)
 }
 
 (* A conjunct answer as a variable binding.  A conjunct with two constants
@@ -72,6 +86,18 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
     | Error msg -> invalid_arg ("Engine.open_query: " ^ msg)));
   let governor = match governor with Some g -> g | None -> Options.governor options in
   let registry = Obs.Metrics.create () in
+  (* Admission control: when a limit is configured, vet the query before
+     building any evaluation state.  The estimate is side-effect free
+     (automaton compilation only — no edge scans, no failpoints); a
+     rejected stream is born with no evaluators, so [edges_scanned] stays
+     exactly 0. *)
+  let admission, rejection =
+    match (options.Options.max_states, options.Options.max_product_est) with
+    | None, None -> (None, None)
+    | _ ->
+      let est, rejection = Admission.vet ~graph ~ontology ~options q in
+      (Some est, rejection)
+  in
   let closed =
     {
       graph;
@@ -83,40 +109,63 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
       registry;
       h_answer_dist = Obs.Metrics.histogram registry "answer_distance";
       agg = Exec_stats.create ();
+      admission;
+      rejection;
     }
   in
-  (* Opening can itself hit a failpoint (e.g. the ontology lookups of RELAX
-     seeding): the stream is then born already tripped rather than raising
-     through the public surface. *)
-  match
-    let evaluators =
-      List.map
-        (fun c -> (c, Evaluator.create ~graph ~ontology ~options ~governor ~metrics:registry c))
-        q.conjuncts
-    in
-    let stream_of (c, ev) () =
-      match Evaluator.next ev with
-      | Some a ->
-        let wits = match a.Conjunct.witness with Some w -> [ w ] | None -> [] in
-        Some (binding_of_answer c a, a.Conjunct.dist, wits)
-      | None -> None
-    in
-    let pull =
-      match evaluators with
-      | [ single ] -> stream_of single
-      | several ->
-        let join = Ranked_join.create ~governor ~metrics:registry (List.map stream_of several) in
-        fun () -> Ranked_join.next join
-    in
-    (List.map snd evaluators, pull)
-  with
-  | evaluators, pull -> { closed with evaluators; pull; projected = Hashtbl.create 64 }
-  | exception Failpoints.Injected name ->
-    Governor.fault governor name;
+  if rejection <> None then begin
+    (match rejection with
+    | Some r when Obs.Trace.enabled () ->
+      Obs.Trace.instant ~cat:"admission"
+        ~args:
+          [
+            ("kind", Obs.Trace.Str (Admission.kind_string r.Admission.kind));
+            ("limit", Obs.Trace.Num r.Admission.limit);
+            ("actual", Obs.Trace.Num r.Admission.actual);
+          ]
+        "admission.reject"
+    | _ -> ());
     closed
+  end
+  else begin
+    (* The trace ring is per-process but retained for the query's duration:
+       charge its (fixed) footprint once so a tight memory budget accounts
+       for tracing overhead too. *)
+    if Obs.Trace.enabled () then Governor.charge_mem governor (Obs.Trace.approx_bytes ());
+    (* Opening can itself hit a failpoint (e.g. the ontology lookups of RELAX
+       seeding): the stream is then born already tripped rather than raising
+       through the public surface. *)
+    match
+      let evaluators =
+        List.map
+          (fun c -> (c, Evaluator.create ~graph ~ontology ~options ~governor ~metrics:registry c))
+          q.conjuncts
+      in
+      let stream_of (c, ev) () =
+        match Evaluator.next ev with
+        | Some a ->
+          let wits = match a.Conjunct.witness with Some w -> [ w ] | None -> [] in
+          Some (binding_of_answer c a, a.Conjunct.dist, wits)
+        | None -> None
+      in
+      let pull =
+        match evaluators with
+        | [ single ] -> stream_of single
+        | several ->
+          let join = Ranked_join.create ~governor ~metrics:registry (List.map stream_of several) in
+          fun () -> Ranked_join.next join
+      in
+      (List.map snd evaluators, pull)
+    with
+    | evaluators, pull -> { closed with evaluators; pull; projected = Hashtbl.create 64 }
+    | exception Failpoints.Injected name ->
+      Governor.fault governor name;
+      closed
+  end
 
 let rec next st =
-  if not (Governor.poll st.governor) then None
+  if st.rejection <> None then None
+  else if not (Governor.poll st.governor) then None
   else
     match st.pull () with
     | exception Failpoints.Injected name ->
@@ -139,13 +188,23 @@ let rec next st =
       if Hashtbl.mem st.projected values then next st
       else begin
         Hashtbl.add st.projected values ();
+        Governor.charge_mem st.governor Mem.answer_entry_bytes;
         Governor.note_answer st.governor;
         Obs.Metrics.observe st.h_answer_dist distance;
         Some { bindings = List.combine st.head values; distance; witnesses }
       end
 
-let status st = Governor.termination st.governor
+let status st =
+  match st.rejection with
+  | Some r -> Rejected r
+  | None -> (
+    match Governor.termination st.governor with
+    | Governor.Completed -> Completed
+    | Governor.Exhausted { reason; elapsed_ns; tuples; answers } ->
+      Exhausted { reason; elapsed_ns; tuples; answers })
+
 let governor st = st.governor
+let admission st = st.admission
 
 (* Aggregated once per stream into a record the stream owns and reuses:
    polling mid-stream allocates nothing and cannot perturb the per-conjunct
@@ -154,6 +213,15 @@ let governor st = st.governor
 let stream_stats st =
   Exec_stats.reset st.agg;
   List.iter (fun ev -> Exec_stats.merge_into st.agg (Evaluator.stats ev)) st.evaluators;
+  (* The resource-safety counters live on the stream aggregate only: the
+     governor owns the memory high-water mark and degradation counts, the
+     admission estimate was computed once at open (0 when unvetted). *)
+  st.agg.Exec_stats.mem_bytes_peak <- Governor.mem_peak st.governor;
+  st.agg.Exec_stats.admission_est_states <-
+    (match st.admission with Some e -> e.Admission.total_states | None -> 0);
+  let drops_prov, shrinks_psi = Governor.degrade_counts st.governor in
+  st.agg.Exec_stats.degrade_drop_provenance <- drops_prov;
+  st.agg.Exec_stats.degrade_shrink_psi <- shrinks_psi;
   st.agg
 
 let metrics st =
@@ -168,9 +236,7 @@ let drain ?limit st =
   let answers = collect [] (Option.value limit ~default:max_int) in
   let termination = status st in
   let aborted =
-    match termination with
-    | Exhausted { reason = Governor.Tuple_budget; _ } -> true
-    | _ -> false
+    match termination with Exhausted { reason = Governor.Tuple_budget; _ } -> true | _ -> false
   in
   { answers; termination; aborted; stats = Exec_stats.copy (stream_stats st); metrics = metrics st }
 
@@ -207,6 +273,16 @@ let explain ~graph ~ontology ?(options = Options.default) (q : Query.t) =
         match options.Options.max_tuples with None -> "none" | Some n -> string_of_int n );
       ( "answers",
         match options.Options.max_answers with None -> "none" | Some n -> string_of_int n );
+      ( "memory",
+        match options.Options.max_memory_bytes with
+        | None -> "none"
+        | Some b -> Printf.sprintf "%d bytes" b );
+      ( "admission",
+        match (options.Options.max_states, options.Options.max_product_est) with
+        | None, None -> "none"
+        | ms, mp ->
+          let part name = function None -> [] | Some n -> [ Printf.sprintf "%s=%d" name n ] in
+          String.concat ", " (part "max-states" ms @ part "max-product-est" mp) );
     ]
   in
   {
@@ -229,8 +305,17 @@ let annotate st (plan : Obs.Explain.plan) =
    with Invalid_argument _ -> ());
   plan.Obs.Explain.analysis <-
     [
-      ("termination", Format.asprintf "%a" Governor.pp_termination (status st));
+      ("termination", Format.asprintf "%a" pp_termination (status st));
       ("answers", string_of_int (Governor.answers st.governor));
       ("tuples", string_of_int (Governor.tuples st.governor));
-    ];
+      ("mem_bytes_peak", string_of_int (Governor.mem_peak st.governor));
+    ]
+    @ (match st.admission with
+      | None -> []
+      | Some e -> [ ("admission", Format.asprintf "%a" Admission.pp_estimate e) ])
+    @
+    (let drops_prov, shrinks_psi = Governor.degrade_counts st.governor in
+     if drops_prov > 0 || shrinks_psi > 0 then
+       [ ("degraded", Printf.sprintf "drop-provenance:%d, shrink-psi:%d" drops_prov shrinks_psi) ]
+     else []);
   plan.Obs.Explain.profile <- Some (Obs.Profile.of_metrics (metrics st))

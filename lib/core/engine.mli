@@ -27,13 +27,19 @@ type answer = {
           [distance] *)
 }
 
-type termination = Governor.termination =
+type termination =
   | Completed
       (** the stream ran to natural exhaustion: the answer set is complete *)
   | Exhausted of { reason : Governor.reason; elapsed_ns : int; tuples : int; answers : int }
       (** the governor tripped ([Tuple_budget] | [Deadline] | [Answer_limit]
-          | [Fault _]); the answers emitted before the trip are a valid
-          ranked prefix *)
+          | [Memory_budget] | [Fault _]); the answers emitted before the
+          trip are a valid ranked prefix *)
+  | Rejected of Admission.rejection
+      (** admission control turned the query away before evaluation: no
+          evaluation state was built and the graph was never touched
+          ([edges_scanned = 0]).  CLI exit code 6. *)
+
+val pp_termination : Format.formatter -> termination -> unit
 
 type outcome = {
   answers : answer list;  (** in non-decreasing distance *)
@@ -64,6 +70,11 @@ val open_query :
     explicitly to share a budget across queries or to {!Governor.cancel}
     from outside.  If [options.failpoints] is set, the spec is armed
     (process-globally) before evaluation starts.
+
+    If [options.max_states] or [options.max_product_est] is set, the query
+    is vetted by {!Admission} first; a rejected stream is born with no
+    evaluation state ({!next} returns [None] immediately, {!status} is
+    [Rejected _], and the graph is never touched).
     @raise Invalid_argument if the query fails {!Query.validate} or the
     failpoint spec does not parse. *)
 
@@ -81,6 +92,11 @@ val status : stream -> termination
 val governor : stream -> Governor.t
 (** The stream's governor — poll it for live counters, or
     {!Governor.cancel} it to stop the evaluation cooperatively. *)
+
+val admission : stream -> Admission.estimate option
+(** The admission estimate computed at {!open_query} — [Some] iff
+    [options.max_states] or [options.max_product_est] was set (admitted or
+    rejected alike); [None] means the query was never vetted. *)
 
 val stream_stats : stream -> Exec_stats.t
 (** Counters aggregated over all conjuncts so far.  The returned record is

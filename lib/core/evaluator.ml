@@ -71,6 +71,9 @@ let finish_part lev eval part =
   Exec_stats.merge_into lev.stats (Conjunct.stats eval);
   lev.stats.restarts <- lev.stats.restarts + 1;
   if Conjunct.pruned eval then lev.level_complete <- false;
+  (* the discarded part's structures are garbage from here on — release
+     their memory-budget charges so the estimate tracks the live footprint *)
+  Conjunct.close eval;
   if Obs.Trace.enabled () then
     Obs.Trace.complete ~cat:"psi" ~start_ns:lev.part_start_ns
       ~args:[ ("psi", Obs.Trace.Num lev.psi); ("answers", Obs.Trace.Num lev.current_count) ]
@@ -115,6 +118,14 @@ let rec next_levelled lev =
         (* level finished *)
         if lev.level_complete then begin
           lev.exhausted <- true;
+          None
+        end
+        else if Governor.shrink_psi lev.governor then begin
+          (* stage-2 memory degradation: decline the psi escalation.  Every
+             answer of distance <= psi is already out, so stopping here ends
+             the query with an exact ranked prefix; [note_shrink_psi] counts
+             the declined escalation and trips [Memory_budget]. *)
+          Governor.note_shrink_psi lev.governor;
           None
         end
         else begin

@@ -13,6 +13,10 @@ type t = {
   mutable pruned : int;
   mutable drop_visited : int;
   mutable drop_dup : int;
+  mutable mem_bytes_peak : int;
+  mutable admission_est_states : int;
+  mutable degrade_drop_provenance : int;
+  mutable degrade_shrink_psi : int;
 }
 
 (* The monotonic clock used to attribute time to neighbour scans ([scan_ns])
@@ -38,6 +42,10 @@ let create () =
     pruned = 0;
     drop_visited = 0;
     drop_dup = 0;
+    mem_bytes_peak = 0;
+    admission_est_states = 0;
+    degrade_drop_provenance = 0;
+    degrade_shrink_psi = 0;
   }
 
 let copy t = { t with pushes = t.pushes }
@@ -56,7 +64,11 @@ let reset t =
   t.restarts <- 0;
   t.pruned <- 0;
   t.drop_visited <- 0;
-  t.drop_dup <- 0
+  t.drop_dup <- 0;
+  t.mem_bytes_peak <- 0;
+  t.admission_est_states <- 0;
+  t.degrade_drop_provenance <- 0;
+  t.degrade_shrink_psi <- 0
 
 let merge_into acc x =
   acc.pushes <- acc.pushes + x.pushes;
@@ -72,7 +84,12 @@ let merge_into acc x =
   acc.restarts <- acc.restarts + x.restarts;
   acc.pruned <- acc.pruned + x.pruned;
   acc.drop_visited <- acc.drop_visited + x.drop_visited;
-  acc.drop_dup <- acc.drop_dup + x.drop_dup
+  acc.drop_dup <- acc.drop_dup + x.drop_dup;
+  (* high-water marks merge by max, like peak_queue *)
+  acc.mem_bytes_peak <- max acc.mem_bytes_peak x.mem_bytes_peak;
+  acc.admission_est_states <- max acc.admission_est_states x.admission_est_states;
+  acc.degrade_drop_provenance <- acc.degrade_drop_provenance + x.degrade_drop_provenance;
+  acc.degrade_shrink_psi <- acc.degrade_shrink_psi + x.degrade_shrink_psi
 
 let field_names =
   [
@@ -90,6 +107,10 @@ let field_names =
     "pruned";
     "drop_visited";
     "drop_dup";
+    "mem_bytes_peak";
+    "admission_est_states";
+    "degrade_drop_provenance";
+    "degrade_shrink_psi";
   ]
 
 let to_assoc t =
@@ -108,6 +129,10 @@ let to_assoc t =
     ("pruned", t.pruned);
     ("drop_visited", t.drop_visited);
     ("drop_dup", t.drop_dup);
+    ("mem_bytes_peak", t.mem_bytes_peak);
+    ("admission_est_states", t.admission_est_states);
+    ("degrade_drop_provenance", t.degrade_drop_provenance);
+    ("degrade_shrink_psi", t.degrade_shrink_psi);
   ]
 
 let record_into registry t =
@@ -122,4 +147,8 @@ let pp ppf t =
   else Format.fprintf ppf "scan-ns=%d" t.scan_ns;
   Format.fprintf ppf " batches=%d seeds=%d answers=%d peak=%d restarts=%d pruned=%d" t.batches
     t.seeds t.answers t.peak_queue t.restarts t.pruned;
-  Format.fprintf ppf " drop-visited=%d drop-dup=%d" t.drop_visited t.drop_dup
+  Format.fprintf ppf " drop-visited=%d drop-dup=%d" t.drop_visited t.drop_dup;
+  if t.mem_bytes_peak > 0 then Format.fprintf ppf " mem-peak=%d" t.mem_bytes_peak;
+  if t.admission_est_states > 0 then Format.fprintf ppf " adm-states=%d" t.admission_est_states;
+  if t.degrade_drop_provenance > 0 || t.degrade_shrink_psi > 0 then
+    Format.fprintf ppf " degrade=prov:%d,psi:%d" t.degrade_drop_provenance t.degrade_shrink_psi

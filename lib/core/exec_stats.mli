@@ -34,6 +34,20 @@ type t = {
       (** final pops discarded because the [(v, n)] pair was already emitted
           (here or in the restart-suppress table) — the wasted half of the
           final-state re-queue *)
+  mutable mem_bytes_peak : int;
+      (** high-water mark of the governor's {!Mem} live-bytes estimate —
+          set on the engine's stream aggregate (0 on per-conjunct records);
+          merges by max, like [peak_queue] *)
+  mutable admission_est_states : int;
+      (** total post-expansion automaton states the {!Admission} estimate
+          computed for the query; 0 when no admission limit was configured
+          (the estimate is then never computed); merges by max *)
+  mutable degrade_drop_provenance : int;
+      (** stage-1 degradations: provenance arenas actually dropped under
+          memory pressure *)
+  mutable degrade_shrink_psi : int;
+      (** stage-2 degradations: psi escalations declined under memory
+          pressure (each also trips [Governor.Memory_budget]) *)
 }
 
 val now_ns : (unit -> int) ref

@@ -1,4 +1,4 @@
-type reason = Tuple_budget | Deadline | Answer_limit | Fault of string
+type reason = Tuple_budget | Deadline | Answer_limit | Memory_budget | Fault of string
 
 type termination =
   | Completed
@@ -19,9 +19,18 @@ type t = {
   deadline : int; (* absolute ns; max_int = no deadline *)
   start_ns : int;
   mutable polls : int; (* amortises the clock read of deadline polling *)
+  mem : Mem.t;
+  mem_budget : int; (* bytes; max_int = unlimited *)
+  (* The degradation ladder (monotone: a stage, once reached, stays on).
+     Stage 1 at 50% of the budget: drop provenance arenas.  Stage 2 at
+     75%: stop escalating the psi window.  100%: trip [Memory_budget]. *)
+  mutable degrade_prov : bool;
+  mutable degrade_psi : bool;
+  mutable drops_prov : int; (* times a conjunct actually dropped its arena *)
+  mutable shrinks_psi : int; (* times an evaluator declined a psi escalation *)
 }
 
-let create ?timeout_ns ?max_tuples ?max_answers () =
+let create ?timeout_ns ?max_tuples ?max_answers ?max_memory_bytes () =
   let start_ns = !now_ns () in
   {
     stop = None;
@@ -32,6 +41,12 @@ let create ?timeout_ns ?max_tuples ?max_answers () =
     deadline = (match timeout_ns with None -> max_int | Some ns -> start_ns + ns);
     start_ns;
     polls = 0;
+    mem = Mem.create ();
+    mem_budget = Option.value max_memory_bytes ~default:max_int;
+    degrade_prov = false;
+    degrade_psi = false;
+    drops_prov = 0;
+    shrinks_psi = 0;
   }
 
 let unlimited () = create ()
@@ -40,6 +55,7 @@ let reason_string = function
   | Tuple_budget -> "tuple-budget"
   | Deadline -> "deadline"
   | Answer_limit -> "answer-limit"
+  | Memory_budget -> "memory-budget"
   | Fault name -> "fault:" ^ name
 
 let trip t reason =
@@ -81,6 +97,45 @@ let poll t =
 let tick_tuple t =
   t.tuples <- t.tuples + 1;
   if t.tuples > t.tuple_budget && t.stop = None then trip t Tuple_budget
+
+(* --- memory accounting ------------------------------------------------
+
+   Charging is always on (two adds on an int record — the accountant is
+   free when no budget is set); the ladder is evaluated only under a
+   budget.  Thresholds are checked on charge, never on release: once a
+   stage is reached it stays on, so degradation is monotone and a query
+   cannot flap between keeping and dropping provenance. *)
+
+let charge_mem t bytes =
+  Mem.charge t.mem bytes;
+  if t.mem_budget <> max_int then begin
+    let live = Mem.live t.mem in
+    if live > t.mem_budget then begin
+      if t.stop = None then trip t Memory_budget
+    end
+    else if live > t.mem_budget / 4 * 3 then begin
+      t.degrade_prov <- true;
+      t.degrade_psi <- true
+    end
+    else if live > t.mem_budget / 2 then t.degrade_prov <- true
+  end
+
+let release_mem t bytes = Mem.release t.mem bytes
+let mem_live t = Mem.live t.mem
+let mem_peak t = Mem.peak t.mem
+let drop_provenance t = t.degrade_prov
+let shrink_psi t = t.degrade_psi
+let note_dropped_provenance t = t.drops_prov <- t.drops_prov + 1
+
+(* An evaluator that declines a psi escalation cannot make further
+   progress — everything at or below the current ceiling is already out —
+   so recording the shrink also terminates the query.  The emitted answers
+   are exactly the answers of distance <= psi: an exact ranked prefix. *)
+let note_shrink_psi t =
+  t.shrinks_psi <- t.shrinks_psi + 1;
+  if t.stop = None then trip t Memory_budget
+
+let degrade_counts t = (t.drops_prov, t.shrinks_psi)
 
 let note_answer t =
   t.answers <- t.answers + 1;

@@ -17,6 +17,10 @@ type reason =
   | Tuple_budget  (** [max_tuples] pushes exceeded — the memory stand-in *)
   | Deadline  (** the wall-clock deadline passed *)
   | Answer_limit  (** the answer cap was reached (the prefix is complete) *)
+  | Memory_budget
+      (** the {!Mem} live-bytes estimate crossed [max_memory_bytes] (or an
+          evaluator declined a psi escalation under stage-2 degradation);
+          the answers emitted so far are an exact ranked prefix *)
   | Fault of string
       (** an injected failpoint fired ({!Failpoints}), or {!cancel} was
           called; the string names the cause *)
@@ -37,9 +41,12 @@ val now_ns : (unit -> int) ref
 
 type t
 
-val create : ?timeout_ns:int -> ?max_tuples:int -> ?max_answers:int -> unit -> t
+val create :
+  ?timeout_ns:int -> ?max_tuples:int -> ?max_answers:int -> ?max_memory_bytes:int -> unit -> t
 (** A fresh governor; omitted limits are unlimited.  [timeout_ns] is
-    relative to creation time (sampled from {!now_ns}). *)
+    relative to creation time (sampled from {!now_ns}).  [max_memory_bytes]
+    bounds the {!Mem} live-bytes estimate and arms the degradation
+    ladder. *)
 
 val unlimited : unit -> t
 
@@ -56,6 +63,50 @@ val tick_tuple : t -> unit
 
 val note_answer : t -> unit
 (** Count one emitted answer; trips [Answer_limit] at the cap. *)
+
+(** {2 Memory accounting and graceful degradation}
+
+    Allocation sites charge the governor's {!Mem} accountant; releases
+    mirror pops and drops.  Charging is always on (two integer adds);
+    without [max_memory_bytes] the ladder is never evaluated.  Under a
+    budget the ladder is monotone — crossing 50% of the budget turns on
+    {!drop_provenance}, 75% additionally turns on {!shrink_psi}, and 100%
+    trips [Memory_budget].  Stages never turn back off on release, so a
+    query cannot flap between keeping and dropping a structure. *)
+
+val charge_mem : t -> int -> unit
+(** Charge [bytes] against the memory budget, evaluating the ladder. *)
+
+val release_mem : t -> int -> unit
+(** Release [bytes] (pops, drops); never re-arms a reached stage. *)
+
+val mem_live : t -> int
+(** The current live-bytes estimate. *)
+
+val mem_peak : t -> int
+(** The high-water mark of the estimate. *)
+
+val drop_provenance : t -> bool
+(** Stage 1 reached: conjuncts should drop their provenance arenas and stop
+    recording parents (answers keep their bindings and distances; they lose
+    their witnesses). *)
+
+val shrink_psi : t -> bool
+(** Stage 2 reached: a distance-aware evaluator should decline its next psi
+    escalation (see {!note_shrink_psi}). *)
+
+val note_dropped_provenance : t -> unit
+(** Record that a conjunct actually dropped its arena (the [degrade_drop_provenance]
+    counter). *)
+
+val note_shrink_psi : t -> unit
+(** Record a declined psi escalation and trip [Memory_budget]: everything
+    at or below the current ceiling has already been emitted, so the
+    answers so far are an exact ranked prefix and no further progress is
+    possible. *)
+
+val degrade_counts : t -> int * int
+(** [(arena drops, declined psi escalations)] so far. *)
 
 val cancel : ?reason:string -> t -> unit
 (** The cancellation token: trips [Fault reason] (default ["cancelled"]).

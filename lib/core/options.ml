@@ -8,6 +8,9 @@ type t = {
   max_tuples : int option;
   timeout_ns : int option;
   max_answers : int option;
+  max_memory_bytes : int option;
+  max_states : int option;
+  max_product_est : int option;
   failpoints : string option;
   final_priority : bool;
   batched_seeding : bool;
@@ -27,6 +30,9 @@ let default =
     max_tuples = None;
     timeout_ns = None;
     max_answers = None;
+    max_memory_bytes = None;
+    max_states = None;
+    max_product_est = None;
     failpoints = None;
     final_priority = true;
     batched_seeding = true;
@@ -40,7 +46,8 @@ let governor ?limit t =
     | Some l, None -> Some l
     | Some l, Some cap -> Some (min l cap)
   in
-  Governor.create ?timeout_ns:t.timeout_ns ?max_tuples:t.max_tuples ?max_answers ()
+  Governor.create ?timeout_ns:t.timeout_ns ?max_tuples:t.max_tuples ?max_answers
+    ?max_memory_bytes:t.max_memory_bytes ()
 
 let phi t (mode : Query.mode) =
   let pos x = if x > 0 then [ x ] else [] in

@@ -40,6 +40,24 @@ type t = {
       (** the governor's answer cap: stop (reporting [Governor.Answer_limit])
           once this many answers have been emitted.  [Engine.run]'s [limit]
           argument lowers this further for the duration of the call. *)
+  max_memory_bytes : int option;
+      (** the governor's memory budget over the {!Mem} live-bytes estimate
+          of the dominant structures (D_R buckets, visited sets, provenance
+          arena, seed sets, join buffers, trace ring).  Under pressure the
+          engine degrades in stages — drop provenance arenas at 50%, stop
+          escalating the psi window at 75% — and past the budget reports
+          [Governor.Memory_budget]; the answers emitted remain an exact
+          ranked prefix of the full answer set. *)
+  max_states : int option;
+      (** admission control: reject (before touching the graph, with
+          [Engine.Rejected]) any query one of whose conjuncts compiles to
+          an automaton with more than this many states after APPROX/RELAX
+          expansion.  [None] admits everything. *)
+  max_product_est : int option;
+      (** admission control: reject when the estimated product frontier
+          summed over conjuncts — automaton states x estimated seed
+          population |Q| x |V_seed| — exceeds this.  [None] admits
+          everything. *)
   failpoints : string option;
       (** a [Failpoints.arm_spec] string armed (process-globally) when the
           query opens, e.g. ["scan=0.01,join=0.05#42"] — the CLI/chaos-suite

@@ -83,11 +83,25 @@ let find_arrow s =
   in
   scan 0
 
+(* Stack-safety audit (the regex parser's depth limit has a counterpart
+   here): [split_top_level] and [find_arrow] are iterative/tail-recursive,
+   and the regex component inherits [Rpq_regex.Parser]'s nesting-depth
+   limit — the remaining unbounded dimension is the conjunct/head-variable
+   count, which only costs linear work but is capped anyway so a
+   pathological body fails with a typed error instead of being admitted
+   into per-conjunct automaton compilation. *)
+let max_conjuncts = 10_000
+
 let parse s =
   let idx = find_arrow s in
   let head = parse_head (String.sub s 0 idx) in
+  if List.length head > max_conjuncts then
+    fail "head lists %d variables, over the limit %d" (List.length head) max_conjuncts;
   let body = String.sub s (idx + 2) (String.length s - idx - 2) in
-  let conjuncts = List.map parse_conjunct (split_top_level body) in
+  let parts = split_top_level body in
+  if List.length parts > max_conjuncts then
+    fail "query body has %d conjuncts, over the limit %d" (List.length parts) max_conjuncts;
+  let conjuncts = List.map parse_conjunct parts in
   let q = Query.{ head; conjuncts } in
   (match Query.validate q with Ok () -> () | Error msg -> fail "%s" msg);
   q

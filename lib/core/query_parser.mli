@@ -14,6 +14,14 @@
 
 exception Error of string
 
+val max_conjuncts : int
+(** Cap on the number of conjuncts (and head variables) a parsed query may
+    have (10000) — over it, {!parse} fails with a typed {!Error}.  The
+    parser itself is stack-safe (iterative splitting, tail-recursive
+    scanning, and the regex component inherits
+    [Rpq_regex.Parser.default_max_depth]); the cap keeps a pathological
+    body from being admitted into per-conjunct automaton compilation. *)
+
 val parse : string -> Query.t
 (** @raise Error on malformed input. *)
 

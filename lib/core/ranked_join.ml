@@ -102,6 +102,9 @@ let pull_one t idx =
         "join.pull"
   | Some (b, d, ws) ->
     input.seen <- (b, d, ws) :: input.seen;
+    (* [seen] lists are retained for the life of the join — the quadratic
+       half of its footprint, charged but never released *)
+    Governor.charge_mem t.governor Mem.join_seen_bytes;
     input.last <- max input.last d;
     (match input.top with Some top when top <= d -> () | _ -> input.top <- Some d);
     let combos = combinations t idx b d ws in
@@ -109,7 +112,9 @@ let pull_one t idx =
       (fun (binding, total, wits) ->
         Dr_queue.push t.buffer ~dist:total ~final:false (binding, total, wits);
         (* buffered join combinations are held in memory just like D_R
-           tuples, so they draw on the same governor budget *)
+           tuples, so they draw on the same governor budgets (tuple and
+           memory; the bytes are released when the combination is popped) *)
+        Governor.charge_mem t.governor Mem.join_combo_bytes;
         Governor.tick_tuple t.governor)
       combos;
     Obs.Metrics.observe t.h_combos (List.length combos);
@@ -145,9 +150,11 @@ let rec next t =
   if releasable then begin
     match Dr_queue.pop t.buffer with
     | Some ((binding, total, wits), _, _) ->
+      Governor.release_mem t.governor Mem.join_combo_bytes;
       if Hashtbl.mem t.emitted binding then next t
       else begin
         Hashtbl.add t.emitted binding ();
+        Governor.charge_mem t.governor Mem.answer_entry_bytes;
         Some (binding, total, wits)
       end
     | None ->
@@ -163,9 +170,11 @@ let rec next t =
       (* every input exhausted: flush the buffer *)
       match Dr_queue.pop t.buffer with
       | Some ((binding, total, wits), _, _) ->
+        Governor.release_mem t.governor Mem.join_combo_bytes;
         if Hashtbl.mem t.emitted binding then next t
         else begin
           Hashtbl.add t.emitted binding ();
+          Governor.charge_mem t.governor Mem.answer_entry_bytes;
           Some (binding, total, wits)
         end
       | None -> None)

@@ -70,7 +70,12 @@ let next_batch t =
   | Some seeds ->
     t.fixed <- None;
     t.finished <- true;
-    List.filter (fun (oid, _) -> Oid_set.add_new t.delivered oid) seeds
+    List.filter
+      (fun (oid, _) ->
+        let fresh = Oid_set.add_new t.delivered oid in
+        if fresh then Governor.charge_mem t.governor Mem.seed_entry_bytes;
+        fresh)
+      seeds
   | None ->
     if t.finished then []
     else begin
@@ -87,6 +92,9 @@ let next_batch t =
             t.finished <- true
           | Seq.Cons (oid, rest) ->
             if Oid_set.add_new t.delivered oid then begin
+              (* the delivered set grows for the life of the conjunct —
+                 charged against the memory budget like the visited sets *)
+              Governor.charge_mem t.governor Mem.seed_entry_bytes;
               batch := (oid, 0) :: !batch;
               incr count
             end;

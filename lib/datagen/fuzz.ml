@@ -1,0 +1,189 @@
+(* Structure-aware fuzz input generation for the three Omega parsers.
+
+   Everything here produces STRINGS only — the module deliberately does
+   not depend on the parsers it targets, so the corpus generator cannot
+   drift towards "whatever the parser accepts today".  Three tiers per
+   grammar, mirroring what hostile inputs look like in practice:
+
+   - [valid]: well-formed by construction (the parser must accept);
+   - [near-valid]: a valid input with a few byte-level mutations (the
+     parser must reject with a typed error, never an escaping exception);
+   - [mangled]: raw bytes (ditto);
+
+   plus adversarial shapes targeting known resource hazards: deeply nested
+   parentheses, long alternation/concatenation chains, oversized N-Triples
+   lines and conjunct floods.  The driver ([bin/omega_fuzz.ml]) and the
+   regression replay ([test/test_fuzz.ml]) assert the contract; this
+   module only manufactures trouble.  All randomness flows from [Rng], so
+   a seed reproduces a failing input exactly. *)
+
+type case =
+  | Regex_case of string
+  | Query_case of string
+  | Nt_case of string
+
+let case_label = function Regex_case _ -> "regex" | Query_case _ -> "query" | Nt_case _ -> "nt"
+let case_input = function Regex_case s | Query_case s | Nt_case s -> s
+
+(* --- valid inputs ----------------------------------------------------- *)
+
+let labels = [| "a"; "b"; "c"; "knows"; "worksAt"; "livesIn"; "type"; "p'"; "q0"; "_" |]
+
+let regex_atom rng =
+  if Rng.bool rng 0.08 then "<eps>" else Rng.pick rng labels
+
+let rec regex_string_depth rng depth buf =
+  if depth <= 0 then Buffer.add_string buf (regex_atom rng)
+  else
+    match Rng.int rng 7 with
+    | 0 ->
+      regex_string_depth rng (depth - 1) buf;
+      Buffer.add_char buf '|';
+      regex_string_depth rng (depth - 1) buf
+    | 1 ->
+      regex_string_depth rng (depth - 1) buf;
+      Buffer.add_char buf '.';
+      regex_string_depth rng (depth - 1) buf
+    | 2 | 3 ->
+      Buffer.add_char buf '(';
+      regex_string_depth rng (depth - 1) buf;
+      Buffer.add_char buf ')';
+      Buffer.add_string buf (Rng.pick rng [| "*"; "+"; "-"; "" |])
+    | _ -> Buffer.add_string buf (regex_atom rng)
+
+let regex_string rng =
+  let buf = Buffer.create 64 in
+  regex_string_depth rng (1 + Rng.int rng 5) buf;
+  Buffer.contents buf
+
+let term_string rng =
+  match Rng.int rng 4 with
+  | 0 -> "?X"
+  | 1 -> "?Y"
+  | 2 -> "?Z"
+  | _ -> Rng.pick rng [| "N0"; "N1"; "C0"; "UK"; "Work Episode" |]
+
+let conjunct_string rng =
+  let mode = Rng.pick rng [| ""; ""; "APPROX "; "RELAX " |] in
+  Printf.sprintf "%s(%s, %s, %s)" mode (term_string rng) (regex_string rng) (term_string rng)
+
+let query_string rng =
+  let n_conj = 1 + Rng.int rng 3 in
+  let conjuncts = List.init n_conj (fun _ -> conjunct_string rng) in
+  let head =
+    match Rng.int rng 3 with 0 -> "(?X)" | 1 -> "(?X, ?Y)" | _ -> "(?Y)"
+  in
+  head ^ " <- " ^ String.concat ", " conjuncts
+
+let nt_term rng buf =
+  Buffer.add_char buf '<';
+  let name = Rng.pick rng [| "n1"; "n2"; "city"; "p"; "sc"; "sp"; "dom"; "range"; "a>b"; "x\\y" |] in
+  String.iter
+    (fun c ->
+      match c with
+      | '>' | '\\' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    name;
+  Buffer.add_char buf '>'
+
+let ntriples_doc rng =
+  let buf = Buffer.create 256 in
+  let n_lines = 1 + Rng.int rng 12 in
+  for _ = 1 to n_lines do
+    (match Rng.int rng 10 with
+    | 0 -> Buffer.add_string buf "# a comment"
+    | 1 -> () (* blank line *)
+    | _ ->
+      nt_term rng buf;
+      Buffer.add_char buf ' ';
+      nt_term rng buf;
+      Buffer.add_char buf ' ';
+      nt_term rng buf;
+      Buffer.add_string buf " .");
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* --- mutation --------------------------------------------------------- *)
+
+(* A handful of byte-level edits: flip, insert, delete, truncate,
+   duplicate a slice.  Applied to valid inputs this yields the
+   "near-valid" tier — syntactically plausible garbage. *)
+let mangle rng s =
+  let s = ref (Bytes.of_string s) in
+  let edits = 1 + Rng.int rng 4 in
+  for _ = 1 to edits do
+    let b = !s in
+    let n = Bytes.length b in
+    if n > 0 then
+      match Rng.int rng 5 with
+      | 0 ->
+        (* flip one byte to a printable or control character *)
+        Bytes.set b (Rng.int rng n) (Char.chr (Rng.int rng 256))
+      | 1 ->
+        (* insert a structural character where it hurts *)
+        let c = Rng.pick rng [| '('; ')'; '|'; '.'; ','; '<'; '>'; '?'; '\\'; '\000' |] in
+        let i = Rng.int rng (n + 1) in
+        s := Bytes.concat Bytes.empty [ Bytes.sub b 0 i; Bytes.make 1 c; Bytes.sub b i (n - i) ]
+      | 2 ->
+        (* delete a byte *)
+        let i = Rng.int rng n in
+        s := Bytes.concat Bytes.empty [ Bytes.sub b 0 i; Bytes.sub b (i + 1) (n - i - 1) ]
+      | 3 ->
+        (* truncate *)
+        s := Bytes.sub b 0 (Rng.int rng n)
+      | _ ->
+        (* duplicate a slice *)
+        let i = Rng.int rng n in
+        let len = Rng.int rng (n - i) in
+        s := Bytes.concat Bytes.empty [ b; Bytes.sub b i len ]
+  done;
+  Bytes.to_string !s
+
+let random_bytes rng =
+  let n = Rng.int rng 64 in
+  String.init n (fun _ -> Char.chr (Rng.int rng 256))
+
+(* --- adversarial shapes ----------------------------------------------- *)
+
+let deep_parens rng =
+  let depth = 15_000 + Rng.int rng 40_000 in
+  String.concat "" [ String.make depth '('; "a"; String.make depth ')' ]
+
+let long_chain rng =
+  let sep = if Rng.bool rng 0.5 then "|" else "." in
+  let n = 15_000 + Rng.int rng 40_000 in
+  String.concat sep (List.init n (fun _ -> "a"))
+
+let conjunct_flood rng =
+  let n = 11_000 + Rng.int rng 5_000 in
+  "(?X) <- " ^ String.concat ", " (List.init n (fun _ -> "(?X, a, ?Y)"))
+
+let oversized_line rng =
+  let extra = Rng.int rng 4096 in
+  let big = String.make ((1 lsl 20) + 1 + extra) 'x' in
+  Printf.sprintf "<n1> <p> <n2> .\n<%s> <p> <n3> .\n<n3> <p> <n4> .\n" big
+
+(* --- the mixed stream ------------------------------------------------- *)
+
+let case rng =
+  match Rng.int rng 100 with
+  (* valid tier: the parser must accept *)
+  | x when x < 15 -> Regex_case (regex_string rng)
+  | x when x < 30 -> Query_case (query_string rng)
+  | x when x < 45 -> Nt_case (ntriples_doc rng)
+  (* near-valid tier: typed rejection required *)
+  | x when x < 58 -> Regex_case (mangle rng (regex_string rng))
+  | x when x < 71 -> Query_case (mangle rng (query_string rng))
+  | x when x < 84 -> Nt_case (mangle rng (ntriples_doc rng))
+  (* mangled tier: raw bytes at every parser *)
+  | x when x < 88 -> Regex_case (random_bytes rng)
+  | x when x < 92 -> Query_case (random_bytes rng)
+  | x when x < 95 -> Nt_case (random_bytes rng)
+  (* adversarial tier: resource hazards *)
+  | 95 | 96 -> Regex_case (deep_parens rng)
+  | 97 -> Regex_case (long_chain rng)
+  | 98 -> Query_case (conjunct_flood rng)
+  | _ -> Nt_case (oversized_line rng)

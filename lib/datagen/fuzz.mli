@@ -1,0 +1,42 @@
+(** Structure-aware fuzz input generation for the regex, query and
+    N-Triples parsers.
+
+    Produces strings only (no dependency on the parsers under test): a
+    weighted mix of valid-by-construction inputs, byte-mutated near-valid
+    inputs, raw bytes, and adversarial resource-hazard shapes (deep paren
+    nesting, long [|]/[.] chains, conjunct floods, oversized N-Triples
+    lines).  Deterministic per {!Rng} seed, so any failing input is
+    reproducible from its seed.  The contract — every parser returns a
+    typed error or a value, never an escaping exception or
+    [Stack_overflow] — is asserted by [bin/omega_fuzz.ml] and replayed
+    over the crash corpus by [test/test_fuzz.ml]. *)
+
+type case =
+  | Regex_case of string  (** feed to [Rpq_regex.Parser.parse_result] *)
+  | Query_case of string  (** feed to [Core.Query_parser.parse_result] *)
+  | Nt_case of string  (** feed to [Ntriples.Nt.read_string_report] *)
+
+val case_label : case -> string
+(** ["regex"] | ["query"] | ["nt"] — the corpus file-name prefix. *)
+
+val case_input : case -> string
+
+val case : Rng.t -> case
+(** One input from the weighted mixed stream (~45% valid, ~39% mutated,
+    ~11% raw bytes, ~5% adversarial). *)
+
+val regex_string : Rng.t -> string
+(** A valid regular expression (the parser must accept it). *)
+
+val query_string : Rng.t -> string
+(** A syntactically valid CRP query string (semantic validation — e.g.
+    head variables appearing in the body — may still reject it, with a
+    typed error). *)
+
+val ntriples_doc : Rng.t -> string
+(** A well-formed N-Triples document (possibly with comments/blank
+    lines). *)
+
+val mangle : Rng.t -> string -> string
+(** A few random byte-level edits (flip, structural-char insert, delete,
+    truncate, slice duplication). *)

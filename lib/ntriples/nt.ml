@@ -135,31 +135,81 @@ let ingest g k (s, p, o) =
     Graph.add_edge_s g src p dst
   end
 
-let read_report ?(lenient = false) ic =
+let default_max_line_bytes = 1 lsl 20 (* 1 MiB — generous for a triple line *)
+
+(* Bounded replacement for [input_line]: on a multi-gigabyte line,
+   [input_line] materialises the whole line before the parser can reject
+   it, so a hostile input exhausts memory inside the loader.  Past [cap]
+   the rest of the line is consumed but not retained (a lenient load can
+   resume at the next line) and [`Oversized] is returned. *)
+let input_line_bounded ic cap =
+  let buf = Buffer.create 128 in
+  let rec go count oversized =
+    match input_char ic with
+    | exception End_of_file ->
+      if count = 0 then `Eof else if oversized then `Oversized else `Line (Buffer.contents buf)
+    | '\n' -> if oversized then `Oversized else `Line (Buffer.contents buf)
+    | c ->
+      if count < cap then Buffer.add_char buf c;
+      go (count + 1) (oversized || count >= cap)
+  in
+  go 0 false
+
+(* The shared ingestion loop behind the channel and string readers.
+   [next_line] yields [`Line s] (at most [max_line_bytes] bytes),
+   [`Oversized] for a capped line, or [`Eof]. *)
+let read_report_gen ~lenient ~max_line_bytes next_line =
   let g = Graph.create () in
   let k = Ontology.create (Graph.interner g) in
   let lineno = ref 0 in
   let triples = ref 0 and malformed = ref 0 and errors = ref [] in
-  (try
-     while true do
-       let line = input_line ic in
-       incr lineno;
-       match parse_line !lineno line with
-       | None -> ()
-       | Some spo ->
-         ingest g k spo;
-         incr triples
-       | exception Parse_error (msg, l) when lenient ->
-         incr malformed;
-         if !malformed <= max_recorded_errors then errors := (msg, l) :: !errors
-     done
-   with End_of_file -> ());
+  let record msg l =
+    incr malformed;
+    if !malformed <= max_recorded_errors then errors := (msg, l) :: !errors
+  in
+  let rec loop () =
+    match next_line () with
+    | `Eof -> ()
+    | `Oversized ->
+      incr lineno;
+      let msg = Printf.sprintf "line longer than %d bytes" max_line_bytes in
+      if lenient then record msg !lineno else raise (Parse_error (msg, !lineno));
+      loop ()
+    | `Line line -> (
+      incr lineno;
+      (match parse_line !lineno line with
+      | None -> ()
+      | Some spo ->
+        ingest g k spo;
+        incr triples
+      | exception Parse_error (msg, l) when lenient -> record msg l);
+      loop ())
+  in
+  loop ();
   ((g, k), { triples = !triples; malformed = !malformed; errors = List.rev !errors })
+
+let read_report ?(lenient = false) ?(max_line_bytes = default_max_line_bytes) ic =
+  read_report_gen ~lenient ~max_line_bytes (fun () -> input_line_bounded ic max_line_bytes)
+
+let read_string_report ?(lenient = false) ?(max_line_bytes = default_max_line_bytes) s =
+  let pos = ref 0 in
+  let n = String.length s in
+  let next_line () =
+    if !pos >= n then `Eof
+    else begin
+      let stop = match String.index_from_opt s !pos '\n' with Some i -> i | None -> n in
+      let len = stop - !pos in
+      let r = if len > max_line_bytes then `Oversized else `Line (String.sub s !pos len) in
+      pos := stop + 1;
+      r
+    end
+  in
+  read_report_gen ~lenient ~max_line_bytes next_line
 
 let read ic = fst (read_report ~lenient:false ic)
 
-let load_report ?lenient path =
+let load_report ?lenient ?max_line_bytes path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_report ?lenient ic)
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_report ?lenient ?max_line_bytes ic)
 
 let load path = fst (load_report ~lenient:false path)

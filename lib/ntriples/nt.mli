@@ -49,13 +49,29 @@ type report = {
           memory *)
 }
 
-val read_report : ?lenient:bool -> in_channel -> (Graphstore.Graph.t * Ontology.t) * report
-(** Like {!read}, also returning an ingestion {!report}.  With
-    [~lenient:true] (default [false]) malformed lines are counted and
-    skipped instead of aborting the load: real-world triple dumps routinely
-    contain a handful of broken lines, and a robust loader should salvage
-    the rest.  Strict mode still raises [Parse_error] on the first bad
-    line. *)
+val default_max_line_bytes : int
+(** The default line-length cap (1 MiB).  [input_line] would materialise a
+    multi-gigabyte line in full before the parser could reject it; the
+    bounded reader retains at most this many bytes per line and treats
+    anything longer as a typed oversized-line [Parse_error] (strict) or a
+    counted malformed line (lenient — the rest of the line is consumed, so
+    the load resumes at the next line). *)
 
-val load_report : ?lenient:bool -> string -> (Graphstore.Graph.t * Ontology.t) * report
+val read_report :
+  ?lenient:bool -> ?max_line_bytes:int -> in_channel -> (Graphstore.Graph.t * Ontology.t) * report
+(** Like {!read}, also returning an ingestion {!report}.  With
+    [~lenient:true] (default [false]) malformed lines — including lines
+    longer than [max_line_bytes] (default {!default_max_line_bytes}) — are
+    counted and skipped instead of aborting the load: real-world triple
+    dumps routinely contain a handful of broken lines, and a robust loader
+    should salvage the rest.  Strict mode still raises [Parse_error] on the
+    first bad or oversized line. *)
+
+val read_string_report :
+  ?lenient:bool -> ?max_line_bytes:int -> string -> (Graphstore.Graph.t * Ontology.t) * report
+(** {!read_report} over an in-memory document (the fuzzing harness's entry
+    point — no temp files). *)
+
+val load_report :
+  ?lenient:bool -> ?max_line_bytes:int -> string -> (Graphstore.Graph.t * Ontology.t) * report
 (** {!read_report} on a file. *)

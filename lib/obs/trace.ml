@@ -59,6 +59,15 @@ let events () =
 
 let dropped () = st.dropped
 
+(* The ring's retained footprint for memory accounting: the event array's
+   slots plus a flat per-event payload estimate (name/cat pointers are
+   shared literals; args lists are short).  Deliberately coarse — the ring
+   is a fixed-capacity structure, so one charge at enable/query-open
+   covers it. *)
+let approx_bytes () =
+  let per_event_words = 8 in
+  Array.length st.buf * per_event_words * (Sys.word_size / 8)
+
 let us ns = Json.Float (float_of_int ns /. 1e3)
 
 let json_of_event ~t0 e =

@@ -60,6 +60,11 @@ val events : unit -> event list
 val dropped : unit -> int
 (** Events overwritten by the ring since {!enable}/{!clear}. *)
 
+val approx_bytes : unit -> int
+(** Approximate retained footprint of the ring buffer (0 when never
+    enabled) — charged once against a query's memory budget at open when
+    tracing is on, since the ring is fixed-capacity. *)
+
 val to_json : ?extra:(string * Json.t) list -> unit -> Json.t
 (** The buffer as a Chrome [trace_event] document:
     [{"traceEvents": [...], "displayTimeUnit": "ms", "dropped": n}] with

@@ -1,8 +1,24 @@
 exception Error of string * int
 
-type state = { input : string; mutable pos : int }
+type state = { input : string; mutable pos : int; mutable depth : int; max_depth : int }
 
 let fail st msg = raise (Error (msg, st.pos))
+
+(* The recursive descent recurses once per grammar level: nesting
+   ['((((...'] and chains ['a|a|a|...'] / ['a.a.a...'] all build non-tail
+   frames, so an adversarial input can otherwise run the OCaml stack out
+   (Stack_overflow is not a typed parse error).  [enter]/[leave] bound the
+   live recursion depth; the default limit fails at ~10k, far below actual
+   stack exhaustion, with a typed [Error].  The exception path leaves
+   [depth] inflated, which is fine: the state dies with the parse. *)
+let default_max_depth = 10_000
+
+let enter st =
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then
+    fail st (Printf.sprintf "expression nested or chained deeper than %d" st.max_depth)
+
+let leave st = st.depth <- st.depth - 1
 
 let is_label_char c =
   (c >= 'a' && c <= 'z')
@@ -36,20 +52,30 @@ let expect st c =
   | _ -> fail st (Printf.sprintf "expected '%c'" c)
 
 let rec alt st =
+  enter st;
   let left = seq st in
-  match peek st with
-  | Some '|' ->
-    advance st;
-    Regex.Alt (left, alt st)
-  | _ -> left
+  let r =
+    match peek st with
+    | Some '|' ->
+      advance st;
+      Regex.Alt (left, alt st)
+    | _ -> left
+  in
+  leave st;
+  r
 
 and seq st =
+  enter st;
   let left = post st in
-  match peek st with
-  | Some '.' ->
-    advance st;
-    Regex.Seq (left, seq st)
-  | _ -> left
+  let r =
+    match peek st with
+    | Some '.' ->
+      advance st;
+      Regex.Seq (left, seq st)
+    | _ -> left
+  in
+  leave st;
+  r
 
 and post st =
   let rec apply r =
@@ -86,14 +112,14 @@ and atom st =
   | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
   | None -> fail st "unexpected end of expression"
 
-let parse input =
-  let st = { input; pos = 0 } in
+let parse ?(max_depth = default_max_depth) input =
+  let st = { input; pos = 0; depth = 0; max_depth } in
   let r = alt st in
   skip_ws st;
   if st.pos <> String.length input then fail st "trailing input";
   r
 
-let parse_result input =
-  match parse input with
+let parse_result ?max_depth input =
+  match parse ?max_depth input with
   | r -> Ok r
   | exception Error (msg, pos) -> Error (Printf.sprintf "parse error at %d: %s" pos msg)

@@ -15,8 +15,16 @@
 exception Error of string * int
 (** [Error (message, position)]: syntax error at byte offset [position]. *)
 
-val parse : string -> Regex.t
-(** @raise Error on malformed input. *)
+val default_max_depth : int
+(** The default recursion-depth limit (10000): deep nesting
+    [((((...a...))))] and long [|]/[.] chains both build non-tail recursion
+    frames, so an adversarial expression would otherwise crash the parser
+    with an untyped [Stack_overflow].  The limit fails with a typed
+    {!Error} well before actual stack exhaustion. *)
 
-val parse_result : string -> (Regex.t, string) result
+val parse : ?max_depth:int -> string -> Regex.t
+(** @raise Error on malformed input, including expressions nested or
+    chained deeper than [max_depth] (default {!default_max_depth}). *)
+
+val parse_result : ?max_depth:int -> string -> (Regex.t, string) result
 (** Like {!parse} but returns a human-readable error instead of raising. *)

@@ -107,6 +107,9 @@ let outcome_consistent ~(clean : Engine.outcome) (chaos : Engine.outcome) =
     e.answers = List.length chaos.Engine.answers
     && e.tuples >= 0 && e.elapsed_ns >= 0
     && chaos.Engine.aborted = (e.reason = Governor.Tuple_budget)
+  | Engine.Rejected _ ->
+    (* no admission limits are configured in these groups *)
+    false
 
 (* The clean (ungoverned, fault-free) run, checked against the oracle. *)
 let clean_run g k options q =
@@ -153,7 +156,7 @@ let fault_prop name ~count ~mode =
         match chaos.Engine.termination with
         | Engine.Completed -> true
         | Engine.Exhausted { reason = Governor.Fault p; _ } -> List.mem p point_names
-        | Engine.Exhausted _ -> false
+        | Engine.Exhausted _ | Engine.Rejected _ -> false
       in
       clean_ok && reason_ok && outcome_consistent ~clean chaos)
 
@@ -179,7 +182,7 @@ let deadline_reason_ok (o : Engine.outcome) =
   match o.Engine.termination with
   | Engine.Completed -> true
   | Engine.Exhausted { reason = Governor.Deadline; elapsed_ns; _ } -> elapsed_ns > 0
-  | Engine.Exhausted _ -> false
+  | Engine.Exhausted _ | Engine.Rejected _ -> false
 
 let deadline_prop =
   QCheck2.Test.make ~name:"deadlines: prefix + Deadline termination (fake clock)" ~count:60
@@ -233,9 +236,99 @@ let budget_prop =
         | Engine.Exhausted { reason = Governor.Answer_limit; _ }, true ->
           List.length chaos.Engine.answers = min cap 50
         | Engine.Exhausted { reason = Governor.Tuple_budget; _ }, false -> chaos.Engine.aborted
-        | Engine.Exhausted _, _ -> false
+        | (Engine.Exhausted _ | Engine.Rejected _), _ -> false
       in
       clean_ok && reason_ok && outcome_consistent ~clean chaos)
+
+(* --- memory budgets ---------------------------------------------------- *)
+
+(* The graceful-degradation contract: under a byte budget the run may drop
+   provenance arenas and decline ψ escalations before terminating with
+   [Memory_budget], but the answers it did emit are an exact ranked prefix
+   of the clean run's emission sequence.  Witnesses are excluded from the
+   prefix comparison — dropping an arena (stage 1) legitimately loses them
+   without affecting bindings or distances. *)
+let strip (a : Engine.answer) = (a.Engine.bindings, a.Engine.distance)
+
+let memory_prop ~name ~distance_aware ~provenance =
+  QCheck2.Test.make ~name ~count:50
+    QCheck2.Gen.(pair (gen_instance ~mode:Q.Approx) (int_range 2_000 60_000))
+    (fun (inst, cap) ->
+      let inst, q = query_of inst in
+      let g, k = build inst in
+      let base = { Options.default with Options.distance_aware; provenance } in
+      let clean, clean_ok = clean_run g k base q in
+      let options = { base with Options.max_memory_bytes = Some cap } in
+      let chaos = Engine.run ~graph:g ~ontology:k ~options q in
+      let stats = chaos.Engine.stats in
+      let reason_ok =
+        match chaos.Engine.termination with
+        | Engine.Completed -> true
+        | Engine.Exhausted { reason = Governor.Memory_budget; _ } ->
+          stats.Core.Exec_stats.mem_bytes_peak > 0
+        | Engine.Exhausted _ | Engine.Rejected _ -> false
+      in
+      clean_ok && reason_ok
+      && is_list_prefix
+           ~of_:(List.map strip clean.Engine.answers)
+           (List.map strip chaos.Engine.answers)
+      && non_decreasing chaos.Engine.answers
+      && stats_bounded ~chaos:stats ~clean:clean.Engine.stats
+      && stats.Core.Exec_stats.degrade_drop_provenance >= 0
+      && stats.Core.Exec_stats.degrade_shrink_psi >= 0)
+
+let memory_plain =
+  memory_prop ~name:"memory: prefix + Memory_budget termination" ~distance_aware:false
+    ~provenance:false
+
+let memory_provenance =
+  memory_prop ~name:"memory: prefix with provenance degradation (stage 1)" ~distance_aware:false
+    ~provenance:true
+
+let memory_distance_aware =
+  memory_prop ~name:"memory: prefix under distance-aware ψ shrinking (stage 2)"
+    ~distance_aware:true ~provenance:false
+
+(* --- admission control -------------------------------------------------- *)
+
+(* A rejected query must never touch the graph; a generously-admitted query
+   must behave exactly like an unvetted one. *)
+let admission_prop =
+  QCheck2.Test.make ~name:"admission: rejection is free, generous admission is invisible"
+    ~count:50
+    (gen_instance ~mode:Q.Approx)
+    (fun inst ->
+      let inst, q = query_of inst in
+      let g, k = build inst in
+      let clean, clean_ok = clean_run g k Options.default q in
+      let rejected =
+        Engine.run ~graph:g ~ontology:k
+          ~options:{ Options.default with Options.max_states = Some 0 }
+          q
+      in
+      let rejected_ok =
+        match rejected.Engine.termination with
+        | Engine.Rejected _ ->
+          rejected.Engine.answers = []
+          && rejected.Engine.stats.Core.Exec_stats.edges_scanned = 0
+          && rejected.Engine.stats.Core.Exec_stats.pushes = 0
+          && rejected.Engine.stats.Core.Exec_stats.seeds = 0
+        | Engine.Completed | Engine.Exhausted _ -> false
+      in
+      let admitted =
+        Engine.run ~graph:g ~ontology:k
+          ~options:
+            {
+              Options.default with
+              Options.max_states = Some 1_000_000;
+              max_product_est = Some 1_000_000_000;
+            }
+          q
+      in
+      clean_ok && rejected_ok
+      && admitted.Engine.termination = Engine.Completed
+      && projected admitted.Engine.answers = projected clean.Engine.answers
+      && admitted.Engine.stats.Core.Exec_stats.admission_est_states > 0)
 
 (* --- multi-conjunct joins under chaos ---------------------------------- *)
 
@@ -268,7 +361,8 @@ let join_prop =
         | Engine.Completed -> true
         | Engine.Exhausted { reason = Governor.Fault p; _ } -> List.mem p point_names
         | Engine.Exhausted { reason = Governor.Tuple_budget | Governor.Answer_limit; _ } -> true
-        | Engine.Exhausted { reason = Governor.Deadline; _ } -> false
+        | Engine.Exhausted { reason = Governor.Deadline | Governor.Memory_budget; _ } -> false
+        | Engine.Rejected _ -> false
       in
       non_decreasing clean.Engine.answers && reason_ok && outcome_consistent ~clean chaos)
 
@@ -294,7 +388,7 @@ let open_fault_test () =
         (Engine.next st);
       match Engine.status st with
       | Engine.Exhausted { reason = Governor.Fault "onto"; answers = 0; _ } -> ()
-      | t -> Alcotest.failf "expected onto fault, got %a" Governor.pp_termination t)
+      | t -> Alcotest.failf "expected onto fault, got %a" Engine.pp_termination t)
 
 (* Cancellation is immediate: after [Governor.cancel] the stream yields
    nothing more and reports the fault. *)
@@ -320,7 +414,7 @@ let cancel_test () =
   Alcotest.(check (option reject)) "nothing after cancel" None (Engine.next st);
   match Engine.status st with
   | Engine.Exhausted { reason = Governor.Fault "client-disconnect"; _ } -> ()
-  | t -> Alcotest.failf "expected cancellation fault, got %a" Governor.pp_termination t
+  | t -> Alcotest.failf "expected cancellation fault, got %a" Engine.pp_termination t
 
 let () =
   Alcotest.run "chaos"
@@ -333,6 +427,13 @@ let () =
         ] );
       ("deadlines", [ QCheck_alcotest.to_alcotest deadline_prop ]);
       ("budgets", [ QCheck_alcotest.to_alcotest budget_prop ]);
+      ( "memory",
+        [
+          QCheck_alcotest.to_alcotest memory_plain;
+          QCheck_alcotest.to_alcotest memory_provenance;
+          QCheck_alcotest.to_alcotest memory_distance_aware;
+        ] );
+      ("admission", [ QCheck_alcotest.to_alcotest admission_prop ]);
       ("joins", [ QCheck_alcotest.to_alcotest join_prop ]);
       ( "edges",
         [

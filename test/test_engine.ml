@@ -317,7 +317,7 @@ let test_next_never_raises_on_budget () =
   match Engine.status st with
   | Engine.Exhausted { reason = Core.Governor.Tuple_budget; answers; _ } ->
     check Alcotest.int "termination counts the emitted answers" emitted answers
-  | t -> Alcotest.failf "expected a tuple-budget trip, got %a" Core.Governor.pp_termination t
+  | t -> Alcotest.failf "expected a tuple-budget trip, got %a" Core.Engine.pp_termination t
 
 (* Pins the documented semantics of [Options.max_tuples] under
    distance-aware evaluation: the budget is CUMULATIVE across psi-level
@@ -339,7 +339,7 @@ let test_budget_cumulative_across_restarts () =
   (match tripped.Engine.termination with
   | Engine.Exhausted { reason = Core.Governor.Tuple_budget; _ } -> ()
   | t ->
-    Alcotest.failf "budget P-1 must trip across restarts, got %a" Core.Governor.pp_termination t);
+    Alcotest.failf "budget P-1 must trip across restarts, got %a" Core.Engine.pp_termination t);
   check Alcotest.bool "aborted mirrors Tuple_budget" true tripped.Engine.aborted;
   let fits = run ~options:{ da with Options.max_tuples = Some p } g k q in
   check Alcotest.bool "budget P completes" true (fits.Engine.termination = Engine.Completed)
@@ -352,7 +352,7 @@ let test_answer_limit_termination () =
   check Alcotest.int "exactly the limit" 1 (List.length o.Engine.answers);
   (match o.Engine.termination with
   | Engine.Exhausted { reason = Core.Governor.Answer_limit; answers = 1; _ } -> ()
-  | t -> Alcotest.failf "expected Answer_limit, got %a" Core.Governor.pp_termination t);
+  | t -> Alcotest.failf "expected Answer_limit, got %a" Core.Engine.pp_termination t);
   check Alcotest.bool "not aborted" false o.Engine.aborted
 
 (* --- edge cases ----------------------------------------------------- *)

@@ -1,0 +1,145 @@
+(* The fuzzing harness's regression surface:
+
+   - replay the crash corpus under test/corpus: every input a past fuzzing
+     run flagged — plus hand-seeded tricky cases — is fed to its parser
+     on every `dune runtest`, asserting the typed-error contract holds;
+   - a fixed-seed mini-fuzz: a few thousand inputs from [Datagen.Fuzz]'s
+     mixed stream through all three parsers and (for parsed queries) the
+     engine under tight budgets — the in-tree slice of what
+     `omega-fuzz` runs at scale in CI;
+   - generator sanity: the valid tier really is valid (otherwise the
+     "parser must accept" half of the contract silently tests nothing).
+
+   Corpus files are dispatched on their name prefix: [regex_*] to
+   [Rpq_regex.Parser], [query_*] to [Core.Query_parser], [nt_*] to
+   [Ntriples.Nt].  `omega-fuzz --corpus test/corpus` writes new crashers
+   in exactly this convention. *)
+
+module Fuzz = Datagen.Fuzz
+module Rng = Datagen.Rng
+module Graph = Graphstore.Graph
+
+let check = Alcotest.check
+
+(* resolved next to the test binary, so `dune runtest` (cwd = test dir)
+   and `dune exec test/test_fuzz.exe` (cwd = project root) both find the
+   copy dune stages via the glob_files dep *)
+let corpus_dir =
+  if Sys.file_exists "corpus" then "corpus"
+  else Filename.concat (Filename.dirname Sys.executable_name) "corpus"
+
+let feed = function
+  | Fuzz.Regex_case s -> (
+    match Rpq_regex.Parser.parse_result s with Ok _ | Error _ -> ())
+  | Fuzz.Query_case s -> (
+    match Core.Query_parser.parse_result s with Ok _ | Error _ -> ())
+  | Fuzz.Nt_case s ->
+    let ((_ : Graph.t * Ontology.t), (_ : Ntriples.Nt.report)) =
+      Ntriples.Nt.read_string_report ~lenient:true s
+    in
+    (match Ntriples.Nt.read_string_report ~lenient:false s with
+    | _ -> ()
+    | exception Ntriples.Nt.Parse_error _ -> ())
+
+let case_of_file name contents =
+  if String.length name >= 6 && String.sub name 0 6 = "regex_" then Some (Fuzz.Regex_case contents)
+  else if String.length name >= 6 && String.sub name 0 6 = "query_" then
+    Some (Fuzz.Query_case contents)
+  else if String.length name >= 3 && String.sub name 0 3 = "nt_" then Some (Fuzz.Nt_case contents)
+  else None
+
+let test_replay_corpus () =
+  let files = Sys.readdir corpus_dir |> Array.to_list |> List.sort compare in
+  check Alcotest.bool "corpus is not empty" true (files <> []);
+  List.iter
+    (fun name ->
+      let contents =
+        In_channel.with_open_bin (Filename.concat corpus_dir name) In_channel.input_all
+      in
+      match case_of_file name contents with
+      | None -> Alcotest.failf "%s: unknown corpus prefix (expected regex_/query_/nt_)" name
+      | Some case -> (
+        match feed case with
+        | () -> ()
+        | exception e ->
+          Alcotest.failf "corpus replay %s: escaped exception %s" name (Printexc.to_string e)))
+    files
+
+(* --- fixed-seed mini-fuzz --------------------------------------------- *)
+
+let tiny_graph () =
+  let g = Graph.create () in
+  let n = Array.init 8 (fun i -> Graph.add_node g (Printf.sprintf "N%d" i)) in
+  Array.iteri
+    (fun i src ->
+      List.iter
+        (fun l -> Graph.add_edge_s g src l n.((i + 1) mod 8))
+        [ "a"; "b"; "knows"; "type" ])
+    n;
+  let k = Ontology.create (Graph.interner g) in
+  Ontology.add_subclass k "C0" "C1";
+  Graph.freeze g;
+  (g, k)
+
+let tight_options =
+  {
+    Core.Options.default with
+    Core.Options.max_tuples = Some 1_000;
+    max_answers = Some 32;
+    max_memory_bytes = Some (64 * 1024);
+    max_states = Some 64;
+    max_product_est = Some 10_000;
+  }
+
+let test_mini_fuzz () =
+  let g, k = tiny_graph () in
+  for i = 0 to 1_999 do
+    let rng = Rng.create (0x5eed + i) in
+    let case = Fuzz.case rng in
+    match case with
+    | Fuzz.Query_case s -> (
+      match Core.Query_parser.parse_result s with
+      | Error _ -> ()
+      | Ok q -> (
+        match Core.Engine.run ~graph:g ~ontology:k ~options:tight_options ~limit:10 q with
+        | exception Invalid_argument _ -> () (* typed semantic rejection *)
+        | exception e ->
+          Alcotest.failf "mini-fuzz iter %d: engine escaped %s on %S" i (Printexc.to_string e) s
+        | outcome -> (
+          match outcome.Core.Engine.termination with
+          | Core.Engine.Rejected _ ->
+            check Alcotest.int
+              (Printf.sprintf "iter %d: rejected query scanned nothing" i)
+              0 outcome.Core.Engine.stats.Core.Exec_stats.edges_scanned
+          | Core.Engine.Completed | Core.Engine.Exhausted _ -> ())))
+    | case -> (
+      match feed case with
+      | () -> ()
+      | exception e ->
+        Alcotest.failf "mini-fuzz iter %d (%s): escaped exception %s" i (Fuzz.case_label case)
+          (Printexc.to_string e))
+  done
+
+(* --- generator sanity -------------------------------------------------- *)
+
+let test_valid_tier_is_valid () =
+  for i = 0 to 199 do
+    let rng = Rng.create (7_000 + i) in
+    (match Rpq_regex.Parser.parse_result (Fuzz.regex_string rng) with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "valid regex tier produced a reject (seed %d): %s" i m);
+    let doc = Fuzz.ntriples_doc rng in
+    match Ntriples.Nt.read_string_report ~lenient:false doc with
+    | _, report -> check Alcotest.int "no malformed lines in the valid tier" 0 report.Ntriples.Nt.malformed
+    | exception Ntriples.Nt.Parse_error (m, l) ->
+      Alcotest.failf "valid nt tier failed strict parse (seed %d, line %d): %s" i l m
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ("corpus", [ Alcotest.test_case "replay crash corpus" `Quick test_replay_corpus ]);
+      ("stream", [ Alcotest.test_case "fixed-seed mini-fuzz (2k inputs)" `Quick test_mini_fuzz ]);
+      ( "generators",
+        [ Alcotest.test_case "valid tier parses" `Quick test_valid_tier_is_valid ] );
+    ]

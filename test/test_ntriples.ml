@@ -128,6 +128,55 @@ let test_lenient_mixed () =
       check Alcotest.int "clean file: no malformed" 0 clean.Nt.malformed;
       check Alcotest.int "clean file: one triple" 1 clean.Nt.triples)
 
+(* A line longer than the cap must fail with a typed oversized-line error
+   in strict mode and be counted + skipped in lenient mode, with the
+   reader retaining at most [max_line_bytes] of it — never the whole line
+   (the [input_line] failure mode this replaces would materialise a
+   multi-gigabyte hostile line in full). *)
+let test_oversized_line () =
+  let cap = 64 in
+  let doc =
+    "<a> <p> <b> .\n" ^ "<" ^ String.make 500 'x' ^ "> <p> <c> .\n" ^ "<c> <p> <d> .\n"
+  in
+  (* strict: typed Parse_error naming the offending line *)
+  (match Nt.read_string_report ~max_line_bytes:cap doc with
+  | _ -> Alcotest.fail "expected a Parse_error on the oversized line"
+  | exception Nt.Parse_error (msg, line) ->
+    check Alcotest.int "error on line 2" 2 line;
+    let contains sub str =
+      let n = String.length sub and m = String.length str in
+      let rec go i = i + n <= m && (String.sub str i n = sub || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool "message mentions the cap" true (contains "64" msg));
+  (* lenient: counted + skipped, the rest of the file salvaged *)
+  let (g, _), report = Nt.read_string_report ~lenient:true ~max_line_bytes:cap doc in
+  check Alcotest.int "one malformed line" 1 report.Nt.malformed;
+  check Alcotest.int "two triples kept" 2 report.Nt.triples;
+  check Alcotest.int "four nodes" 4 (Graph.n_nodes g);
+  (* the default cap applies to files too *)
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc doc;
+      close_out oc;
+      let _, r = Nt.load_report ~lenient:true ~max_line_bytes:cap path in
+      check Alcotest.int "file reader agrees" 1 r.Nt.malformed)
+
+(* The in-memory reader (the fuzzer's entry point) must agree with the
+   channel reader on an ordinary mixed document. *)
+let test_string_reader () =
+  let doc = "# header\n<a> <p> <b> .\n\nbroken line\n<b> <sc> <c> .\n" in
+  let (g1, _), r1 = Nt.read_string_report ~lenient:true doc in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc doc;
+      close_out oc;
+      let (g2, _), r2 = Nt.load_report ~lenient:true path in
+      check Alcotest.int "same triples" r2.Nt.triples r1.Nt.triples;
+      check Alcotest.int "same malformed" r2.Nt.malformed r1.Nt.malformed;
+      check Alcotest.int "same nodes" (Graph.n_nodes g2) (Graph.n_nodes g1);
+      check Alcotest.int "same edges" (Graph.n_edges g2) (Graph.n_edges g1))
+
 let test_generated_dataset_roundtrip () =
   (* an end-to-end sized roundtrip: the L4All 21-timeline graph *)
   let g, k = Datagen.L4all.generate ~timelines:21 () in
@@ -164,5 +213,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "line numbers" `Quick test_line_numbers;
           Alcotest.test_case "lenient mode skips bad lines" `Quick test_lenient_mixed;
+          Alcotest.test_case "oversized lines bounded" `Quick test_oversized_line;
+          Alcotest.test_case "string reader mirrors channel reader" `Quick test_string_reader;
         ] );
     ]

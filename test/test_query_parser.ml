@@ -97,6 +97,26 @@ let test_validate () =
     (Error "a CRP query needs at least one conjunct")
     (Q.validate { Q.head = [ "X" ]; conjuncts = [] })
 
+(* A conjunct flood (or head-variable flood) past [max_conjuncts] must be
+   refused with a typed error before any per-conjunct work happens —
+   regression for the resource-safety audit. *)
+let test_conjunct_cap () =
+  let flood n = "(?X) <- " ^ String.concat ", " (List.init n (fun _ -> "(?X, a, ?Y)")) in
+  (match QP.parse_result (flood (QP.max_conjuncts + 1)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected the conjunct flood to be refused");
+  let head_flood =
+    "(" ^ String.concat ", " (List.init (QP.max_conjuncts + 1) (fun i -> Printf.sprintf "?V%d" i))
+    ^ ") <- (?V0, a, ?V1)"
+  in
+  (match QP.parse_result head_flood with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected the head-variable flood to be refused");
+  (* a large-but-legal body still parses *)
+  match QP.parse_result (flood 64) with
+  | Ok q -> check Alcotest.int "64 conjuncts" 64 (List.length q.Q.conjuncts)
+  | Error m -> Alcotest.fail m
+
 let test_vars_order () =
   let q = QP.parse "(?X) <- (?Y, p, ?X), (?X, q, ?Z)" in
   check Alcotest.(list string) "first occurrence order" [ "Y"; "X"; "Z" ] (Q.vars q)
@@ -119,6 +139,7 @@ let () =
           Alcotest.test_case "alternation groups" `Quick test_parenthesised_regex_with_commas_absent;
           Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip_print_parse;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "conjunct flood capped" `Quick test_conjunct_cap;
         ] );
       ( "ast",
         [

@@ -145,6 +145,29 @@ let test_parse_errors () =
   in
   List.iter fails [ ""; "a."; "a|"; "(a"; "a)"; "a b"; "<eps"; "<x>"; "*"; "a.*b"; "|a" ]
 
+(* Adversarial nesting: the recursive-descent parser builds a stack frame
+   per '(' (and per '|' / '.' chain link), so without the depth limit a
+   50k-paren input kills the process with Stack_overflow instead of
+   returning [Error].  Regression for the resource-safety audit. *)
+let test_depth_limit () =
+  let deep n = String.concat "" [ String.make n '('; "a"; String.make n ')' ] in
+  let fails_typed what s =
+    match P.parse_result s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %s to fail with a typed error" what
+  in
+  fails_typed "50k nested parens" (deep 50_000);
+  fails_typed "50k-long alternation chain" (String.concat "|" (List.init 50_000 (fun _ -> "a")));
+  fails_typed "50k-long concatenation chain" (String.concat "." (List.init 50_000 (fun _ -> "a")));
+  (* well under the limit still parses *)
+  (match P.parse_result (deep 100) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "depth 100 should parse: %s" m);
+  (* the limit is configurable *)
+  match P.parse_result ~max_depth:16 (deep 100) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "max_depth 16 should reject depth 100"
+
 (* --- misc operations ------------------------------------------------ *)
 
 let test_nullable () =
@@ -188,6 +211,7 @@ let () =
           Alcotest.test_case "paper query set" `Quick test_parse_paper_queries;
           Alcotest.test_case "whitespace" `Quick test_parse_whitespace;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "nesting depth limit (50k parens)" `Quick test_depth_limit;
           QCheck_alcotest.to_alcotest print_parse_roundtrip;
         ] );
     ]
