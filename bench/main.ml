@@ -23,7 +23,7 @@ module Graph = Graphstore.Graph
 (* ------------------------------------------------------------------ *)
 
 let all_sections =
-  [ "fig2"; "fig3"; "fig5"; "fig6"; "fig7"; "fig8"; "yago-stats"; "fig10"; "fig11"; "opt1"; "opt2"; "abl"; "abl-sat"; "micro"; "smoke" ]
+  [ "fig2"; "fig3"; "fig5"; "fig6"; "fig7"; "fig8"; "yago-stats"; "fig10"; "fig11"; "opt1"; "opt2"; "abl"; "abl-sat"; "par"; "micro"; "smoke" ]
 
 let sections = ref all_sections
 let scales = ref L4.all_scales
@@ -176,16 +176,17 @@ let json_row ~dataset ~scale ~query ~mode (m : measured) =
         | None -> Obs.Json.Null );
     ]
 
-let write_json ~section rows =
+let write_json ?(extra = []) ~section rows =
   if !json_mode then begin
     let doc =
       Obs.Json.Obj
-        [
-          ("schema_version", Obs.Json.Int 2);
-          ("section", Obs.Json.String section);
-          ("runs", Obs.Json.Int !runs);
-          ("results", Obs.Json.List rows);
-        ]
+        ([
+           ("schema_version", Obs.Json.Int 2);
+           ("section", Obs.Json.String section);
+           ("runs", Obs.Json.Int !runs);
+         ]
+        @ extra
+        @ [ ("results", Obs.Json.List rows) ])
     in
     let path = Printf.sprintf "BENCH_%s.json" section in
     let oc = open_out path in
@@ -240,7 +241,11 @@ let measure_flex (g, k) ~options qtext =
     let st = Engine.stream_stats stream in
     let pushes = st.Core.Exec_stats.pushes in
     let mem_peak = st.Core.Exec_stats.mem_bytes_peak in
-    (List.rev !answers, mean !batch_times, Engine.status stream, pushes, mem_peak)
+    let status = Engine.status stream in
+    (* the stream is abandoned after 10 batches: join any parallel domain
+       pool it still holds *)
+    Engine.close stream;
+    (List.rev !answers, mean !batch_times, status, pushes, mem_peak)
   in
   let answers, _, termination, tuples, mem_bytes_peak = once () in
   let batch_means =
@@ -557,7 +562,9 @@ let ablations () =
     let st = Engine.open_query ~graph:(fst gk) ~ontology:(snd gk) ~options query in
     let rec take k = if k > 0 then match Engine.next st with Some _ -> take (k - 1) | None -> () in
     let (), t = ms (fun () -> take 100) in
-    ((Engine.stream_stats st).Core.Exec_stats.peak_queue, t)
+    let peak = (Engine.stream_stats st).Core.Exec_stats.peak_queue in
+    Engine.close st;
+    (peak, t)
   in
   List.iter
     (fun (label, gk, qtext) ->
@@ -585,7 +592,9 @@ let ablations () =
         let st = Engine.open_query ~graph:(fst gk) ~ontology:(snd gk) ~options query in
         let rec take k = if k > 0 then match Engine.next st with Some _ -> take (k - 1) | None -> () in
         let (), t = ms (fun () -> take 100) in
-        ((Engine.stream_stats st).Core.Exec_stats.seeds, t)
+        let seeds = (Engine.stream_stats st).Core.Exec_stats.seeds in
+        Engine.close st;
+        (seeds, t)
       in
       let on_seeds, on_t = seeded Options.default in
       let off_seeds, off_t = seeded { Options.default with Options.batched_seeding = false } in
@@ -637,6 +646,88 @@ let relax_vs_saturation () =
     "(RELAX additionally ranks answers by relaxation distance and applies the rule-(ii)\n\
     \ domain/range rewrites, which the saturated rewrite does not express — hence the\n\
     \ small count difference.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* PAR: parallel evaluation speedup vs domains                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The speedup-vs-cores curve of the parallel evaluator (lib/core/par.ml):
+   the (?X, R, ?Y) queries of the Fig. 4 set — the shapes that seed-shard —
+   run to completion at 1/2/4/8 domains on the largest configured scale.
+   Determinism is asserted as a side effect: the answer count at every
+   domain count must equal the sequential one.  On a single-core host the
+   curve measures the merge/pool overhead, not parallelism — [host_cores]
+   is recorded in the JSON so a consumer can tell the two apart. *)
+let par_domains = [ 1; 2; 4; 8 ]
+
+let par () =
+  header "[PAR] parallel evaluation: speedup vs OCaml domains";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "exact (?X, R, ?Y) queries run to completion; speedup = mean(domains=1) / mean(domains=N)\n\
+     host reports %d usable core(s) — speedups above 1.0 require real hardware parallelism\n"
+    cores;
+  let scale = List.nth !scales (List.length !scales - 1) in
+  let gk = l4_graph scale in
+  let measure qtext domains =
+    let options = { Options.default with Options.domains } in
+    let once () =
+      match Engine.run_string ~graph:(fst gk) ~ontology:(snd gk) ~options ~limit:max_int qtext with
+      | Ok o -> o
+      | Error m -> failwith m
+    in
+    let outcome, _ = ms once in
+    let times = List.init !runs (fun _ -> snd (ms once)) in
+    {
+      time_ms = mean times;
+      times_ms = times;
+      count = List.length outcome.Engine.answers;
+      tuples = outcome.Engine.stats.Core.Exec_stats.pushes;
+      mem_bytes_peak = outcome.Engine.stats.Core.Exec_stats.mem_bytes_peak;
+      histogram = histogram_of outcome.Engine.answers;
+      aborted = outcome.Engine.aborted;
+      termination = outcome.Engine.termination;
+    }
+  in
+  Printf.printf "%-5s %8s %12s %9s %10s %10s\n" "Q" "domains" "mean (ms)" "speedup" "answers"
+    "tuples";
+  let rows = ref [] in
+  List.iter
+    (fun id ->
+      let qname = Printf.sprintf "Q%d" id in
+      let qtext = L4.query_text id Core.Query.Exact in
+      let base = measure qtext 1 in
+      List.iter
+        (fun domains ->
+          let m = if domains = 1 then base else measure qtext domains in
+          if m.count <> base.count then
+            Printf.printf "(warning: %s answer count differs at domains=%d: %d vs %d)\n%!" qname
+              domains m.count base.count;
+          let speedup = if m.time_ms > 0. then base.time_ms /. m.time_ms else 1. in
+          (match marker_of m.termination with
+          | Some mark ->
+            Printf.printf "%-5s %8d %12s %9s %10d %10d\n%!" qname domains mark "-" m.count
+              m.tuples
+          | None ->
+            Printf.printf "%-5s %8d %12.2f %8.2fx %10d %10d\n%!" qname domains m.time_ms speedup
+              m.count m.tuples);
+          let row =
+            match
+              json_row ~dataset:"l4all" ~scale:(L4.scale_name scale) ~query:qname
+                ~mode:Core.Query.Exact m
+            with
+            | Obs.Json.Obj fields ->
+              Obs.Json.Obj
+                (fields
+                @ [ ("domains", Obs.Json.Int domains); ("speedup", Obs.Json.Float speedup) ])
+            | j -> j
+          in
+          rows := row :: !rows)
+        par_domains)
+    [ 4; 5; 6; 7 ];
+  write_json ~section:"par"
+    ~extra:[ ("host_cores", Obs.Json.Int cores) ]
+    (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -800,6 +891,7 @@ let () =
   if enabled "opt2" then opt2 ();
   if enabled "abl" then ablations ();
   if enabled "abl-sat" then relax_vs_saturation ();
+  if enabled "par" then par ();
   if enabled "micro" then micro ();
   if enabled "smoke" then smoke ();
   Printf.printf "\ndone.\n"

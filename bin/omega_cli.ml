@@ -169,6 +169,19 @@ let query_cmd =
   let decompose =
     Arg.(value & flag & info [ "decompose" ] ~doc:"Enable alternation-by-disjunction decomposition (§4.3).")
   in
+  let domains =
+    Arg.(
+      value
+      & opt int (Core.Options.domains_from_env ())
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Evaluate parallelisable conjuncts on N OCaml domains (default 1, or \
+             \\$OMEGA_DOMAINS).  $(b,(?X, R, ?Y)) conjuncts partition their seed vertices across \
+             the pool; constant-seeded decomposed conjuncts partition their alternation \
+             sub-automata.  With N=1 the sequential code path runs unchanged; with N>1 the \
+             answer stream is the same answer set in non-decreasing distance with a \
+             deterministic tie-break, identical at any domain count.")
+  in
   let max_tuples =
     Arg.(
       value & opt (some int) None
@@ -292,9 +305,9 @@ let query_cmd =
              bucket, discard attribution (visited dedup / duplicate finals / ψ pruning / tuples \
              left queued) and per-operation cost totals.  Enables provenance tracking.")
   in
-  let run data lenient query limit distance_aware decompose max_tuples timeout_ms max_answers
-      max_memory_mb max_states max_product_est failpoints edit_cost relax_cost show_stats
-      explain_flag explain_analyze trace why why_json profile_flag =
+  let run data lenient query limit distance_aware decompose domains max_tuples timeout_ms
+      max_answers max_memory_mb max_states max_product_est failpoints edit_cost relax_cost
+      show_stats explain_flag explain_analyze trace why why_json profile_flag =
     let wall_ns () = int_of_float (1e9 *. Unix.gettimeofday ()) in
     (* One shared init for every time source: scan-time attribution, governor
        deadlines and trace timestamps all read the same installed clock.
@@ -334,6 +347,7 @@ let query_cmd =
         (* --explain-analyze turns provenance on too, so its profile section
            includes the per-operation cost totals (fed by witnesses) *)
         provenance = why || why_json <> None || profile_flag || explain_analyze;
+        domains = (if domains >= 1 && domains <= 64 then domains else 1);
       }
     in
     let export_trace ?(extra = []) () =
@@ -442,10 +456,10 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Run a CRP query (with optional APPROX/RELAX conjuncts) against a triple file.")
     Term.(
-      const run $ data_arg $ lenient_arg $ query $ limit $ distance_aware $ decompose $ max_tuples
-      $ timeout_ms $ max_answers $ max_memory_mb $ max_states $ max_product_est $ failpoints
-      $ edit_cost $ relax_cost $ show_stats $ explain_flag $ explain_analyze $ trace $ why
-      $ why_json $ profile_flag)
+      const run $ data_arg $ lenient_arg $ query $ limit $ distance_aware $ decompose $ domains
+      $ max_tuples $ timeout_ms $ max_answers $ max_memory_mb $ max_states $ max_product_est
+      $ failpoints $ edit_cost $ relax_cost $ show_stats $ explain_flag $ explain_analyze $ trace
+      $ why $ why_json $ profile_flag)
 
 let () =
   let doc = "flexible regular path queries over graph data (APPROX / RELAX)" in

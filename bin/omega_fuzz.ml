@@ -57,6 +57,10 @@ let push_slack = 10_000
 let fuzz_options =
   {
     Core.Options.default with
+    (* OMEGA_DOMAINS (the CI multi-core job sets 4) runs every generated
+       query through the parallel evaluator, fuzzing the shard workers,
+       the ranked merge and the governor's shared-trip path *)
+    Core.Options.domains = Core.Options.domains_from_env ();
     Core.Options.max_tuples = Some tuple_budget;
     max_answers = Some 64;
     max_memory_bytes = Some (256 * 1024);

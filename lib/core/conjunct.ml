@@ -73,7 +73,7 @@ let relax_ancestor_seeds ~graph ~ontology ~beta oid =
         | None -> None)
       (Ontology.ancestors_by_specificity ontology label_id)
 
-let open_ ~graph ~ontology ~options ?governor ?metrics ?ceiling ?suppress
+let open_ ~graph ~ontology ~options ?governor ?metrics ?ceiling ?suppress ?seed_filter
     (conjunct : Query.conjunct) =
   let governor =
     match governor with Some g -> g | None -> Options.governor options
@@ -95,14 +95,14 @@ let open_ ~graph ~ontology ~options ?governor ?metrics ?ceiling ?suppress
       | None -> Seeder.of_list [] (* unknown constant: no answers *)
       | Some oid ->
         if conjunct.cmode = Query.Relax then
-          Seeder.of_list
+          Seeder.of_list ?filter:seed_filter
             (relax_ancestor_seeds ~graph ~ontology ~beta:options.Options.costs.beta oid)
-        else Seeder.of_list [ (oid, 0) ])
+        else Seeder.of_list ?filter:seed_filter [ (oid, 0) ])
     | Query.Var _ ->
       let batch_size =
         if options.Options.batched_seeding then options.Options.batch_size else max_int
       in
-      Seeder.of_initial_state ~governor ~graph ~nfa ~batch_size ()
+      Seeder.of_initial_state ~governor ?filter:seed_filter ~graph ~nfa ~batch_size ()
   in
   (* An unknown object constant can never be matched: oids are dense
      non-negative ints, so no tuple's node ever equals the [-1] sentinel.

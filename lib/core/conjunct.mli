@@ -47,6 +47,7 @@ val open_ :
   ?metrics:Obs.Metrics.t ->
   ?ceiling:int ->
   ?suppress:(int * int, int) Hashtbl.t ->
+  ?seed_filter:(int -> bool) ->
   Query.conjunct ->
   t
 (** Build the conjunct's automaton and initialise its data structures.
@@ -65,7 +66,14 @@ val open_ :
 
     [suppress] is a set of already-emitted [(x, y) → dist] answers shared
     across distance-aware restarts: matching pairs are neither re-emitted nor
-    re-counted. It is updated in place as answers are emitted. *)
+    re-counted. It is updated in place as answers are emitted.
+
+    [seed_filter] restricts seeding to oids it accepts — the seed-partition
+    seam of parallel evaluation ({!Par}): because the per-seed explorations
+    of a conjunct are independent (the [visited] and answer keys both carry
+    the seed), a filtered conjunct emits exactly the answers of the full
+    conjunct whose [x] (the traversal seed; [y] under case-2 reversal) it
+    accepts, in the same non-decreasing distance order. *)
 
 val describe :
   graph:Graphstore.Graph.t ->

@@ -49,6 +49,8 @@ let histogram_names =
     "ops_subst";
     "ops_relax_beta";
     "ops_relax_gamma";
+    "par_merge_wait_ns";
+    "par_shard_answers";
   ]
 
 type stream = {
@@ -163,15 +165,27 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
       closed
   end
 
+(* Release whatever outlives the stream — today, parallel evaluators' domain
+   pools.  Idempotent; called on every terminal path of [next], and
+   available to consumers abandoning a stream mid-way (a pool left
+   unjoined would leak OCaml domains, which are a bounded resource). *)
+let close st = List.iter Evaluator.close st.evaluators
+
 let rec next st =
   if st.rejection <> None then None
-  else if not (Governor.poll st.governor) then None
+  else if not (Governor.poll st.governor) then begin
+    close st;
+    None
+  end
   else
     match st.pull () with
     | exception Failpoints.Injected name ->
       Governor.fault st.governor name;
+      close st;
       None
-    | None -> None
+    | None ->
+      close st;
+      None
     | Some (binding, distance, witnesses) ->
       let values =
         List.map

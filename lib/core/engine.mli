@@ -84,6 +84,14 @@ val next : stream -> answer option
     raises [Options.Out_of_budget] (the pre-governor surface); injected
     faults are converted to a [Fault] termination, not re-raised. *)
 
+val close : stream -> unit
+(** Release resources that outlive the stream — parallel evaluators' domain
+    pools ([options.domains > 1]), which are joined without tripping the
+    governor (the stream still reports [Completed]).  Called automatically
+    on every terminal path of {!next}; consumers abandoning a stream
+    mid-way must call it themselves, or the pool's OCaml domains leak.
+    Idempotent, and a no-op for fully sequential streams. *)
+
 val status : stream -> termination
 (** The stream's structured termination status so far: [Completed] while
     nothing has tripped (including mid-stream — it only becomes meaningfully
@@ -112,10 +120,12 @@ val metrics : stream -> Obs.Metrics.t
 val histogram_names : string list
 (** The distribution metrics the engine layers register
     ([answer_distance], [queue_depth], [succ_edges], [seed_batch_ns],
-    [join_combos], [pop_distance] and the per-operation cost histograms
+    [join_combos], [pop_distance], the per-operation cost histograms
     [ops_insert], [ops_delete], [ops_subst], [ops_relax_beta],
-    [ops_relax_gamma]); together with [Exec_stats.field_names] this is the
-    pinned metrics manifest checked in CI. *)
+    [ops_relax_gamma], and the parallel-merge distributions
+    [par_merge_wait_ns], [par_shard_answers]); together with
+    [Exec_stats.field_names] this is the pinned metrics manifest checked in
+    CI. *)
 
 val drain : ?limit:int -> stream -> outcome
 (** Pull up to [limit] answers (default: all) from an open stream and

@@ -18,6 +18,7 @@ type levelled = {
   options : Options.t;
   governor : Governor.t;
   metrics : Obs.Metrics.t; (* shared with every part this evaluator opens *)
+  seed_filter : (int -> bool) option; (* shard partition, threaded to every part open *)
   emitted : (int * int, int) Hashtbl.t;
   phi : int;
   mutable psi : int;
@@ -32,17 +33,32 @@ type levelled = {
   agg : Exec_stats.t; (* reused aggregate returned by [stats] *)
 }
 
-type t = Plain of Conjunct.t | Levelled of levelled
+(* A parallel conjunct: a [Par] domain pool whose shards each run an
+   ordinary sequential evaluator ([create_seq]) over a partition of the
+   work — of the seed vertices for [(?X, R, ?Y)] conjuncts, of the
+   top-level alternation parts for constant-seeded decomposed ones. *)
+type parallel = {
+  par : Par.t;
+  p_agg : Exec_stats.t; (* reused aggregate returned by [stats] *)
+}
 
-let create ~graph ~ontology ~options ?governor ?metrics (conjunct : Query.conjunct) =
-  let governor = match governor with Some g -> g | None -> Options.governor options in
-  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
+type t = Plain of Conjunct.t | Levelled of levelled | Parallel of parallel
+
+(* The sequential strategies (Plain/Levelled) — the whole story when
+   [options.domains = 1], and the per-shard evaluator when it is not.
+   [seed_filter] partitions the seed universe; [parts] overrides the
+   decomposition part list (a shard runs only its own parts). *)
+let create_seq ~graph ~ontology ~options ~governor ~metrics ?seed_filter ?parts
+    (conjunct : Query.conjunct) =
   let alternatives = Regex.top_level_alternatives conjunct.regex in
   let decomposed = options.Options.decompose && List.length alternatives > 1 in
   if decomposed || options.Options.distance_aware then begin
     let parts =
-      if decomposed then List.map (fun regex -> { conjunct with Query.regex }) alternatives
-      else [ conjunct ]
+      match parts with
+      | Some ps -> ps
+      | None ->
+        if decomposed then List.map (fun regex -> { conjunct with Query.regex }) alternatives
+        else [ conjunct ]
     in
     Levelled
       {
@@ -51,6 +67,7 @@ let create ~graph ~ontology ~options ?governor ?metrics (conjunct : Query.conjun
         options;
         governor;
         metrics;
+        seed_filter;
         emitted = Hashtbl.create 64;
         phi = Options.phi options conjunct.cmode;
         psi = 0;
@@ -65,7 +82,7 @@ let create ~graph ~ontology ~options ?governor ?metrics (conjunct : Query.conjun
         agg = Exec_stats.create ();
       }
   end
-  else Plain (Conjunct.open_ ~graph ~ontology ~options ~governor ~metrics conjunct)
+  else Plain (Conjunct.open_ ~graph ~ontology ~options ~governor ~metrics ?seed_filter conjunct)
 
 let finish_part lev eval part =
   Exec_stats.merge_into lev.stats (Conjunct.stats eval);
@@ -111,7 +128,7 @@ let rec next_levelled lev =
           Some
             ( Conjunct.open_ ~graph:lev.graph ~ontology:lev.ontology ~options:lev.options
                 ~governor:lev.governor ~metrics:lev.metrics ~ceiling:lev.psi
-                ~suppress:lev.emitted part,
+                ~suppress:lev.emitted ?seed_filter:lev.seed_filter part,
               part );
         next_levelled lev
       | [] ->
@@ -142,6 +159,7 @@ let rec next_levelled lev =
 let next = function
   | Plain c -> Conjunct.get_next c
   | Levelled lev -> next_levelled lev
+  | Parallel p -> Par.next p.par
 
 let take t k =
   let rec loop acc k =
@@ -162,6 +180,80 @@ let stats = function
     | Some (eval, _) -> Exec_stats.merge_into lev.agg (Conjunct.stats eval)
     | None -> ());
     lev.agg
+  | Parallel p ->
+    (* still-running shards are excluded (their records live on other
+       domains); once the stream has ended every shard is in *)
+    Exec_stats.reset p.p_agg;
+    Par.merge_stats p.par ~into:p.p_agg;
+    p.p_agg.Exec_stats.par_shards <- Par.shards p.par;
+    p.p_agg
+
+let close = function
+  | Plain _ | Levelled _ -> ()
+  | Parallel p -> Par.close p.par
+
+(* The parallel dispatch.  Two partition seams exist:
+   - seed-sharding, for [(?X, R, ?Y)] conjuncts: seeds split [oid mod n]
+     across shards.  Per-seed explorations are independent (the visited and
+     answer keys both carry the seed vertex), so a shard emits exactly the
+     full conjunct's answers whose [x] it owns and no cross-shard
+     deduplication is needed;
+   - part-sharding, for constant-seeded conjuncts whose query decomposes
+     ([options.decompose] with a top-level alternation): alternation parts
+     split [index mod n] across shards, each shard levelling its own parts
+     with its own emitted-table — so the merge deduplicates [(x, y)] across
+     shards, keeping the first (cheapest) sealed occurrence.
+   Everything else — constant-seeded, undecomposed — stays sequential
+   whatever [options.domains] says: a single-source Dijkstra offers no
+   partition with these guarantees. *)
+let create ~graph ~ontology ~options ?governor ?metrics (conjunct : Query.conjunct) =
+  let governor = match governor with Some g -> g | None -> Options.governor options in
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
+  let alternatives = Regex.top_level_alternatives conjunct.regex in
+  let decomposed = options.Options.decompose && List.length alternatives > 1 in
+  let seed_parallel =
+    match (conjunct.Query.subj, conjunct.Query.obj) with
+    | Query.Var _, Query.Var _ -> true
+    | _ -> false
+  in
+  let part_parallel = (not seed_parallel) && decomposed in
+  let domains =
+    if seed_parallel then options.Options.domains
+    else if part_parallel then min options.Options.domains (List.length alternatives)
+    else 1
+  in
+  if domains <= 1 then create_seq ~graph ~ontology ~options ~governor ~metrics conjunct
+  else begin
+    let slack =
+      (* a psi-levelled shard's emission order is only non-decreasing up to
+         phi - 1 across level boundaries; a plain shard's is exact *)
+      if decomposed || options.Options.distance_aware then
+        Options.phi options conjunct.Query.cmode - 1
+      else 0
+    in
+    let all_parts =
+      if decomposed then List.map (fun regex -> { conjunct with Query.regex }) alternatives
+      else [ conjunct ]
+    in
+    let build ~shard ~governor ~metrics =
+      let ev =
+        if seed_parallel then
+          create_seq ~graph ~ontology ~options ~governor ~metrics
+            ~seed_filter:(fun oid -> oid mod domains = shard)
+            conjunct
+        else
+          create_seq ~graph ~ontology ~options ~governor ~metrics
+            ~parts:(List.filteri (fun i _ -> i mod domains = shard) all_parts)
+            conjunct
+      in
+      ((fun () -> next ev), fun () -> stats ev)
+    in
+    Parallel
+      {
+        par = Par.create ~domains ~slack ~governor ~metrics ~dedup:part_parallel ~build ();
+        p_agg = Exec_stats.create ();
+      }
+  end
 
 let automaton_name : Automaton.Compile.mode -> string = function
   | Automaton.Compile.Exact -> "M_R"

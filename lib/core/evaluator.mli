@@ -19,7 +19,17 @@
       the other strategies when there is no top-level alternation.
 
     All strategies yield answers in non-decreasing distance and dedupe
-    [(x, y)] pairs, keeping the smallest distance. *)
+    [(x, y)] pairs, keeping the smallest distance.
+
+    {b Parallel} ([options.domains > 1]) — where the conjunct offers a
+    sound partition, the strategies above run sharded on a {!Par} domain
+    pool: [(?X, R, ?Y)] conjuncts partition their seed vertices
+    ([oid mod domains]); constant-seeded decomposed conjuncts partition
+    their alternation parts.  The merged stream is the sequential answer
+    set in non-decreasing distance with the canonical ascending [(x, y)]
+    order within each distance — deterministic at any domain count [>= 2].
+    Conjuncts with no such seam (constant-seeded, undecomposed) stay
+    sequential regardless of [options.domains]. *)
 
 type t
 
@@ -51,7 +61,17 @@ val take : t -> int -> Conjunct.answer list
 val stats : t -> Exec_stats.t
 (** Counters aggregated over all runs/sub-automata so far.  The returned
     record is {e owned and reused} by the evaluator (polling mid-stream
-    allocates nothing); take an [Exec_stats.copy] for a stable snapshot. *)
+    allocates nothing); take an [Exec_stats.copy] for a stable snapshot.
+    On a parallel evaluator the aggregate covers {e completed} shards
+    (running shards' records live on other domains); after {!next} returns
+    [None] or {!close}, every shard is included and [par_shards] is set. *)
+
+val close : t -> unit
+(** Release resources that outlive an abandoned stream: joins a parallel
+    evaluator's domain pool (without tripping the governor — the stream
+    still reports [Completed]).  A no-op on sequential evaluators, and
+    after the evaluator has already returned [None].  Idempotent; called by
+    [Engine.close]. *)
 
 val describe :
   graph:Graphstore.Graph.t ->

@@ -17,6 +17,7 @@ type t = {
   mutable admission_est_states : int;
   mutable degrade_drop_provenance : int;
   mutable degrade_shrink_psi : int;
+  mutable par_shards : int;
 }
 
 (* The monotonic clock used to attribute time to neighbour scans ([scan_ns])
@@ -46,6 +47,7 @@ let create () =
     admission_est_states = 0;
     degrade_drop_provenance = 0;
     degrade_shrink_psi = 0;
+    par_shards = 0;
   }
 
 let copy t = { t with pushes = t.pushes }
@@ -68,7 +70,8 @@ let reset t =
   t.mem_bytes_peak <- 0;
   t.admission_est_states <- 0;
   t.degrade_drop_provenance <- 0;
-  t.degrade_shrink_psi <- 0
+  t.degrade_shrink_psi <- 0;
+  t.par_shards <- 0
 
 let merge_into acc x =
   acc.pushes <- acc.pushes + x.pushes;
@@ -89,7 +92,8 @@ let merge_into acc x =
   acc.mem_bytes_peak <- max acc.mem_bytes_peak x.mem_bytes_peak;
   acc.admission_est_states <- max acc.admission_est_states x.admission_est_states;
   acc.degrade_drop_provenance <- acc.degrade_drop_provenance + x.degrade_drop_provenance;
-  acc.degrade_shrink_psi <- acc.degrade_shrink_psi + x.degrade_shrink_psi
+  acc.degrade_shrink_psi <- acc.degrade_shrink_psi + x.degrade_shrink_psi;
+  acc.par_shards <- acc.par_shards + x.par_shards
 
 let field_names =
   [
@@ -111,6 +115,7 @@ let field_names =
     "admission_est_states";
     "degrade_drop_provenance";
     "degrade_shrink_psi";
+    "par_shards";
   ]
 
 let to_assoc t =
@@ -133,6 +138,7 @@ let to_assoc t =
     ("admission_est_states", t.admission_est_states);
     ("degrade_drop_provenance", t.degrade_drop_provenance);
     ("degrade_shrink_psi", t.degrade_shrink_psi);
+    ("par_shards", t.par_shards);
   ]
 
 let record_into registry t =
@@ -151,4 +157,5 @@ let pp ppf t =
   if t.mem_bytes_peak > 0 then Format.fprintf ppf " mem-peak=%d" t.mem_bytes_peak;
   if t.admission_est_states > 0 then Format.fprintf ppf " adm-states=%d" t.admission_est_states;
   if t.degrade_drop_provenance > 0 || t.degrade_shrink_psi > 0 then
-    Format.fprintf ppf " degrade=prov:%d,psi:%d" t.degrade_drop_provenance t.degrade_shrink_psi
+    Format.fprintf ppf " degrade=prov:%d,psi:%d" t.degrade_drop_provenance t.degrade_shrink_psi;
+  if t.par_shards > 0 then Format.fprintf ppf " par-shards=%d" t.par_shards

@@ -48,6 +48,11 @@ type t = {
   mutable degrade_shrink_psi : int;
       (** stage-2 degradations: psi escalations declined under memory
           pressure (each also trips [Governor.Memory_budget]) *)
+  mutable par_shards : int;
+      (** shard evaluations run by parallel ({!Par}) conjuncts — 0 on every
+          sequential record; summed over a query's conjuncts by
+          {!merge_into}, so a two-conjunct query with one 4-domain conjunct
+          reports 4 *)
 }
 
 val now_ns : (unit -> int) ref

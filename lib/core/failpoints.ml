@@ -20,37 +20,71 @@ let point_of_name = function
 let index = function Graph_scan -> 0 | Seed_batch -> 1 | Join_pull -> 2 | Ontology_lookup -> 3
 let n_points = 4
 
-(* The whole mechanism funnels through one closure: disabled, it is the
-   constant no-op below, so an inactive failpoint costs one indirect call
-   with no branches, allocations or lookups behind it. *)
-let noop : point -> unit = fun _ -> ()
-let hook = ref noop
+(* Arming is process-global, but the PRNG state is {e per-domain}: a shared
+   mutable stream would race under parallel evaluation (and make two
+   concurrent engine runs in one process corrupt each other's fault
+   schedules).  The configuration lives in an [Atomic] paired with an epoch
+   counter; every domain keeps its own {state; probabilities} cell in
+   domain-local storage and re-syncs it when the epoch moves.  The initial
+   domain derives its state from the seed exactly as the pre-parallel code
+   did, so single-domain runs are byte-for-byte reproducible across
+   versions; worker domains fold their domain id into the seed, giving each
+   shard an independent deterministic stream. *)
+type armed = { seed : int; prob : float array }
+
+let armed_cfg : armed option Atomic.t = Atomic.make None
+let epoch : int Atomic.t = Atomic.make 0
+
+type cell = { mutable ep : int; mutable state : int64; mutable prob : float array }
+
+let no_prob : float array = [||]
+let cell_key = Domain.DLS.new_key (fun () -> { ep = -1; state = 0L; prob = no_prob })
 
 (* splitmix64: a tiny deterministic PRNG so a chaos run is reproducible from
    its seed alone, independently of any global Random state. *)
-let splitmix state =
-  state := Int64.add !state 0x9E3779B97F4A7C15L;
-  let z = !state in
+let remix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let uniform state =
+let base_state seed = Int64.of_int ((seed * 0x9E3779B1) lxor 0x5DEECE66D)
+
+let uniform c =
+  c.state <- Int64.add c.state 0x9E3779B97F4A7C15L;
   (* 53 high bits -> float in [0, 1) *)
-  Int64.to_float (Int64.shift_right_logical (splitmix state) 11) *. (1. /. 9007199254740992.)
+  Int64.to_float (Int64.shift_right_logical (remix c.state) 11) *. (1. /. 9007199254740992.)
+
+let sync c =
+  let e = Atomic.get epoch in
+  if c.ep <> e then begin
+    c.ep <- e;
+    match Atomic.get armed_cfg with
+    | None -> c.prob <- no_prob
+    | Some a ->
+      let did = (Domain.self () :> int) in
+      c.state <-
+        (if Domain.is_main_domain () then base_state a.seed
+         else Int64.logxor (base_state a.seed) (remix (Int64.of_int did)));
+      c.prob <- a.prob
+  end
 
 let arm ?(seed = 0) specs =
   let prob = Array.make n_points 0. in
   List.iter (fun (p, pr) -> prob.(index p) <- pr) specs;
-  let state = ref (Int64.of_int ((seed * 0x9E3779B1) lxor 0x5DEECE66D)) in
-  hook :=
-    fun p ->
-      let pr = Array.unsafe_get prob (index p) in
-      if pr > 0. && uniform state < pr then raise (Injected (point_name p))
+  Atomic.set armed_cfg (Some { seed; prob });
+  Atomic.incr epoch
 
-let disarm () = hook := noop
+let disarm () =
+  Atomic.set armed_cfg None;
+  Atomic.incr epoch
 
-let check p = !hook p
+let check p =
+  let c = Domain.DLS.get cell_key in
+  sync c;
+  if c.prob != no_prob then begin
+    let pr = Array.unsafe_get c.prob (index p) in
+    if pr > 0. && uniform c < pr then raise (Injected (point_name p))
+  end
 
 (* Spec syntax: "point=prob,point=prob[#seed]", e.g. "scan=0.01,join=0.05#42".
    A bare point name means probability 1 (fail on first hit). *)

@@ -16,9 +16,16 @@
     - [Join_pull] (["join"]) — a pull from an input of the ranked join;
     - [Ontology_lookup] (["onto"]) — a class-ancestor lookup of RELAX seeding.
 
-    Arming is process-global (the suite is single-threaded); it can come from
-    {!arm} directly, an {!arm_spec} string (CLI [--failpoints]), or the
-    [OMEGA_FAILPOINTS] environment variable (CI chaos job). *)
+    Arming is process-global, but the PRNG state is {e per-domain}
+    (domain-local storage, re-synced on every re-arm): concurrent engine
+    runs — parallel shard workers, or two independent streams in one
+    process — draw from independent deterministic streams instead of racing
+    on one.  The initial domain's stream is derived from the seed exactly
+    as before parallel evaluation existed (single-domain runs reproduce
+    byte-for-byte); a worker domain folds its domain id into the seed.
+    Arming can come from {!arm} directly, an {!arm_spec} string (CLI
+    [--failpoints]), or the [OMEGA_FAILPOINTS] environment variable (CI
+    chaos job). *)
 
 type point = Graph_scan | Seed_batch | Join_pull | Ontology_lookup
 

@@ -15,6 +15,7 @@ type t = {
   final_priority : bool;
   batched_seeding : bool;
   provenance : bool;
+  domains : int;
 }
 
 exception Out_of_budget
@@ -37,7 +38,18 @@ let default =
     final_priority = true;
     batched_seeding = true;
     provenance = false;
+    domains = 1;
   }
+
+let domains_env_var = "OMEGA_DOMAINS"
+
+(* Out-of-range values fall back to 1 rather than erroring: the variable is
+   a deployment knob read by binaries at startup, and a bad value must not
+   turn every query into a usage failure. *)
+let domains_from_env () =
+  match Sys.getenv_opt domains_env_var with
+  | None | Some "" -> 1
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 && n <= 64 -> n | _ -> 1)
 
 let governor ?limit t =
   let max_answers =

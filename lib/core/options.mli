@@ -80,6 +80,16 @@ type t = {
           edit/relaxation script behind its distance.  Off, the evaluator
           pays exactly one branch per Succ expansion and allocates
           nothing. *)
+  domains : int;
+      (** evaluate parallelisable conjuncts on this many OCaml domains
+          (default 1 — the sequential code path, literally unchanged).
+          [(?X, R, ?Y)] conjuncts partition their seed vertices across the
+          pool; constant-seeded decomposed conjuncts partition their
+          alternation sub-automata.  Shard streams are recombined by the
+          deterministic ranked merge of {!Par}, so with [domains > 1] the
+          answer stream is the sequential answer set in non-decreasing
+          distance with the documented [(x, y)] tie-break, identical at any
+          domain count.  See DESIGN.md "Parallel evaluation". *)
 }
 
 exception
@@ -102,7 +112,16 @@ val default_costs : costs
 (** All five costs are 1, as in the performance study (§4.1). *)
 
 val default : t
-(** [default_costs], batch size 100, no optimisations, no budget. *)
+(** [default_costs], batch size 100, no optimisations, no budget, 1 domain. *)
+
+val domains_env_var : string
+(** ["OMEGA_DOMAINS"]. *)
+
+val domains_from_env : unit -> int
+(** The domain count requested through [OMEGA_DOMAINS]: an integer in
+    [1 .. 64]; absent, empty or out-of-range values read as 1 (the knob must
+    never turn a query into a usage failure).  Callers building options from
+    the environment use this as the [domains] default. *)
 
 val phi : t -> Query.mode -> int
 (** [phi t mode] is the smallest positive cost of the operations enabled by

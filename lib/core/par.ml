@@ -1,0 +1,313 @@
+(* Domain-pool evaluation with a deterministic ranked merge (DESIGN.md
+   "Parallel evaluation").
+
+   Each shard runs an ordinary sequential evaluator over its own partition
+   of the work (seed vertices, or alternation parts) on its own OCaml
+   domain, with its own governor ([Governor.shard_of]) and its own private
+   metrics registry — nothing on a worker's hot path is shared except the
+   query-wide atomics of [Governor.Shared].  Workers deliver answers into
+   per-shard pending lists under one mutex; the consuming domain drains
+   them into a distance-bucketed staging queue and releases ("seals") a
+   bucket only once no live shard can still produce an answer for it.
+
+   The sealing rule.  A shard's stream is non-decreasing in distance up to
+   [slack] (0 for plain conjuncts; [phi - 1] for psi-levelled evaluators,
+   whose emission order is only non-decreasing across levels): after a
+   shard has delivered an answer at distance [last], everything it delivers
+   later is >= [last - slack].  So bucket [d] is complete once every
+   not-yet-finished shard satisfies [last - slack > d]; finished shards
+   contribute nothing further whatever their reason for finishing, because
+   on a trip the consumer stops emitting at its next governor poll and the
+   already-emitted prefix is exact.  Sealed buckets are sorted ascending
+   [(x, y)] before release — the documented tie-break that makes the merged
+   stream identical at any domain count >= 2.
+
+   The bound [min over live shards of (last - slack)] is monotone
+   (per-shard [last] never decreases; a shard finishing only removes a term
+   from the min), so buckets are sealed exactly once and the output is
+   globally non-decreasing in distance. *)
+
+type outcome = {
+  o_stats : Exec_stats.t; (* copied by the worker at its end — never shared live *)
+  o_registry : Obs.Metrics.t;
+  o_gov : Governor.t;
+}
+
+type shard = {
+  gov : Governor.t;
+  mutable pending : Conjunct.answer list; (* newest first; drained by the consumer *)
+  mutable qlen : int;
+  mutable last : int; (* max distance delivered; -1 before the first answer *)
+  mutable done_ : bool;
+  mutable outcome : outcome option;
+  mutable failure : exn option; (* non-failpoint worker crash, re-raised at join *)
+}
+
+type t = {
+  n : int;
+  slack : int;
+  governor : Governor.t; (* the query's governor (consumer side) *)
+  shared : Governor.Shared.t;
+  metrics : Obs.Metrics.t; (* the stream's registry; shard registries merge in at join *)
+  m : Mutex.t;
+  progress : Condition.t; (* consumer waits here for pushes / completions *)
+  space : Condition.t; (* workers wait here when their pending list is full *)
+  shards : shard array;
+  mutable handles : unit Domain.t array;
+  buffer : Conjunct.answer Dr_queue.t; (* staging: drained but not yet sealed *)
+  mutable ready : Conjunct.answer list; (* sealed, canonically ordered, ready to emit *)
+  seen : (int * int, unit) Hashtbl.t option;
+      (* part-sharding only: shards have independent emitted-tables, so the
+         same (x, y) can arrive from several shards; the first sealed
+         occurrence is the cheapest (buckets seal in ascending distance) and
+         later ones are dropped here.  [None] for seed-sharding, where the
+         partition key is x itself and cross-shard duplicates cannot occur. *)
+  mutable joined : bool;
+  h_merge_wait : Obs.Metrics.histogram;
+  h_shard_answers : Obs.Metrics.histogram;
+}
+
+(* Per-shard pending-list cap: bounds the unmerged backlog a fast shard can
+   accumulate while a slow one holds the seal bound back.  Workers park on
+   [space] at the cap and the consumer's drain wakes them, so the cap
+   trades merge latency against memory without ever deadlocking. *)
+let queue_cap = 8192
+
+let worker t i build =
+  let sh = t.shards.(i) in
+  let registry = Obs.Metrics.create () in
+  let stats_fn = ref Exec_stats.create in
+  (try
+     let pull, stats = build ~shard:i ~governor:sh.gov ~metrics:registry in
+     stats_fn := stats;
+     let rec loop () =
+       match pull () with
+       | None -> ()
+       | Some (a : Conjunct.answer) ->
+         Mutex.lock t.m;
+         while sh.qlen >= queue_cap && not (Governor.Shared.stopped t.shared) do
+           Condition.wait t.space t.m
+         done;
+         let stopped = Governor.Shared.stopped t.shared in
+         if not stopped then begin
+           sh.pending <- a :: sh.pending;
+           sh.qlen <- sh.qlen + 1;
+           if a.Conjunct.dist > sh.last then sh.last <- a.Conjunct.dist;
+           Condition.signal t.progress
+         end;
+         Mutex.unlock t.m;
+         if not stopped then loop ()
+     in
+     loop ()
+   with
+   | Failpoints.Injected name ->
+     (* the same conversion [Engine.next] applies on the sequential path, so
+        the termination taxonomy does not depend on the domain count *)
+     Governor.fault sh.gov name
+   | e ->
+     sh.failure <- Some e;
+     Governor.fault sh.gov "worker-exception");
+  let out = { o_stats = Exec_stats.copy (!stats_fn ()); o_registry = registry; o_gov = sh.gov } in
+  Mutex.lock t.m;
+  sh.outcome <- Some out;
+  sh.done_ <- true;
+  Condition.broadcast t.progress;
+  Mutex.unlock t.m
+
+let create ~domains ~slack ~governor ~metrics ?(dedup = false) ~build () =
+  let n = max 1 domains in
+  let shared = Governor.share governor in
+  let shards =
+    Array.init n (fun _ ->
+        {
+          gov = Governor.shard_of governor;
+          pending = [];
+          qlen = 0;
+          last = -1;
+          done_ = false;
+          outcome = None;
+          failure = None;
+        })
+  in
+  let t =
+    {
+      n;
+      slack = max 0 slack;
+      governor;
+      shared;
+      metrics;
+      m = Mutex.create ();
+      progress = Condition.create ();
+      space = Condition.create ();
+      shards;
+      handles = [||];
+      buffer = Dr_queue.create ();
+      ready = [];
+      seen = (if dedup then Some (Hashtbl.create 256) else None);
+      joined = false;
+      h_merge_wait = Obs.Metrics.histogram metrics "par_merge_wait_ns";
+      h_shard_answers = Obs.Metrics.histogram metrics "par_shard_answers";
+    }
+  in
+  (* A trip (or close) raised anywhere must wake workers parked on [space]
+     and a consumer parked on [progress]; the hook takes [t.m], so no
+     caller of trip/close may hold it — [Par] itself only trips through
+     governor polls made outside the mutex. *)
+  Governor.Shared.set_on_trip shared (fun () ->
+      Mutex.lock t.m;
+      Condition.broadcast t.space;
+      Condition.broadcast t.progress;
+      Mutex.unlock t.m);
+  t.handles <- Array.init n (fun i -> Domain.spawn (fun () -> worker t i build));
+  t
+
+let shards t = t.n
+
+(* --- consumer side (all under t.m unless noted) ----------------------- *)
+
+let drain_locked t =
+  let drained = ref false in
+  Array.iter
+    (fun sh ->
+      if sh.pending <> [] then begin
+        drained := true;
+        List.iter
+          (fun (a : Conjunct.answer) -> Dr_queue.push t.buffer ~dist:a.dist ~final:false a)
+          (List.rev sh.pending);
+        sh.pending <- [];
+        sh.qlen <- 0
+      end)
+    t.shards;
+  if !drained then Condition.broadcast t.space
+
+let bound_locked t =
+  let b = ref max_int in
+  Array.iter (fun sh -> if not sh.done_ then b := min !b (sh.last - t.slack)) t.shards;
+  !b
+
+let seal_locked t ~bound =
+  let batch = ref [] in
+  let rec pop () =
+    match Dr_queue.min_distance t.buffer with
+    | Some d when d < bound -> (
+      match Dr_queue.pop t.buffer with
+      | Some (a, _, _) ->
+        batch := a :: !batch;
+        pop ()
+      | None -> ())
+    | _ -> ()
+  in
+  pop ();
+  !batch
+
+(* The deterministic tie-break: ascending (dist, x, y).  Shard pops arrive
+   min-distance-first but LIFO within a bucket, so the sort both fixes the
+   in-bucket order and interleaves the (already ascending) buckets of a
+   multi-bucket batch correctly. *)
+let canonicalize t batch =
+  let sorted =
+    List.sort
+      (fun (a : Conjunct.answer) (b : Conjunct.answer) ->
+        let c = compare a.dist b.dist in
+        if c <> 0 then c
+        else
+          let c = compare a.x b.x in
+          if c <> 0 then c else compare a.y b.y)
+      batch
+  in
+  match t.seen with
+  | None -> sorted
+  | Some tbl ->
+    List.filter
+      (fun (a : Conjunct.answer) ->
+        if Hashtbl.mem tbl (a.x, a.y) then false
+        else begin
+          Hashtbl.add tbl (a.x, a.y) ();
+          true
+        end)
+      sorted
+
+let join_and_rollup t =
+  if not t.joined then begin
+    t.joined <- true;
+    Array.iter Domain.join t.handles;
+    Array.iter
+      (fun sh ->
+        match sh.outcome with
+        | None -> ()
+        | Some o ->
+          Obs.Metrics.merge_into t.metrics o.o_registry;
+          Governor.absorb t.governor ~from:o.o_gov;
+          Obs.Metrics.observe t.h_shard_answers o.o_stats.Exec_stats.answers)
+      t.shards;
+    (* surface genuine worker crashes (anything but an injected failpoint)
+       on the consuming domain rather than silently reporting a Fault *)
+    Array.iter
+      (fun sh -> match sh.failure with Some e -> raise e | None -> ())
+      t.shards
+  end
+
+let close t =
+  if not t.joined then begin
+    Governor.Shared.close t.shared;
+    join_and_rollup t
+  end
+
+let next t =
+  match t.ready with
+  | a :: rest ->
+    t.ready <- rest;
+    Some a
+  | [] ->
+    if t.joined then None
+    else if not (Governor.poll t.governor) then begin
+      (* tripped: the emitted sealed prefix is exact; discard the rest *)
+      join_and_rollup t;
+      None
+    end
+    else begin
+      let clocked = Obs.Clock.installed () in
+      let exhausted = ref false in
+      Mutex.lock t.m;
+      let rec attempt () =
+        drain_locked t;
+        let bound = bound_locked t in
+        (match seal_locked t ~bound with
+        | [] ->
+          if bound = max_int then exhausted := true (* every shard done, buffer flushed *)
+          else if not (Governor.Shared.stopped t.shared) then begin
+            let t0 = if clocked then !Obs.Clock.now_ns () else 0 in
+            Condition.wait t.progress t.m;
+            if clocked then Obs.Metrics.observe t.h_merge_wait (!Obs.Clock.now_ns () - t0);
+            attempt ()
+          end
+          (* else: stopped — unwind with nothing ready; handled below *)
+        | batch -> (
+          (* a part-sharded batch can dedup away entirely: keep merging
+             rather than falling through to the stopped/exhausted exit *)
+          match canonicalize t batch with [] -> attempt () | ready -> t.ready <- ready))
+      in
+      attempt ();
+      Mutex.unlock t.m;
+      if !exhausted then begin
+        join_and_rollup t;
+        None
+      end
+      else
+        match t.ready with
+        | a :: rest ->
+          t.ready <- rest;
+          Some a
+        | [] ->
+          (* a trip or close stopped the merge between polls *)
+          join_and_rollup t;
+          None
+    end
+
+let merge_stats t ~into =
+  Mutex.lock t.m;
+  Array.iter
+    (fun sh ->
+      match sh.outcome with Some o -> Exec_stats.merge_into into o.o_stats | None -> ())
+    t.shards;
+  Mutex.unlock t.m

@@ -11,7 +11,10 @@ type t = {
   governor : Governor.t;
 }
 
-let of_list seeds =
+let of_list ?filter seeds =
+  let seeds =
+    match filter with None -> seeds | Some f -> List.filter (fun (oid, _) -> f oid) seeds
+  in
   {
     candidates = Seq.empty;
     delivered = Oid_set.create ();
@@ -42,7 +45,7 @@ let nodes_with_edge graph (lbl : Nfa.tlabel) : int Seq.t =
   | Nfa.Sub_closure (d, ls) -> Seq.concat_map (with_label (dir_of d)) (Array.to_seq ls)
   | Nfa.Type_to c -> List.to_seq (Graph.neighbors graph c (Graph.type_label graph) In)
 
-let of_initial_state ?(governor = Governor.unlimited ()) ~graph ~nfa ~batch_size () =
+let of_initial_state ?(governor = Governor.unlimited ()) ?filter ~graph ~nfa ~batch_size () =
   let s0 = Nfa.initial nfa in
   let by_start_labels =
     Seq.concat_map
@@ -54,6 +57,12 @@ let of_initial_state ?(governor = Governor.unlimited ()) ~graph ~nfa ~batch_size
     | Some 0 -> all_nodes graph
     | Some _ -> Seq.append by_start_labels (all_nodes graph)
     | None -> by_start_labels
+  in
+  (* Shard partitioning (parallel evaluation): candidates outside the
+     filter are skipped before the delivered-set dedup, so a shard's seeder
+     behaves exactly like a sequential seeder over its own seed subset. *)
+  let candidates =
+    match filter with None -> candidates | Some f -> Seq.filter f candidates
   in
   {
     candidates;

@@ -22,12 +22,15 @@
 
 type t
 
-val of_list : (int * int) list -> t
+val of_list : ?filter:(int -> bool) -> (int * int) list -> t
 (** Fixed seeds — conjuncts whose subject is a constant (cases 1–2 of
-    [Open]).  Delivered as a single batch, in the given order. *)
+    [Open]).  Delivered as a single batch, in the given order.  [filter]
+    restricts the seeds to those whose oid it accepts (the shard partition
+    of parallel evaluation; default: keep all). *)
 
 val of_initial_state :
   ?governor:Governor.t ->
+  ?filter:(int -> bool) ->
   graph:Graphstore.Graph.t ->
   nfa:Automaton.Nfa.t ->
   batch_size:int ->
@@ -36,7 +39,11 @@ val of_initial_state :
 (** Seeding for [(?X, R, ?Y)] conjuncts, per the regimes above.  The
     candidate scan polls [governor] (default: unlimited) so a deadline or
     cancellation cuts an up-front ([batch_size = max_int]) sweep of a large
-    graph short instead of pinning the process. *)
+    graph short instead of pinning the process.  [filter] restricts
+    delivery to candidates whose oid it accepts — the seed partition of
+    parallel evaluation: because seeds are filtered before the
+    delivered-set dedup, a filtered seeder behaves exactly like a
+    sequential seeder over its own subset of the seed universe. *)
 
 val next_batch : t -> (int * int) list
 (** The next batch of fresh seeds; [[]] once exhausted.  Batches respect

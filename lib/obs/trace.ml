@@ -1,8 +1,17 @@
 type arg = Str of string | Num of int
 type phase = Begin | End | Instant | Complete of int
-type event = { name : string; cat : string; ph : phase; ts_ns : int; args : (string * arg) list }
 
-let dummy = { name = ""; cat = ""; ph = Instant; ts_ns = 0; args = [] }
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_ns : int;
+  tid : int; (* 1 + domain id: the initial domain renders as tid 1, shard
+                workers as their own timeline rows *)
+  args : (string * arg) list;
+}
+
+let dummy = { name = ""; cat = ""; ph = Instant; ts_ns = 0; tid = 1; args = [] }
 
 type state = {
   mutable buf : event array;
@@ -12,52 +21,73 @@ type state = {
 }
 
 let st = { buf = [||]; len = 0; head = 0; dropped = 0 }
+
+(* The ring is process-global and parallel shard workers emit into it, so
+   every ring access is mutex-guarded.  [on] stays a plain ref read without
+   the lock: the hot-path check must stay one load, and a worker racing an
+   enable/disable merely misses (or spuriously takes) the slow path, where
+   the lock makes the ring access itself safe either way. *)
+let m = Mutex.create ()
 let on = ref false
 let enabled () = !on
 
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let enable ?(capacity = 65536) () =
-  st.buf <- Array.make (max 16 capacity) dummy;
-  st.len <- 0;
-  st.head <- 0;
-  st.dropped <- 0;
-  on := true
+  locked (fun () ->
+      st.buf <- Array.make (max 16 capacity) dummy;
+      st.len <- 0;
+      st.head <- 0;
+      st.dropped <- 0;
+      on := true)
 
 let disable () = on := false
 
 let clear () =
-  if Array.length st.buf > 0 then Array.fill st.buf 0 (Array.length st.buf) dummy;
-  st.len <- 0;
-  st.head <- 0;
-  st.dropped <- 0
+  locked (fun () ->
+      if Array.length st.buf > 0 then Array.fill st.buf 0 (Array.length st.buf) dummy;
+      st.len <- 0;
+      st.head <- 0;
+      st.dropped <- 0)
 
 let record ev =
-  let cap = Array.length st.buf in
-  if cap > 0 then begin
-    st.buf.(st.head) <- ev;
-    st.head <- (st.head + 1) mod cap;
-    if st.len < cap then st.len <- st.len + 1 else st.dropped <- st.dropped + 1
-  end
+  locked (fun () ->
+      let cap = Array.length st.buf in
+      if cap > 0 then begin
+        st.buf.(st.head) <- ev;
+        st.head <- (st.head + 1) mod cap;
+        if st.len < cap then st.len <- st.len + 1 else st.dropped <- st.dropped + 1
+      end)
 
 let now () = !Clock.now_ns ()
+let self_tid () = (Domain.self () :> int) + 1
 
 let with_span ?(cat = "") ?(args = []) name f =
   if not !on then f ()
   else begin
-    record { name; cat; ph = Begin; ts_ns = now (); args };
-    Fun.protect ~finally:(fun () -> record { name; cat; ph = End; ts_ns = now (); args = [] }) f
+    let tid = self_tid () in
+    record { name; cat; ph = Begin; ts_ns = now (); tid; args };
+    Fun.protect
+      ~finally:(fun () -> record { name; cat; ph = End; ts_ns = now (); tid; args = [] })
+      f
   end
 
 let instant ?(cat = "") ?(args = []) name =
-  if !on then record { name; cat; ph = Instant; ts_ns = now (); args }
+  if !on then record { name; cat; ph = Instant; ts_ns = now (); tid = self_tid (); args }
 
 let complete ?(cat = "") ?(args = []) ~start_ns name =
-  if !on then record { name; cat; ph = Complete (now () - start_ns); ts_ns = start_ns; args }
+  if !on then
+    record
+      { name; cat; ph = Complete (now () - start_ns); ts_ns = start_ns; tid = self_tid (); args }
 
 let events () =
-  let cap = Array.length st.buf in
-  List.init st.len (fun i -> st.buf.(((st.head - st.len + i) mod cap + cap) mod cap))
+  locked (fun () ->
+      let cap = Array.length st.buf in
+      List.init st.len (fun i -> st.buf.(((st.head - st.len + i) mod cap + cap) mod cap)))
 
-let dropped () = st.dropped
+let dropped () = locked (fun () -> st.dropped)
 
 (* The ring's retained footprint for memory accounting: the event array's
    slots plus a flat per-event payload estimate (name/cat pointers are
@@ -95,12 +125,12 @@ let json_of_event ~t0 e =
        ("ph", Json.String ph);
        ("ts", us (e.ts_ns - t0));
        ("pid", Json.Int 1);
-       ("tid", Json.Int 1);
+       ("tid", Json.Int e.tid);
      ]
     @ extra @ args)
 
 let to_json ?(extra = []) () =
-  let evs = events () in
+  let evs = events () and dropped = dropped () in
   (* Timestamps are rebased to the earliest buffered event: an epoch-based
      wall clock would otherwise put every event ~10^15 µs from the origin,
      which viewers render poorly and floats print imprecisely. *)
@@ -112,7 +142,7 @@ let to_json ?(extra = []) () =
        ("displayTimeUnit", Json.String "ms");
        (* ring-buffer truncation is part of the export: a consumer (or
           bench/validate) can tell a complete trace from a clipped one *)
-       ("dropped", Json.Int st.dropped);
+       ("dropped", Json.Int dropped);
      ]
     @ extra)
 

@@ -11,8 +11,11 @@
     Timestamps come from {!Clock.now_ns}; without an installed clock every
     event sits at t=0 (the export is still structurally valid).
 
-    Single-threaded by design, like the engine: all events carry pid=1,
-    tid=1. *)
+    Domain-safe: the ring is mutex-guarded, and every event records the
+    emitting domain as its [tid] (the initial domain is tid 1, so purely
+    sequential runs export exactly as before parallel evaluation existed;
+    shard workers of [Core.Par] appear as their own timeline rows in
+    Perfetto).  All events carry pid=1. *)
 
 type arg = Str of string | Num of int
 (** Argument values attached to events (the [args] object of the trace
@@ -24,7 +27,14 @@ type phase =
   | Instant  (** point event — ["i"] *)
   | Complete of int  (** retro-recorded span with duration in ns — ["X"] *)
 
-type event = { name : string; cat : string; ph : phase; ts_ns : int; args : (string * arg) list }
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_ns : int;
+  tid : int;  (** 1 + the emitting domain's id; the initial domain is 1 *)
+  args : (string * arg) list;
+}
 
 val enabled : unit -> bool
 (** The flag every instrumentation point checks first. *)

@@ -97,6 +97,20 @@ let build inst =
   Graph.freeze g;
   (g, k)
 
+(* Domain counts the property suites sweep.  The determinism contract
+   (DESIGN.md §Parallel evaluation) is that the answer *multiset* — and for
+   any two parallel counts the exact stream — is independent of [domains],
+   so the oracle/chaos/provenance generators re-run their properties at
+   each count instead of maintaining copy-pasted parallel suites.  The
+   sweep can be pinned from the environment (the CI multi-core job exports
+   [OMEGA_DOMAINS=4] to re-run everything at one parallel width). *)
+let domains_under_test () =
+  match Sys.getenv_opt Core.Options.domains_env_var with
+  | None | Some "" -> [ 1; 2; 4 ]
+  | Some _ -> [ 1; Core.Options.domains_from_env () ]
+
+let with_domains options domains = { options with Core.Options.domains }
+
 let conjunct_of inst =
   let subj =
     match inst.subj with

@@ -366,6 +366,142 @@ let join_prop =
       in
       non_decreasing clean.Engine.answers && reason_ok && outcome_consistent ~clean chaos)
 
+(* --- parallel executions under chaos ----------------------------------- *)
+
+(* The same robustness contract on the parallel evaluator
+   ([options.domains > 1]): the clean parallel run agrees with the oracle,
+   and a faulted / deadlined / budgeted parallel run is an exact
+   element-wise prefix of the clean parallel run's emission sequence (the
+   canonical sealed-merge order — see test_par).  Shard workers convert an
+   injected fault into a shard-governor fault, so terminations stay
+   structured at any domain count, and the taxonomy property pins the
+   stronger claim behind the CLI's exit codes 3/4/5/6: for deterministic
+   disturbances (tuple budgets, answer caps, certain faults) the
+   termination *kind* is identical regardless of [domains], because the
+   total work and the answer set are domain-count independent. *)
+
+let gen_domains = QCheck2.Gen.(map (List.nth [ 2; 4 ]) (int_bound 1))
+
+(* only variable/variable conjuncts seed-shard — anything else would
+   silently fall back to the (already covered) sequential path *)
+let par_inst inst = { inst with subj = `Var; obj = `Fresh }
+
+let par_fault_prop =
+  QCheck2.Test.make ~name:"parallel faults: prefix of clean parallel run" ~count:25
+    QCheck2.Gen.(
+      quad (gen_instance ~mode:Q.Approx) gen_domains (int_bound 1_000_000)
+        (map (List.nth [ 0.002; 0.01; 0.03 ]) (int_bound 2)))
+    (fun (inst, domains, seed, prob) ->
+      let inst, q = query_of (par_inst inst) in
+      let g, k = build inst in
+      let options = { Options.default with Options.domains } in
+      let clean, clean_ok = clean_run g k options q in
+      Failpoints.arm ~seed (List.map (fun p -> (p, prob)) Failpoints.all_points);
+      let chaos =
+        Fun.protect
+          ~finally:(fun () -> Failpoints.disarm ())
+          (fun () -> Engine.run ~graph:g ~ontology:k ~options q)
+      in
+      let reason_ok =
+        match chaos.Engine.termination with
+        | Engine.Completed -> true
+        | Engine.Exhausted { reason = Governor.Fault p; _ } -> List.mem p point_names
+        | Engine.Exhausted _ | Engine.Rejected _ -> false
+      in
+      clean_ok && reason_ok && outcome_consistent ~clean chaos)
+
+(* The deterministic fake clock must be domain-safe here: shard workers and
+   the merge all read it concurrently, so it is an [Atomic] counter, not a
+   [ref] — every read still advances it by exactly 97 fake nanoseconds. *)
+let par_deadline_prop =
+  QCheck2.Test.make ~name:"parallel deadlines: prefix + Deadline termination (atomic clock)"
+    ~count:20
+    QCheck2.Gen.(triple (gen_instance ~mode:Q.Approx) gen_domains (int_bound 30_000))
+    (fun (inst, domains, timeout_ns) ->
+      let inst, q = query_of (par_inst inst) in
+      let g, k = build inst in
+      let options = { Options.default with Options.domains } in
+      let clean, clean_ok = clean_run g k options q in
+      let chaos =
+        let counter = Atomic.make 0 in
+        Governor.now_ns := (fun () -> (Atomic.fetch_and_add counter 1 + 1) * 97);
+        Fun.protect ~finally:restore_clock (fun () ->
+            Engine.run ~graph:g ~ontology:k
+              ~options:{ options with Options.timeout_ns = Some timeout_ns }
+              q)
+      in
+      clean_ok && deadline_reason_ok chaos && outcome_consistent ~clean chaos)
+
+let par_budget_prop =
+  QCheck2.Test.make ~name:"parallel budgets: prefix + Tuple_budget/Answer_limit termination"
+    ~count:25
+    QCheck2.Gen.(quad (gen_instance ~mode:Q.Approx) gen_domains bool (int_range 1 400))
+    (fun (inst, domains, by_answers, cap) ->
+      let inst, q = query_of (par_inst inst) in
+      let g, k = build inst in
+      let base = { Options.default with Options.domains } in
+      let clean, clean_ok = clean_run g k base q in
+      let options =
+        if by_answers then { base with Options.max_answers = Some (min cap 50) }
+        else { base with Options.max_tuples = Some cap }
+      in
+      let chaos = Engine.run ~graph:g ~ontology:k ~options q in
+      let reason_ok =
+        match (chaos.Engine.termination, by_answers) with
+        | Engine.Completed, _ -> true
+        | Engine.Exhausted { reason = Governor.Answer_limit; _ }, true ->
+          List.length chaos.Engine.answers = min cap 50
+        | Engine.Exhausted { reason = Governor.Tuple_budget; _ }, false -> chaos.Engine.aborted
+        | (Engine.Exhausted _ | Engine.Rejected _), _ -> false
+      in
+      clean_ok && reason_ok && outcome_consistent ~clean chaos)
+
+let reason_kind (o : Engine.outcome) =
+  match o.Engine.termination with
+  | Engine.Completed -> "completed"
+  | Engine.Exhausted { reason = Governor.Tuple_budget; _ } -> "tuple-budget"
+  | Engine.Exhausted { reason = Governor.Deadline; _ } -> "deadline"
+  | Engine.Exhausted { reason = Governor.Answer_limit; _ } -> "answer-limit"
+  | Engine.Exhausted { reason = Governor.Memory_budget; _ } -> "memory-budget"
+  | Engine.Exhausted { reason = Governor.Fault p; _ } -> "fault:" ^ p
+  | Engine.Rejected _ -> "rejected"
+
+(* Deterministic disturbances only: total tuple work and the answer set are
+   the same at every domain count (seed-sharding re-partitions the same
+   per-seed explorations), so whether a budget trips — and therefore the
+   exit code the CLI derives — cannot depend on [domains].  A
+   probability-1 seed fault likewise fires on the very first seed batch of
+   every shard.  (Probabilistic faults and real-clock deadlines are
+   excluded by construction: their firing is genuinely timing-dependent.) *)
+let par_taxonomy_prop =
+  QCheck2.Test.make ~name:"parallel taxonomy: termination kind is domain-count independent"
+    ~count:20
+    QCheck2.Gen.(triple (gen_instance ~mode:Q.Approx) (int_bound 3) (int_range 1 400))
+    (fun (inst, disturbance, cap) ->
+      let inst, q = query_of (par_inst inst) in
+      let g, k = build inst in
+      let run domains =
+        let options = { Options.default with Options.domains } in
+        match disturbance with
+        | 0 -> Engine.run ~graph:g ~ontology:k ~options q
+        | 1 ->
+          Engine.run ~graph:g ~ontology:k
+            ~options:{ options with Options.max_tuples = Some cap }
+            q
+        | 2 ->
+          Engine.run ~graph:g ~ontology:k
+            ~options:{ options with Options.max_answers = Some (min cap 50) }
+            q
+        | _ ->
+          Failpoints.arm [ (Failpoints.Seed_batch, 1.0) ];
+          Fun.protect
+            ~finally:(fun () -> Failpoints.disarm ())
+            (fun () -> Engine.run ~graph:g ~ontology:k ~options q)
+      in
+      match List.map (fun n -> reason_kind (run n)) [ 1; 2; 4 ] with
+      | k1 :: rest -> List.for_all (( = ) k1) rest
+      | [] -> false)
+
 (* --- born-tripped streams ---------------------------------------------- *)
 
 (* A fault during query opening (RELAX ontology seeding) must yield a
@@ -435,6 +571,13 @@ let () =
         ] );
       ("admission", [ QCheck_alcotest.to_alcotest admission_prop ]);
       ("joins", [ QCheck_alcotest.to_alcotest join_prop ]);
+      ( "parallel",
+        [
+          QCheck_alcotest.to_alcotest par_fault_prop;
+          QCheck_alcotest.to_alcotest par_deadline_prop;
+          QCheck_alcotest.to_alcotest par_budget_prop;
+          QCheck_alcotest.to_alcotest par_taxonomy_prop;
+        ] );
       ( "edges",
         [
           Alcotest.test_case "fault while opening" `Quick open_fault_test;

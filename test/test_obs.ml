@@ -98,7 +98,7 @@ let copy_independent_test () =
   Alcotest.(check int) "copy is a snapshot" 4 snap.Stats.pushes
 
 let field_names_test () =
-  Alcotest.(check int) "18 scalar counters" 18 (List.length Stats.field_names);
+  Alcotest.(check int) "19 scalar counters" 19 (List.length Stats.field_names);
   let s = Stats.create () in
   Alcotest.(check (list string)) "to_assoc follows field_names order" Stats.field_names
     (List.map fst (assoc s))

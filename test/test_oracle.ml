@@ -19,12 +19,19 @@ open Instance_gen
 
 (* --- engine = oracle --------------------------------------------------- *)
 
+(* Every property re-runs at each domain count of
+   [Instance_gen.domains_under_test]: the parallel evaluator must agree
+   with the oracle on exactly the instances the sequential one does (the
+   oracle is computed once per instance; only the engine side re-runs). *)
 let agree ?(options = Core.Options.default) inst =
   let g, k = build inst in
   let conjunct = conjunct_of inst in
   let expected = Oracle.answers g k options conjunct in
-  let actual = Oracle.engine_stream g k options conjunct in
-  List.sort compare actual = expected
+  List.for_all
+    (fun domains ->
+      let actual = Oracle.engine_stream g k (with_domains options domains) conjunct in
+      List.sort compare actual = expected)
+    (domains_under_test ())
 
 let diff_prop name ~count ~mode options =
   QCheck2.Test.make ~name ~count (gen_instance ~mode) (fun inst -> agree ?options inst)
@@ -59,27 +66,32 @@ let hetero_costs =
   { Core.Options.ins = 2; del = 2; sub = 4; beta = 2; gamma = 3 }
 
 (* No duplicate (x, y) pair in the whole stream, and distances never drop
-   below the running maximum by more than [slack]. *)
+   below the running maximum by more than [slack].  Swept over the domain
+   counts: a parallel stream's canonical order is stricter than any slack,
+   but the dup-pair ban is exactly the merge-dedup contract. *)
 let well_ordered options inst =
   let g, k = build inst in
   let conjunct = conjunct_of inst in
-  let stream = Oracle.engine_stream g k options conjunct in
   let levelled =
     options.Core.Options.distance_aware
     || (options.Core.Options.decompose
        && List.length (R.top_level_alternatives conjunct.Q.regex) > 1)
   in
   let slack = if levelled then Core.Options.phi options conjunct.Q.cmode - 1 else 0 in
-  let seen = Hashtbl.create 64 in
-  let hi = ref 0 in
   List.for_all
-    (fun (x, y, d) ->
-      let fresh = not (Hashtbl.mem seen (x, y)) in
-      Hashtbl.replace seen (x, y) ();
-      let ordered = d >= !hi - slack in
-      if d > !hi then hi := d;
-      fresh && ordered)
-    stream
+    (fun domains ->
+      let stream = Oracle.engine_stream g k (with_domains options domains) conjunct in
+      let seen = Hashtbl.create 64 in
+      let hi = ref 0 in
+      List.for_all
+        (fun (x, y, d) ->
+          let fresh = not (Hashtbl.mem seen (x, y)) in
+          Hashtbl.replace seen (x, y) ();
+          let ordered = d >= !hi - slack in
+          if d > !hi then hi := d;
+          fresh && ordered)
+        stream)
+    (domains_under_test ())
 
 let order_prop name ~count ~mode options =
   QCheck2.Test.make ~name ~count (gen_instance ~mode) (well_ordered options)

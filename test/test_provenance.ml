@@ -81,21 +81,28 @@ let query_of inst =
   in
   (inst, Q.make ~head:(Q.conjunct_vars (conjunct_of inst)) [ conjunct_of inst ])
 
+(* Swept over the domain counts of [Instance_gen.domains_under_test]:
+   witnesses built in shard-local provenance arenas must replay and account
+   for their distances exactly like sequentially-built ones. *)
 let check_instance ~options inst =
   let inst, q = query_of inst in
   let g, k = build inst in
-  let outcome = Engine.run ~graph:g ~ontology:k ~options ~limit:60 q in
   List.for_all
-    (fun (a : Engine.answer) ->
-      match a.Engine.witnesses with
-      | [ w ] ->
-        let endpoints =
-          [ Graph.node_label g w.Witness.source; Graph.node_label g w.Witness.target ]
-        in
-        witness_ok g a.Engine.distance w
-        && List.for_all (fun (_, v) -> List.mem v endpoints) a.Engine.bindings
-      | _ -> false)
-    outcome.Engine.answers
+    (fun domains ->
+      let options = with_domains options domains in
+      let outcome = Engine.run ~graph:g ~ontology:k ~options ~limit:60 q in
+      List.for_all
+        (fun (a : Engine.answer) ->
+          match a.Engine.witnesses with
+          | [ w ] ->
+            let endpoints =
+              [ Graph.node_label g w.Witness.source; Graph.node_label g w.Witness.target ]
+            in
+            witness_ok g a.Engine.distance w
+            && List.for_all (fun (_, v) -> List.mem v endpoints) a.Engine.bindings
+          | _ -> false)
+        outcome.Engine.answers)
+    (domains_under_test ())
 
 let prov_options = { Options.default with Options.provenance = true }
 
