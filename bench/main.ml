@@ -113,7 +113,18 @@ type measured = {
   histogram : (int * int) list; (* distance -> #answers *)
   aborted : bool; (* tuple budget tripped: the paper's '?' (out-of-memory) cells *)
   termination : Engine.termination; (* full reason, per run (budget/deadline/fault/...) *)
+  gc : (string * int) list; (* per-query GC deltas of the counting run (words, collections) *)
 }
+
+(* The GC-delta counters of [Exec_stats] as a labelled list, in manifest
+   order; the same four keys the audit log's "gc" object carries. *)
+let gc_of (st : Core.Exec_stats.t) =
+  [
+    ("minor_words", st.Core.Exec_stats.gc_minor_words);
+    ("major_words", st.Core.Exec_stats.gc_major_words);
+    ("minor_collections", st.Core.Exec_stats.gc_minor_collections);
+    ("major_collections", st.Core.Exec_stats.gc_major_collections);
+  ]
 
 let aborted_of = function
   | Engine.Exhausted { reason = Core.Governor.Tuple_budget; _ } -> true
@@ -169,6 +180,7 @@ let json_row ~dataset ~scale ~query ~mode (m : measured) =
       ("answers", Obs.Json.Int m.count);
       ("tuples", Obs.Json.Int m.tuples);
       ("mem_bytes_peak", Obs.Json.Int m.mem_bytes_peak);
+      ("gc", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) m.gc));
       ("termination", Obs.Json.String (termination_string m.termination));
       ( "marker",
         match marker_of m.termination with
@@ -212,6 +224,7 @@ let measure_exact (g, k) qtext =
     histogram = histogram_of outcome.Engine.answers;
     aborted = outcome.Engine.aborted;
     termination = outcome.Engine.termination;
+    gc = gc_of outcome.Engine.stats;
   }
 
 (* APPROX/RELAX protocol: initialisation, then batches 1..10 of 10 answers;
@@ -245,12 +258,12 @@ let measure_flex (g, k) ~options qtext =
     (* the stream is abandoned after 10 batches: join any parallel domain
        pool it still holds *)
     Engine.close stream;
-    (List.rev !answers, mean !batch_times, status, pushes, mem_peak)
+    (List.rev !answers, mean !batch_times, status, pushes, mem_peak, gc_of st)
   in
-  let answers, _, termination, tuples, mem_bytes_peak = once () in
+  let answers, _, termination, tuples, mem_bytes_peak, gc = once () in
   let batch_means =
     List.init !runs (fun _ ->
-        let _, t, _, _, _ = once () in
+        let _, t, _, _, _, _ = once () in
         t)
   in
   {
@@ -262,6 +275,7 @@ let measure_flex (g, k) ~options qtext =
     histogram = histogram_of answers;
     aborted = aborted_of termination;
     termination;
+    gc;
   }
 
 let yago_options (mode : Core.Query.mode) =
@@ -687,6 +701,7 @@ let par () =
       histogram = histogram_of outcome.Engine.answers;
       aborted = outcome.Engine.aborted;
       termination = outcome.Engine.termination;
+      gc = gc_of outcome.Engine.stats;
     }
   in
   Printf.printf "%-5s %8s %12s %9s %10s %10s\n" "Q" "domains" "mean (ms)" "speedup" "answers"

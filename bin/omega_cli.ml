@@ -252,6 +252,24 @@ let query_cmd =
       value & flag
       & info [ "stats" ] ~doc:"Print execution counters and the metrics registry (histograms).")
   in
+  let stats_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the query's audit record — execution counters, GC deltas, latency, termination, \
+             admission estimate vs actual, per-shard breakdown — as a single JSON object to FILE \
+             ($(b,-) for stdout).  Same codec as $(b,--audit) records.")
+  in
+  let audit =
+    Arg.(
+      value & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:
+            "Append one schema-versioned JSON line per query to FILE (the query observatory's \
+             audit log; see $(b,omega_report)).  Also read from \\$OMEGA_AUDIT.  Crash-safe: each \
+             record is written and flushed atomically.")
+  in
   let explain_flag =
     Arg.(
       value & flag
@@ -307,15 +325,25 @@ let query_cmd =
   in
   let run data lenient query limit distance_aware decompose domains max_tuples timeout_ms
       max_answers max_memory_mb max_states max_product_est failpoints edit_cost relax_cost
-      show_stats explain_flag explain_analyze trace why why_json profile_flag =
+      show_stats stats_json audit explain_flag explain_analyze trace why why_json profile_flag =
     let wall_ns () = int_of_float (1e9 *. Unix.gettimeofday ()) in
+    let audit = match audit with Some _ -> audit | None -> Sys.getenv_opt Obs.Audit.env_var in
     (* One shared init for every time source: scan-time attribution, governor
        deadlines and trace timestamps all read the same installed clock.
        (Separate conditional installs used to leave scan_ns silently 0 when
        only a deadline was requested.) *)
-    if show_stats || explain_analyze || timeout_ms <> None || trace <> None then
-      Obs.Clock.install wall_ns;
+    if
+      show_stats || explain_analyze || timeout_ms <> None || trace <> None || audit <> None
+      || stats_json <> None
+    then Obs.Clock.install wall_ns;
     if trace <> None then Obs.Trace.enable ();
+    (match audit with
+    | None -> ()
+    | Some path -> (
+      try Obs.Audit.enable path
+      with Sys_error msg ->
+        Printf.eprintf "cannot open audit log: %s\n" msg;
+        exit 2));
     let failpoints =
       match failpoints with
       | Some _ -> failpoints
@@ -443,6 +471,18 @@ let query_cmd =
             Format.printf "stats: %a@." Core.Exec_stats.pp outcome.Core.Engine.stats;
             Format.printf "metrics:@.%a@." Obs.Metrics.pp outcome.Core.Engine.metrics
           end;
+          (match stats_json with
+          | None -> ()
+          | Some target ->
+            let line = Obs.Json.to_string (Obs.Audit.to_json (Core.Engine.audit_record st)) in
+            if target = "-" then print_endline line
+            else begin
+              let oc = open_out target in
+              output_string oc line;
+              output_char oc '\n';
+              close_out oc;
+              Format.printf "stats written to %s@." target
+            end);
           let profile = Obs.Profile.of_metrics outcome.Core.Engine.metrics in
           if profile_flag then Format.printf "%a@." Obs.Profile.pp profile;
           export_trace
@@ -458,8 +498,8 @@ let query_cmd =
     Term.(
       const run $ data_arg $ lenient_arg $ query $ limit $ distance_aware $ decompose $ domains
       $ max_tuples $ timeout_ms $ max_answers $ max_memory_mb $ max_states $ max_product_est
-      $ failpoints $ edit_cost $ relax_cost $ show_stats $ explain_flag $ explain_analyze $ trace
-      $ why $ why_json $ profile_flag)
+      $ failpoints $ edit_cost $ relax_cost $ show_stats $ stats_json $ audit $ explain_flag
+      $ explain_analyze $ trace $ why $ why_json $ profile_flag)
 
 let () =
   let doc = "flexible regular path queries over graph data (APPROX / RELAX)" in

@@ -1,0 +1,69 @@
+(* Aggregate query-observatory audit logs (omega --audit / OMEGA_AUDIT)
+   into a report: per-class latency percentiles, termination breakdown,
+   admission accuracy, slowest queries, shard imbalance — and an old-vs-new
+   regression comparison.
+
+     omega_report audit.jsonl
+     omega_report --json --top 10 a.jsonl b.jsonl
+     omega_report --compare baseline.jsonl current.jsonl
+*)
+
+open Cmdliner
+
+let load_all paths =
+  List.concat_map
+    (fun path ->
+      match Obs.Audit.load path with
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 2
+      | Ok (records, skipped) ->
+        if skipped > 0 then
+          Printf.eprintf "%s: skipped %d malformed line(s) (kept %d records)\n" path skipped
+            (List.length records);
+        records)
+    paths
+
+let logs_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"LOG" ~doc:"Audit log(s) in JSONL format, concatenated before aggregation.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+
+let top_arg =
+  Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"Rows in the slowest-queries table.")
+
+let compare_arg =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' string string)) None
+    & info [ "compare" ] ~docv:"OLD,NEW"
+        ~doc:
+          "Regression view: aggregate the $(b,OLD) and $(b,NEW) audit logs separately and report \
+           per-class p50/p99 wall-latency deltas and termination shifts.  Positional logs are \
+           ignored in this mode.")
+
+let run logs json top compare =
+  match compare with
+  | Some (old_path, new_path) ->
+    let old_ = Obs.Report.build ~top (load_all [ old_path ]) in
+    let new_ = Obs.Report.build ~top (load_all [ new_path ]) in
+    if json then print_endline (Obs.Json.to_string (Obs.Report.compare_json old_ new_))
+    else Format.printf "%a" Obs.Report.pp_compare (old_, new_)
+  | None ->
+    if logs = [] then begin
+      Printf.eprintf "omega_report: no audit log given (see --help)\n";
+      exit 2
+    end;
+    let report = Obs.Report.build ~top (load_all logs) in
+    if json then print_endline (Obs.Json.to_string (Obs.Report.to_json report))
+    else Format.printf "%a" Obs.Report.pp report
+
+let () =
+  let doc = "aggregate omega audit logs into a latency/termination/admission report" in
+  exit
+    (Cmd.eval
+       (Cmd.v (Cmd.info "omega_report" ~version:"1.0.0" ~doc)
+          Term.(const run $ logs_arg $ json_arg $ top_arg $ compare_arg)))

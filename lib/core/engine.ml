@@ -51,10 +51,14 @@ let histogram_names =
     "ops_relax_gamma";
     "par_merge_wait_ns";
     "par_shard_answers";
+    "par_shard_busy_ns";
   ]
 
 type stream = {
   graph : Graph.t;
+  query : Query.t;
+  ontology : Ontology.t;
+  options : Options.t;
   head : string list;
   evaluators : Evaluator.t list;
   pull : unit -> (Ranked_join.binding * int * Witness.t list) option;
@@ -65,6 +69,11 @@ type stream = {
   agg : Exec_stats.t; (* reused aggregate returned by [stream_stats] *)
   admission : Admission.estimate option; (* computed iff an admission limit is set *)
   rejection : Admission.rejection option; (* Some: born rejected, no evaluators *)
+  gc0 : Gc.stat; (* [Gc.quick_stat] at open — baseline of the collection-count deltas *)
+  gcw0 : float * float; (* [Gc.counters] (minor, major) at open — word counts accurate
+                           between collections, unlike [quick_stat]'s *)
+  cpu0 : float; (* [Sys.time] at open — process CPU seconds *)
+  mutable audited : bool; (* audit record emitted (close is idempotent) *)
 }
 
 (* A conjunct answer as a variable binding.  A conjunct with two constants
@@ -103,6 +112,9 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
   let closed =
     {
       graph;
+      query = q;
+      ontology;
+      options;
       head = q.head;
       evaluators = [];
       pull = (fun () -> None);
@@ -113,6 +125,10 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
       agg = Exec_stats.create ();
       admission;
       rejection;
+      gc0 = Gc.quick_stat ();
+      gcw0 = (let mi, _, ma = Gc.counters () in (mi, ma));
+      cpu0 = Sys.time ();
+      audited = false;
     }
   in
   if rejection <> None then begin
@@ -165,14 +181,172 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
       closed
   end
 
+let status st =
+  match st.rejection with
+  | Some r -> Rejected r
+  | None -> (
+    match Governor.termination st.governor with
+    | Governor.Completed -> Completed
+    | Governor.Exhausted { reason; elapsed_ns; tuples; answers } ->
+      Exhausted { reason; elapsed_ns; tuples; answers })
+
+(* Aggregated once per stream into a record the stream owns and reuses:
+   polling mid-stream cannot perturb the per-conjunct accumulators (the
+   evaluators' own [stats] are read-only merges).  Callers wanting a stable
+   snapshot take an [Exec_stats.copy]. *)
+let stream_stats st =
+  Exec_stats.reset st.agg;
+  List.iter (fun ev -> Exec_stats.merge_into st.agg (Evaluator.stats ev)) st.evaluators;
+  (* The resource-safety counters live on the stream aggregate only: the
+     governor owns the memory high-water mark and degradation counts, the
+     admission estimate was computed once at open (0 when unvetted). *)
+  st.agg.Exec_stats.mem_bytes_peak <- Governor.mem_peak st.governor;
+  st.agg.Exec_stats.admission_est_states <-
+    (match st.admission with Some e -> e.Admission.total_states | None -> 0);
+  let drops_prov, shrinks_psi = Governor.degrade_counts st.governor in
+  st.agg.Exec_stats.degrade_drop_provenance <- drops_prov;
+  st.agg.Exec_stats.degrade_shrink_psi <- shrinks_psi;
+  (* GC telemetry, likewise stream-level: deltas against the open-time
+     baseline, so a query's allocation pressure reads directly off its
+     stats (the conjunct evaluators never touch these fields) *)
+  let gc = Gc.quick_stat () in
+  let minor0, major0 = st.gcw0 in
+  let minor, _, major = Gc.counters () in
+  st.agg.Exec_stats.gc_minor_words <- int_of_float (minor -. minor0);
+  st.agg.Exec_stats.gc_major_words <- int_of_float (major -. major0);
+  st.agg.Exec_stats.gc_minor_collections <- gc.Gc.minor_collections - st.gc0.Gc.minor_collections;
+  st.agg.Exec_stats.gc_major_collections <- gc.Gc.major_collections - st.gc0.Gc.major_collections;
+  st.agg
+
+(* The SLO accounting key: which operator family (and which expensive
+   structural features) this query exercises. *)
+let query_class st =
+  let conjuncts = st.query.Query.conjuncts in
+  let modes = List.sort_uniq compare (List.map (fun c -> c.Query.cmode) conjuncts) in
+  let base =
+    match modes with
+    | [ Query.Exact ] -> "exact"
+    | [ Query.Approx ] -> "approx"
+    | [ Query.Relax ] -> "relax"
+    | _ -> "mixed"
+  in
+  let decomposed =
+    st.options.Options.decompose
+    && List.exists
+         (fun c -> List.length (Rpq_regex.Regex.top_level_alternatives c.Query.regex) > 1)
+         conjuncts
+  in
+  let case2 =
+    List.exists
+      (fun c ->
+        match (c.Query.subj, c.Query.obj) with Query.Var _, Query.Const _ -> true | _ -> false)
+      conjuncts
+  in
+  base ^ (if decomposed then "+decomposed" else "") ^ if case2 then "+case2" else ""
+
+(* One line of physical plan per conjunct, from the EXPLAIN machinery.
+   Compiles the automata afresh — never called on the evaluation path, only
+   when an audit record is actually being built. *)
+let plan_summary st =
+  if st.rejection <> None then "rejected"
+  else
+    String.concat "; "
+      (List.mapi
+         (fun i c ->
+           let p =
+             Evaluator.describe ~graph:st.graph ~ontology:st.ontology ~options:st.options
+               ~index:(i + 1) c
+           in
+           Printf.sprintf "%d:%s/%s(%ds,%dt)/%s/%s%s" p.Obs.Explain.index p.Obs.Explain.mode
+             p.Obs.Explain.automaton p.Obs.Explain.states p.Obs.Explain.transitions
+             p.Obs.Explain.strategy p.Obs.Explain.seeding
+             (if p.Obs.Explain.reversed then "/rev" else ""))
+         st.query.Query.conjuncts)
+
+let audit_record st =
+  let stats = stream_stats st in
+  let qtext = Format.asprintf "%a" Query.pp st.query in
+  let termination, reason =
+    match status st with
+    | Completed -> ("completed", None)
+    | Exhausted { reason; _ } -> ("exhausted", Some (Governor.reason_string reason))
+    | Rejected r -> ("rejected", Some (Admission.kind_string r.Admission.kind))
+  in
+  let shards =
+    let idx = ref 0 in
+    List.concat_map
+      (fun ev ->
+        List.map
+          (fun (_, busy, answers) ->
+            let s = { Obs.Audit.s_index = !idx; s_busy_ns = busy; s_answers = answers } in
+            incr idx;
+            s)
+          (Evaluator.shard_report ev))
+      st.evaluators
+  in
+  (* probe, don't get-or-create: a sequential stream must not grow parallel
+     histograms just because it was audited *)
+  let merge_wait_ns =
+    if List.mem "par_merge_wait_ns" (Obs.Metrics.names st.registry) then
+      Obs.Metrics.h_sum (Obs.Metrics.histogram st.registry "par_merge_wait_ns")
+    else 0
+  in
+  let imbalance_pct =
+    (* 100 * max/mean over shard busy times: 100 = perfectly balanced *)
+    if stats.Exec_stats.par_shards > 0 && stats.Exec_stats.par_busy_total_ns > 0 then
+      stats.Exec_stats.par_busy_max_ns * 100 * stats.Exec_stats.par_shards
+      / stats.Exec_stats.par_busy_total_ns
+    else 0
+  in
+  {
+    Obs.Audit.ts_ns = !Obs.Clock.now_ns ();
+    query_hash = Obs.Audit.hash qtext;
+    query = qtext;
+    query_class = query_class st;
+    plan = plan_summary st;
+    termination;
+    reason;
+    answers = Governor.answers st.governor;
+    wall_ns = Governor.elapsed_ns st.governor;
+    cpu_ns = int_of_float ((Sys.time () -. st.cpu0) *. 1e9);
+    est_states = (match st.admission with Some e -> e.Admission.total_states | None -> 0);
+    est_product = (match st.admission with Some e -> e.Admission.total_product_est | None -> 0);
+    actual_tuples = Governor.tuples st.governor;
+    domains = st.options.Options.domains;
+    shards;
+    merge_wait_ns;
+    imbalance_pct;
+    stats = Exec_stats.to_assoc stats;
+    gc =
+      [
+        ("minor_words", stats.Exec_stats.gc_minor_words);
+        ("major_words", stats.Exec_stats.gc_major_words);
+        ("minor_collections", stats.Exec_stats.gc_minor_collections);
+        ("major_collections", stats.Exec_stats.gc_major_collections);
+      ];
+  }
+
 (* Release whatever outlives the stream — today, parallel evaluators' domain
    pools.  Idempotent; called on every terminal path of [next], and
    available to consumers abandoning a stream mid-way (a pool left
-   unjoined would leak OCaml domains, which are a bounded resource). *)
-let close st = List.iter Evaluator.close st.evaluators
+   unjoined would leak OCaml domains, which are a bounded resource).
+
+   Also the audit log's emission point: one record per stream, once, when
+   the global sink is enabled — a single flag check per query otherwise. *)
+let close st =
+  List.iter Evaluator.close st.evaluators;
+  if Obs.Audit.enabled () && not st.audited then begin
+    st.audited <- true;
+    Obs.Audit.emit (audit_record st)
+  end
 
 let rec next st =
-  if st.rejection <> None then None
+  if st.rejection <> None then begin
+    (* a rejected stream has nothing to release, but closing it here means
+       rejections reach the audit log through the same single seam *)
+    close st;
+    None
+  end
   else if not (Governor.poll st.governor) then begin
     close st;
     None
@@ -208,35 +382,8 @@ let rec next st =
         Some { bindings = List.combine st.head values; distance; witnesses }
       end
 
-let status st =
-  match st.rejection with
-  | Some r -> Rejected r
-  | None -> (
-    match Governor.termination st.governor with
-    | Governor.Completed -> Completed
-    | Governor.Exhausted { reason; elapsed_ns; tuples; answers } ->
-      Exhausted { reason; elapsed_ns; tuples; answers })
-
 let governor st = st.governor
 let admission st = st.admission
-
-(* Aggregated once per stream into a record the stream owns and reuses:
-   polling mid-stream allocates nothing and cannot perturb the per-conjunct
-   accumulators (the evaluators' own [stats] are read-only merges too).
-   Callers wanting a stable snapshot take an [Exec_stats.copy]. *)
-let stream_stats st =
-  Exec_stats.reset st.agg;
-  List.iter (fun ev -> Exec_stats.merge_into st.agg (Evaluator.stats ev)) st.evaluators;
-  (* The resource-safety counters live on the stream aggregate only: the
-     governor owns the memory high-water mark and degradation counts, the
-     admission estimate was computed once at open (0 when unvetted). *)
-  st.agg.Exec_stats.mem_bytes_peak <- Governor.mem_peak st.governor;
-  st.agg.Exec_stats.admission_est_states <-
-    (match st.admission with Some e -> e.Admission.total_states | None -> 0);
-  let drops_prov, shrinks_psi = Governor.degrade_counts st.governor in
-  st.agg.Exec_stats.degrade_drop_provenance <- drops_prov;
-  st.agg.Exec_stats.degrade_shrink_psi <- shrinks_psi;
-  st.agg
 
 let metrics st =
   Exec_stats.record_into st.registry (stream_stats st);
@@ -248,6 +395,10 @@ let drain ?limit st =
     else match next st with Some a -> collect (a :: acc) (k - 1) | None -> List.rev acc
   in
   let answers = collect [] (Option.value limit ~default:max_int) in
+  (* a limit can stop collection before [next] reaches a terminal path:
+     close here so abandoned pools are joined and the audit record is
+     emitted exactly once per drained stream *)
+  close st;
   let termination = status st in
   let aborted =
     match termination with Exhausted { reason = Governor.Tuple_budget; _ } -> true | _ -> false

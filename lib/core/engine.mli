@@ -88,9 +88,29 @@ val close : stream -> unit
 (** Release resources that outlive the stream — parallel evaluators' domain
     pools ([options.domains > 1]), which are joined without tripping the
     governor (the stream still reports [Completed]).  Called automatically
-    on every terminal path of {!next}; consumers abandoning a stream
-    mid-way must call it themselves, or the pool's OCaml domains leak.
-    Idempotent, and a no-op for fully sequential streams. *)
+    on every terminal path of {!next} and by {!drain}; consumers abandoning
+    a stream mid-way must call it themselves, or the pool's OCaml domains
+    leak.  Idempotent.
+
+    Also the audit seam: when the process-global {!Obs.Audit} sink is
+    enabled, the first close emits the stream's {!audit_record} — one
+    record per query, covering drained, abandoned and rejected streams
+    alike.  When the sink is disabled this is a single flag check. *)
+
+val query_class : stream -> string
+(** The query's observatory class — ["exact"] | ["approx"] | ["relax"] |
+    ["mixed"] (per the conjuncts' operator modes), with ["+decomposed"]
+    appended when decomposition applies to some conjunct and ["+case2"]
+    when some conjunct is [(?X, R, C)].  The latency/SLO accounting key. *)
+
+val audit_record : stream -> Obs.Audit.record
+(** The stream's audit record, built from its current state: canonicalised
+    query text and hash, {!query_class}, a per-conjunct plan summary (the
+    automata are recompiled — never call this on a hot path), termination
+    taxonomy, admission estimate vs actual tuples, the full
+    {!stream_stats} counters with GC deltas, wall/CPU time, and the
+    per-shard breakdown of parallel conjuncts.  Also the [--stats-json]
+    payload. *)
 
 val status : stream -> termination
 (** The stream's structured termination status so far: [Completed] while
@@ -108,9 +128,11 @@ val admission : stream -> Admission.estimate option
 
 val stream_stats : stream -> Exec_stats.t
 (** Counters aggregated over all conjuncts so far.  The returned record is
-    {e owned and reused} by the stream — polling it mid-stream allocates
-    nothing and does not perturb the evaluation (pinned by a regression
-    test); take an [Exec_stats.copy] for a stable snapshot. *)
+    {e owned and reused} by the stream — polling it mid-stream does not
+    perturb the evaluation counters (pinned by a regression test); take an
+    [Exec_stats.copy] for a stable snapshot.  The [gc_*] fields are
+    [Gc.quick_stat] deltas against the stream's open-time baseline,
+    sampled afresh at each call. *)
 
 val metrics : stream -> Obs.Metrics.t
 (** The stream's metrics registry: the engine's distribution histograms
@@ -123,7 +145,7 @@ val histogram_names : string list
     [join_combos], [pop_distance], the per-operation cost histograms
     [ops_insert], [ops_delete], [ops_subst], [ops_relax_beta],
     [ops_relax_gamma], and the parallel-merge distributions
-    [par_merge_wait_ns], [par_shard_answers]); together with
+    [par_merge_wait_ns], [par_shard_answers], [par_shard_busy_ns]); together with
     [Exec_stats.field_names] this is the pinned metrics manifest checked in
     CI. *)
 

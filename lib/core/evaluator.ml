@@ -192,6 +192,10 @@ let close = function
   | Plain _ | Levelled _ -> ()
   | Parallel p -> Par.close p.par
 
+let shard_report = function
+  | Plain _ | Levelled _ -> []
+  | Parallel p -> Par.shard_report p.par
+
 (* The parallel dispatch.  Two partition seams exist:
    - seed-sharding, for [(?X, R, ?Y)] conjuncts: seeds split [oid mod n]
      across shards.  Per-seed explorations are independent (the visited and
@@ -250,7 +254,10 @@ let create ~graph ~ontology ~options ?governor ?metrics (conjunct : Query.conjun
     in
     Parallel
       {
-        par = Par.create ~domains ~slack ~governor ~metrics ~dedup:part_parallel ~build ();
+        par =
+          Par.create ~domains ~slack ~governor ~metrics
+            ~label:(if seed_parallel then "seed-shard" else "part-shard")
+            ~dedup:part_parallel ~build ();
         p_agg = Exec_stats.create ();
       }
   end

@@ -73,6 +73,11 @@ val close : t -> unit
     after the evaluator has already returned [None].  Idempotent; called by
     [Engine.close]. *)
 
+val shard_report : t -> (int * int * int) list
+(** Per-shard [(index, busy_ns, answers)] of a parallel evaluator's
+    completed shards ({!Par.shard_report}); [[]] on sequential
+    evaluators. *)
+
 val describe :
   graph:Graphstore.Graph.t ->
   ontology:Ontology.t ->

@@ -18,6 +18,12 @@ type t = {
   mutable degrade_drop_provenance : int;
   mutable degrade_shrink_psi : int;
   mutable par_shards : int;
+  mutable par_busy_total_ns : int;
+  mutable par_busy_max_ns : int;
+  mutable gc_minor_words : int;
+  mutable gc_major_words : int;
+  mutable gc_minor_collections : int;
+  mutable gc_major_collections : int;
 }
 
 (* The monotonic clock used to attribute time to neighbour scans ([scan_ns])
@@ -48,6 +54,12 @@ let create () =
     degrade_drop_provenance = 0;
     degrade_shrink_psi = 0;
     par_shards = 0;
+    par_busy_total_ns = 0;
+    par_busy_max_ns = 0;
+    gc_minor_words = 0;
+    gc_major_words = 0;
+    gc_minor_collections = 0;
+    gc_major_collections = 0;
   }
 
 let copy t = { t with pushes = t.pushes }
@@ -71,7 +83,13 @@ let reset t =
   t.admission_est_states <- 0;
   t.degrade_drop_provenance <- 0;
   t.degrade_shrink_psi <- 0;
-  t.par_shards <- 0
+  t.par_shards <- 0;
+  t.par_busy_total_ns <- 0;
+  t.par_busy_max_ns <- 0;
+  t.gc_minor_words <- 0;
+  t.gc_major_words <- 0;
+  t.gc_minor_collections <- 0;
+  t.gc_major_collections <- 0
 
 let merge_into acc x =
   acc.pushes <- acc.pushes + x.pushes;
@@ -93,7 +111,14 @@ let merge_into acc x =
   acc.admission_est_states <- max acc.admission_est_states x.admission_est_states;
   acc.degrade_drop_provenance <- acc.degrade_drop_provenance + x.degrade_drop_provenance;
   acc.degrade_shrink_psi <- acc.degrade_shrink_psi + x.degrade_shrink_psi;
-  acc.par_shards <- acc.par_shards + x.par_shards
+  acc.par_shards <- acc.par_shards + x.par_shards;
+  acc.par_busy_total_ns <- acc.par_busy_total_ns + x.par_busy_total_ns;
+  (* the slowest shard anywhere in the query, not a sum — like peak_queue *)
+  acc.par_busy_max_ns <- max acc.par_busy_max_ns x.par_busy_max_ns;
+  acc.gc_minor_words <- acc.gc_minor_words + x.gc_minor_words;
+  acc.gc_major_words <- acc.gc_major_words + x.gc_major_words;
+  acc.gc_minor_collections <- acc.gc_minor_collections + x.gc_minor_collections;
+  acc.gc_major_collections <- acc.gc_major_collections + x.gc_major_collections
 
 let field_names =
   [
@@ -116,6 +141,12 @@ let field_names =
     "degrade_drop_provenance";
     "degrade_shrink_psi";
     "par_shards";
+    "par_busy_total_ns";
+    "par_busy_max_ns";
+    "gc_minor_words";
+    "gc_major_words";
+    "gc_minor_collections";
+    "gc_major_collections";
   ]
 
 let to_assoc t =
@@ -139,6 +170,12 @@ let to_assoc t =
     ("degrade_drop_provenance", t.degrade_drop_provenance);
     ("degrade_shrink_psi", t.degrade_shrink_psi);
     ("par_shards", t.par_shards);
+    ("par_busy_total_ns", t.par_busy_total_ns);
+    ("par_busy_max_ns", t.par_busy_max_ns);
+    ("gc_minor_words", t.gc_minor_words);
+    ("gc_major_words", t.gc_major_words);
+    ("gc_minor_collections", t.gc_minor_collections);
+    ("gc_major_collections", t.gc_major_collections);
   ]
 
 let record_into registry t =
@@ -158,4 +195,9 @@ let pp ppf t =
   if t.admission_est_states > 0 then Format.fprintf ppf " adm-states=%d" t.admission_est_states;
   if t.degrade_drop_provenance > 0 || t.degrade_shrink_psi > 0 then
     Format.fprintf ppf " degrade=prov:%d,psi:%d" t.degrade_drop_provenance t.degrade_shrink_psi;
-  if t.par_shards > 0 then Format.fprintf ppf " par-shards=%d" t.par_shards
+  if t.par_shards > 0 then Format.fprintf ppf " par-shards=%d" t.par_shards;
+  if t.par_busy_total_ns > 0 then
+    Format.fprintf ppf " par-busy=%d/max:%d" t.par_busy_total_ns t.par_busy_max_ns;
+  if t.gc_minor_words > 0 || t.gc_major_words > 0 then
+    Format.fprintf ppf " gc=minor:%d,major:%d,collections:%d/%d" t.gc_minor_words t.gc_major_words
+      t.gc_minor_collections t.gc_major_collections

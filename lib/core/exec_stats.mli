@@ -53,6 +53,20 @@ type t = {
           sequential record; summed over a query's conjuncts by
           {!merge_into}, so a two-conjunct query with one 4-domain conjunct
           reports 4 *)
+  mutable par_busy_total_ns : int;
+      (** wall time shard workers spent running, summed across shards
+          (0 without a clock); with [par_busy_max_ns] this yields the shard
+          load-imbalance metric max/mean of the query observatory *)
+  mutable par_busy_max_ns : int;
+      (** the busiest single shard's wall time — the critical path of a
+          parallel conjunct; merges by max *)
+  mutable gc_minor_words : int;
+      (** [Gc.quick_stat] delta over the query: words allocated in the minor
+          heap — set on the engine's stream aggregate (0 on per-conjunct
+          records) *)
+  mutable gc_major_words : int;  (** words allocated in/promoted to the major heap *)
+  mutable gc_minor_collections : int;  (** minor GC cycles during the query *)
+  mutable gc_major_collections : int;  (** major GC cycles during the query *)
 }
 
 val now_ns : (unit -> int) ref

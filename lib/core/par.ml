@@ -45,6 +45,7 @@ type shard = {
 
 type t = {
   n : int;
+  label : string; (* trace-lane prefix: workers name themselves "<label> <i>" *)
   slack : int;
   governor : Governor.t; (* the query's governor (consumer side) *)
   shared : Governor.Shared.t;
@@ -65,6 +66,7 @@ type t = {
   mutable joined : bool;
   h_merge_wait : Obs.Metrics.histogram;
   h_shard_answers : Obs.Metrics.histogram;
+  h_shard_busy : Obs.Metrics.histogram;
 }
 
 (* Per-shard pending-list cap: bounds the unmerged backlog a fast shard can
@@ -77,6 +79,10 @@ let worker t i build =
   let sh = t.shards.(i) in
   let registry = Obs.Metrics.create () in
   let stats_fn = ref Exec_stats.create in
+  (* name this domain's trace lane before any span lands on it *)
+  Obs.Trace.set_thread_name (Printf.sprintf "%s %d" t.label i);
+  let clocked = Obs.Clock.installed () in
+  let t0 = if clocked then !Obs.Clock.now_ns () else 0 in
   (try
      let pull, stats = build ~shard:i ~governor:sh.gov ~metrics:registry in
      stats_fn := stats;
@@ -107,14 +113,23 @@ let worker t i build =
    | e ->
      sh.failure <- Some e;
      Governor.fault sh.gov "worker-exception");
-  let out = { o_stats = Exec_stats.copy (!stats_fn ()); o_registry = registry; o_gov = sh.gov } in
+  let stats = Exec_stats.copy (!stats_fn ()) in
+  (* the shard's wall time, birth to last delivery: merged additively into
+     [par_busy_total_ns] and by max into [par_busy_max_ns], so the stream
+     aggregate reads total shard work and the critical path directly *)
+  if clocked then begin
+    let busy = !Obs.Clock.now_ns () - t0 in
+    stats.Exec_stats.par_busy_total_ns <- busy;
+    stats.Exec_stats.par_busy_max_ns <- busy
+  end;
+  let out = { o_stats = stats; o_registry = registry; o_gov = sh.gov } in
   Mutex.lock t.m;
   sh.outcome <- Some out;
   sh.done_ <- true;
   Condition.broadcast t.progress;
   Mutex.unlock t.m
 
-let create ~domains ~slack ~governor ~metrics ?(dedup = false) ~build () =
+let create ~domains ~slack ~governor ~metrics ?(label = "shard") ?(dedup = false) ~build () =
   let n = max 1 domains in
   let shared = Governor.share governor in
   let shards =
@@ -132,6 +147,7 @@ let create ~domains ~slack ~governor ~metrics ?(dedup = false) ~build () =
   let t =
     {
       n;
+      label;
       slack = max 0 slack;
       governor;
       shared;
@@ -147,6 +163,7 @@ let create ~domains ~slack ~governor ~metrics ?(dedup = false) ~build () =
       joined = false;
       h_merge_wait = Obs.Metrics.histogram metrics "par_merge_wait_ns";
       h_shard_answers = Obs.Metrics.histogram metrics "par_shard_answers";
+      h_shard_busy = Obs.Metrics.histogram metrics "par_shard_busy_ns";
     }
   in
   (* A trip (or close) raised anywhere must wake workers parked on [space]
@@ -238,7 +255,11 @@ let join_and_rollup t =
         | Some o ->
           Obs.Metrics.merge_into t.metrics o.o_registry;
           Governor.absorb t.governor ~from:o.o_gov;
-          Obs.Metrics.observe t.h_shard_answers o.o_stats.Exec_stats.answers)
+          Obs.Metrics.observe t.h_shard_answers o.o_stats.Exec_stats.answers;
+          (* gated like h_merge_wait: a clockless 0 is "unmeasured", not a
+             distribution point *)
+          if o.o_stats.Exec_stats.par_busy_total_ns > 0 then
+            Obs.Metrics.observe t.h_shard_busy o.o_stats.Exec_stats.par_busy_total_ns)
       t.shards;
     (* surface genuine worker crashes (anything but an injected failpoint)
        on the consuming domain rather than silently reporting a Fault *)
@@ -311,3 +332,17 @@ let merge_stats t ~into =
       match sh.outcome with Some o -> Exec_stats.merge_into into o.o_stats | None -> ())
     t.shards;
   Mutex.unlock t.m
+
+let shard_report t =
+  Mutex.lock t.m;
+  let report = ref [] in
+  Array.iteri
+    (fun i sh ->
+      match sh.outcome with
+      | Some o ->
+        report :=
+          (i, o.o_stats.Exec_stats.par_busy_total_ns, o.o_stats.Exec_stats.answers) :: !report
+      | None -> ())
+    t.shards;
+  Mutex.unlock t.m;
+  List.rev !report

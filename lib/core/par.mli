@@ -26,6 +26,7 @@ val create :
   slack:int ->
   governor:Governor.t ->
   metrics:Obs.Metrics.t ->
+  ?label:string ->
   ?dedup:bool ->
   build:
     (shard:int ->
@@ -46,8 +47,14 @@ val create :
     block; its [Governor.Shared.set_on_trip] hook is pointed at the pool's
     wake-up broadcast.
 
-    Records the [par_merge_wait_ns] and [par_shard_answers] histograms in
-    [metrics]. *)
+    [label] (default ["shard"]) prefixes the trace-lane names workers give
+    their domains ({!Obs.Trace.set_thread_name}: ["<label> <i>"]).
+
+    Records the [par_merge_wait_ns], [par_shard_answers] and
+    [par_shard_busy_ns] histograms in [metrics].  Each worker also measures
+    its own wall time (when a clock is installed) into the
+    [par_busy_total_ns] / [par_busy_max_ns] stats, the raw material of the
+    shard load-imbalance metric. *)
 
 val next : t -> Conjunct.answer option
 (** The next merged answer, or [None] on exhaustion or when the query
@@ -70,3 +77,8 @@ val merge_stats : t -> into:Exec_stats.t -> unit
 
 val shards : t -> int
 (** The pool size (the [par_shards] stat). *)
+
+val shard_report : t -> (int * int * int) list
+(** Per-shard [(index, busy_ns, answers)] for every {e completed} shard —
+    the audit record's shard breakdown.  [busy_ns] is 0 without a clock.
+    Complete after [next] has returned [None] or {!close}. *)

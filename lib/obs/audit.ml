@@ -1,0 +1,248 @@
+let schema_version = 1
+let env_var = "OMEGA_AUDIT"
+
+type shard = { s_index : int; s_busy_ns : int; s_answers : int }
+
+type record = {
+  ts_ns : int;
+  query_hash : string;
+  query : string;
+  query_class : string;
+  plan : string;
+  termination : string;
+  reason : string option;
+  answers : int;
+  wall_ns : int;
+  cpu_ns : int;
+  est_states : int;
+  est_product : int;
+  actual_tuples : int;
+  domains : int;
+  shards : shard list;
+  merge_wait_ns : int;
+  imbalance_pct : int;
+  stats : (string * int) list;
+  gc : (string * int) list;
+}
+
+(* FNV-1a, 64-bit.  Int64 arithmetic keeps the hash identical on 32- and
+   63-bit native ints, so logs from different builds aggregate together. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let assoc_json l = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) l)
+
+let shard_json s =
+  Json.Obj
+    [ ("i", Json.Int s.s_index); ("busy_ns", Json.Int s.s_busy_ns); ("answers", Json.Int s.s_answers) ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("v", Json.Int schema_version);
+      ("ts_ns", Json.Int r.ts_ns);
+      ("query_hash", Json.String r.query_hash);
+      ("query", Json.String r.query);
+      ("class", Json.String r.query_class);
+      ("plan", Json.String r.plan);
+      ("termination", Json.String r.termination);
+      ("reason", (match r.reason with None -> Json.Null | Some s -> Json.String s));
+      ("answers", Json.Int r.answers);
+      ("wall_ns", Json.Int r.wall_ns);
+      ("cpu_ns", Json.Int r.cpu_ns);
+      ("est_states", Json.Int r.est_states);
+      ("est_product", Json.Int r.est_product);
+      ("actual_tuples", Json.Int r.actual_tuples);
+      ("domains", Json.Int r.domains);
+      ("shards", Json.List (List.map shard_json r.shards));
+      ("merge_wait_ns", Json.Int r.merge_wait_ns);
+      ("imbalance_pct", Json.Int r.imbalance_pct);
+      ("stats", assoc_json r.stats);
+      ("gc", assoc_json r.gc);
+    ]
+
+(* --- decoding / validation ------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field k j =
+  match Json.member k j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let int_field k j =
+  let* v = field k j in
+  match Json.to_int v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "field %S: expected int" k)
+
+let str_field k j =
+  let* v = field k j in
+  match Json.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected string" k)
+
+let opt_str_field k j =
+  let* v = field k j in
+  match v with
+  | Json.Null -> Ok None
+  | Json.String s -> Ok (Some s)
+  | _ -> Error (Printf.sprintf "field %S: expected string or null" k)
+
+let assoc_field k j =
+  let* v = field k j in
+  match v with
+  | Json.Obj kvs ->
+    let rec conv acc = function
+      | [] -> Ok (List.rev acc)
+      | (key, v) :: rest -> (
+        match Json.to_int v with
+        | Some n -> conv ((key, n) :: acc) rest
+        | None -> Error (Printf.sprintf "field %S.%S: expected int" k key))
+    in
+    conv [] kvs
+  | _ -> Error (Printf.sprintf "field %S: expected object" k)
+
+let shard_of_json j =
+  let* s_index = int_field "i" j in
+  let* s_busy_ns = int_field "busy_ns" j in
+  let* s_answers = int_field "answers" j in
+  Ok { s_index; s_busy_ns; s_answers }
+
+let shards_field k j =
+  let* v = field k j in
+  match Json.to_list v with
+  | None -> Error (Printf.sprintf "field %S: expected list" k)
+  | Some l ->
+    let rec conv acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest ->
+        let* s = shard_of_json s in
+        conv (s :: acc) rest
+    in
+    conv [] l
+
+let of_json j =
+  let* v = int_field "v" j in
+  if v <> schema_version then Error (Printf.sprintf "schema version %d (expected %d)" v schema_version)
+  else
+    let* ts_ns = int_field "ts_ns" j in
+    let* query_hash = str_field "query_hash" j in
+    let* query = str_field "query" j in
+    let* query_class = str_field "class" j in
+    let* plan = str_field "plan" j in
+    let* termination = str_field "termination" j in
+    let* reason = opt_str_field "reason" j in
+    let* answers = int_field "answers" j in
+    let* wall_ns = int_field "wall_ns" j in
+    let* cpu_ns = int_field "cpu_ns" j in
+    let* est_states = int_field "est_states" j in
+    let* est_product = int_field "est_product" j in
+    let* actual_tuples = int_field "actual_tuples" j in
+    let* domains = int_field "domains" j in
+    let* shards = shards_field "shards" j in
+    let* merge_wait_ns = int_field "merge_wait_ns" j in
+    let* imbalance_pct = int_field "imbalance_pct" j in
+    let* stats = assoc_field "stats" j in
+    let* gc = assoc_field "gc" j in
+    Ok
+      {
+        ts_ns;
+        query_hash;
+        query;
+        query_class;
+        plan;
+        termination;
+        reason;
+        answers;
+        wall_ns;
+        cpu_ns;
+        est_states;
+        est_product;
+        actual_tuples;
+        domains;
+        shards;
+        merge_wait_ns;
+        imbalance_pct;
+        stats;
+        gc;
+      }
+
+let validate j = Result.map (fun (_ : record) -> ()) (of_json j)
+
+(* --- sinks ------------------------------------------------------------ *)
+
+type sink = { oc : out_channel; sm : Mutex.t }
+
+let open_sink path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  { oc; sm = Mutex.create () }
+
+let write sink r =
+  (* One complete line + flush per record: a crash mid-write truncates at
+     most this record, never an earlier one. *)
+  Mutex.lock sink.sm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.sm)
+    (fun () ->
+      output_string sink.oc (Json.to_string (to_json r));
+      output_char sink.oc '\n';
+      flush sink.oc)
+
+let close_sink sink = close_out sink.oc
+
+(* --- the process-global sink ----------------------------------------- *)
+
+(* Mirrors Trace's discipline: [on] is a plain ref read without the lock so
+   the per-query check in Engine.close stays one load; the sink swap itself
+   is serialised through the sink's own mutex via [write]. *)
+let global : sink option ref = ref None
+let on = ref false
+let enabled () = !on
+
+let disable () =
+  on := false;
+  match !global with
+  | None -> ()
+  | Some s ->
+    global := None;
+    close_sink s
+
+let enable path =
+  disable ();
+  global := Some (open_sink path);
+  on := true
+
+let emit r = match !global with None -> () | Some s -> write s r
+
+(* --- reading ---------------------------------------------------------- *)
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc skipped =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc, skipped)
+          | line when String.trim line = "" -> go acc skipped
+          | line -> (
+            match Json.parse line with
+            | Error _ -> go acc (skipped + 1)
+            | Ok j -> (
+              match of_json j with
+              | Error _ -> go acc (skipped + 1)
+              | Ok r -> go (r :: acc) skipped))
+        in
+        go [] 0)

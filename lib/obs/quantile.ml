@@ -1,0 +1,34 @@
+let of_buckets ?max_v ~count buckets p =
+  if count <= 0 then 0.
+  else begin
+    let p = if p < 0. then 0. else if p > 1. then 1. else p in
+    (* the 1-based rank of the quantile observation (nearest-rank, so p = 0
+       is the minimum and p = 1 the maximum) *)
+    let target = max 1 (int_of_float (ceil (p *. float_of_int count))) in
+    let rec find before = function
+      | [] -> 0. (* count > 0 guarantees the walk ends inside a bucket *)
+      | (lo, hi, n) :: rest ->
+        if before + n < target then find (before + n) rest
+        else begin
+          (* clamp the open-ended bucket bounds to representable values:
+             the ≤0 bucket reads as [0, 0] (all our metrics are
+             non-negative), the overflow bucket as [lo, max observed] *)
+          let lo = if lo = min_int then 0 else lo in
+          let hi =
+            match max_v with
+            | Some m when hi = max_int || m < hi -> max lo m
+            | Some _ | None -> if hi = max_int then lo else hi
+          in
+          if n <= 1 then float_of_int lo
+          else
+            (* linear interpolation by rank within the bucket: rank lo at
+               the bucket's first observation, rank hi at its last *)
+            let frac = float_of_int (target - before - 1) /. float_of_int (n - 1) in
+            float_of_int lo +. (frac *. float_of_int (hi - lo))
+        end
+    in
+    find 0 buckets
+  end
+
+let of_histogram h p =
+  of_buckets ~max_v:(Metrics.h_max h) ~count:(Metrics.h_count h) (Metrics.buckets h) p

@@ -1,0 +1,26 @@
+(** Quantile estimation over the log₂-bucketed histograms of {!Metrics}.
+
+    The registry stores distributions as power-of-two buckets, so exact
+    percentiles are gone by construction; what the buckets still determine
+    is the bucket the p-quantile falls in, and its position inside that
+    bucket by cumulative rank.  The estimator interpolates linearly within
+    the bucket, which pins the estimate inside the bucket's [lo, hi] range
+    — the same range the exact quantile lies in — so the error is bounded
+    by the bucket width: a factor of 2 relative, much less in practice
+    (the bound is pinned by the observatory test suite against exact
+    percentiles of synthetic distributions).
+
+    This is the p50/p90/p99 machinery behind the latency/SLO accounting of
+    the query observatory ({!Slo}, {!Report}, [bin/omega_report]). *)
+
+val of_buckets : ?max_v:int -> count:int -> (int * int * int) list -> float -> float
+(** [of_buckets ~count buckets p] estimates the [p]-quantile (p in [0, 1],
+    clamped) of a distribution given as {!Metrics.buckets} output —
+    ascending [(lo, hi, n)] triples, [lo = min_int] meaning "≤ 0" and
+    [hi = max_int] the overflow bucket.  [count] is the total observation
+    count; [max_v], when given, clamps the top bucket's upper bound to the
+    maximum value actually observed ({!Metrics.h_max}).  Returns [0.] on an
+    empty distribution. *)
+
+val of_histogram : Metrics.histogram -> float -> float
+(** [of_buckets] over a live histogram, clamped by its [h_max]. *)

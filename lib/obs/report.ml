@@ -1,0 +1,257 @@
+type slow = {
+  sl_hash : string;
+  sl_class : string;
+  sl_wall_ns : int;
+  sl_answers : int;
+  sl_termination : string;
+  sl_plan : string;
+}
+
+type scatter = { sc_hash : string; sc_est : int; sc_actual : int }
+
+type par_stats = {
+  par_queries : int;  (* records that ran with shards *)
+  imb_mean : float;  (* mean imbalance_pct over measured records *)
+  imb_max : int;
+  merge_wait_total_ns : int;
+}
+
+type t = {
+  total : int;
+  slo : Slo.t;
+  terminations : (string * int) list;  (* sorted by name *)
+  vetted : scatter list;  (* records with an admission estimate *)
+  slowest : slow list;  (* wall_ns descending, bounded *)
+  par : par_stats;
+}
+
+let total t = t.total
+
+let build ?(top = 5) records =
+  let slo = Slo.create () in
+  let terms = Hashtbl.create 8 in
+  let vetted = ref [] in
+  let par_queries = ref 0 in
+  let imb_sum = ref 0 and imb_n = ref 0 and imb_max = ref 0 in
+  let merge_wait = ref 0 in
+  List.iter
+    (fun (r : Audit.record) ->
+      Slo.observe slo ~cls:r.query_class ~wall_ns:r.wall_ns ~cpu_ns:r.cpu_ns;
+      Hashtbl.replace terms r.termination
+        (1 + Option.value ~default:0 (Hashtbl.find_opt terms r.termination));
+      if r.est_product > 0 then
+        vetted := { sc_hash = r.query_hash; sc_est = r.est_product; sc_actual = r.actual_tuples } :: !vetted;
+      if r.shards <> [] then begin
+        incr par_queries;
+        merge_wait := !merge_wait + r.merge_wait_ns;
+        if r.imbalance_pct > 0 then begin
+          imb_sum := !imb_sum + r.imbalance_pct;
+          incr imb_n;
+          if r.imbalance_pct > !imb_max then imb_max := r.imbalance_pct
+        end
+      end)
+    records;
+  let slowest =
+    List.map
+      (fun (r : Audit.record) ->
+        {
+          sl_hash = r.query_hash;
+          sl_class = r.query_class;
+          sl_wall_ns = r.wall_ns;
+          sl_answers = r.answers;
+          sl_termination = r.termination;
+          sl_plan = r.plan;
+        })
+      records
+    (* sort wall descending, hash ascending as the deterministic tiebreak *)
+    |> List.stable_sort (fun a b ->
+           match compare b.sl_wall_ns a.sl_wall_ns with 0 -> compare a.sl_hash b.sl_hash | c -> c)
+    |> List.filteri (fun i _ -> i < top)
+  in
+  {
+    total = List.length records;
+    slo;
+    terminations =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) terms []);
+    vetted = List.rev !vetted;
+    slowest;
+    par =
+      {
+        par_queries = !par_queries;
+        imb_mean = (if !imb_n = 0 then 0. else float_of_int !imb_sum /. float_of_int !imb_n);
+        imb_max = !imb_max;
+        merge_wait_total_ns = !merge_wait;
+      };
+  }
+
+(* --- admission accuracy ----------------------------------------------- *)
+
+(* actual/est per vetted query: > 1 means the admission layer under-estimated
+   the work it let in, the dangerous direction for a multi-tenant server. *)
+let admission_summary vetted =
+  let n = List.length vetted in
+  let under = List.length (List.filter (fun s -> s.sc_actual > s.sc_est) vetted) in
+  let worst =
+    List.fold_left
+      (fun acc s ->
+        let r = float_of_int s.sc_actual /. float_of_int (max 1 s.sc_est) in
+        if r > acc then r else acc)
+      0. vetted
+  in
+  (n, under, worst)
+
+(* --- text -------------------------------------------------------------- *)
+
+let pp_ns ppf f = Format.fprintf ppf "%.0fns" f
+
+let pp ppf t =
+  Format.fprintf ppf "omega_report: %d queries@." t.total;
+  Format.fprintf ppf "@.latency by class (wall):@.";
+  List.iter
+    (fun cls ->
+      match Slo.summary t.slo cls with
+      | None -> ()
+      | Some s ->
+        Format.fprintf ppf "  %-18s n=%-4d p50=%a p90=%a p99=%a max=%dns@." cls s.queries pp_ns
+          s.wall_p50 pp_ns s.wall_p90 pp_ns s.wall_p99 s.wall_max)
+    (Slo.classes t.slo);
+  Format.fprintf ppf "@.latency by class (cpu):@.";
+  List.iter
+    (fun cls ->
+      match Slo.summary t.slo cls with
+      | None -> ()
+      | Some s ->
+        Format.fprintf ppf "  %-18s n=%-4d p50=%a p90=%a p99=%a max=%dns@." cls s.queries pp_ns
+          s.cpu_p50 pp_ns s.cpu_p90 pp_ns s.cpu_p99 s.cpu_max)
+    (Slo.classes t.slo);
+  Format.fprintf ppf "@.termination:@.";
+  List.iter (fun (k, n) -> Format.fprintf ppf "  %-18s %d@." k n) t.terminations;
+  let vetted, under, worst = admission_summary t.vetted in
+  Format.fprintf ppf "@.admission accuracy:@.";
+  Format.fprintf ppf "  vetted=%d underestimated=%d worst actual/est=%.2f@." vetted under worst;
+  Format.fprintf ppf "@.parallel:@.";
+  Format.fprintf ppf "  sharded=%d imbalance mean=%.0f%% max=%d%% merge_wait=%dns@." t.par.par_queries
+    t.par.imb_mean t.par.imb_max t.par.merge_wait_total_ns;
+  Format.fprintf ppf "@.slowest queries:@.";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %s %-18s wall=%dns answers=%d %s@.    plan: %s@." s.sl_hash s.sl_class
+        s.sl_wall_ns s.sl_answers s.sl_termination s.sl_plan)
+    t.slowest
+
+(* --- json --------------------------------------------------------------- *)
+
+let to_json t =
+  let vetted, under, worst = admission_summary t.vetted in
+  Json.Obj
+    [
+      ("queries", Json.Int t.total);
+      ("classes", Slo.to_json t.slo);
+      ("terminations", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) t.terminations));
+      ( "admission",
+        Json.Obj
+          [
+            ("vetted", Json.Int vetted);
+            ("underestimated", Json.Int under);
+            ("worst_ratio", Json.Float worst);
+            ( "scatter",
+              Json.List
+                (List.map
+                   (fun s ->
+                     Json.Obj
+                       [
+                         ("query_hash", Json.String s.sc_hash);
+                         ("est", Json.Int s.sc_est);
+                         ("actual", Json.Int s.sc_actual);
+                       ])
+                   t.vetted) );
+          ] );
+      ( "slowest",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("query_hash", Json.String s.sl_hash);
+                   ("class", Json.String s.sl_class);
+                   ("wall_ns", Json.Int s.sl_wall_ns);
+                   ("answers", Json.Int s.sl_answers);
+                   ("termination", Json.String s.sl_termination);
+                   ("plan", Json.String s.sl_plan);
+                 ])
+             t.slowest) );
+      ( "parallel",
+        Json.Obj
+          [
+            ("sharded", Json.Int t.par.par_queries);
+            ("imbalance_mean_pct", Json.Float t.par.imb_mean);
+            ("imbalance_max_pct", Json.Int t.par.imb_max);
+            ("merge_wait_total_ns", Json.Int t.par.merge_wait_total_ns);
+          ] );
+    ]
+
+(* --- regression view ---------------------------------------------------- *)
+
+let delta_pct oldv newv =
+  if oldv <= 0. then None else Some (100. *. (newv -. oldv) /. oldv)
+
+let union_classes a b =
+  List.sort_uniq compare (Slo.classes a.slo @ Slo.classes b.slo)
+
+let pp_delta ppf = function
+  | None -> Format.pp_print_string ppf "n/a"
+  | Some d -> Format.fprintf ppf "%+.1f%%" d
+
+let pp_compare ppf (old_, new_) =
+  Format.fprintf ppf "omega_report compare: %d -> %d queries@." old_.total new_.total;
+  Format.fprintf ppf "@.wall latency by class (new vs old):@.";
+  List.iter
+    (fun cls ->
+      match (Slo.summary old_.slo cls, Slo.summary new_.slo cls) with
+      | None, None -> ()
+      | Some _, None -> Format.fprintf ppf "  %-18s gone@." cls
+      | None, Some _ -> Format.fprintf ppf "  %-18s new class@." cls
+      | Some o, Some n ->
+        Format.fprintf ppf "  %-18s p50 %a (%a -> %a)  p99 %a (%a -> %a)@." cls pp_delta
+          (delta_pct o.wall_p50 n.wall_p50) pp_ns o.wall_p50 pp_ns n.wall_p50 pp_delta
+          (delta_pct o.wall_p99 n.wall_p99) pp_ns o.wall_p99 pp_ns n.wall_p99)
+    (union_classes old_ new_);
+  Format.fprintf ppf "@.termination shifts:@.";
+  let keys = List.sort_uniq compare (List.map fst old_.terminations @ List.map fst new_.terminations) in
+  List.iter
+    (fun k ->
+      let g t = Option.value ~default:0 (List.assoc_opt k t.terminations) in
+      let o = g old_ and n = g new_ in
+      if o <> n then Format.fprintf ppf "  %-18s %d -> %d@." k o n)
+    keys
+
+let compare_json old_ new_ =
+  let cls_json cls =
+    match (Slo.summary old_.slo cls, Slo.summary new_.slo cls) with
+    | Some o, Some n ->
+      ( cls,
+        Json.Obj
+          [
+            ("wall_p50_old", Json.Float o.wall_p50);
+            ("wall_p50_new", Json.Float n.wall_p50);
+            ("wall_p99_old", Json.Float o.wall_p99);
+            ("wall_p99_new", Json.Float n.wall_p99);
+            ( "wall_p50_delta_pct",
+              match delta_pct o.wall_p50 n.wall_p50 with None -> Json.Null | Some d -> Json.Float d );
+            ( "wall_p99_delta_pct",
+              match delta_pct o.wall_p99 n.wall_p99 with None -> Json.Null | Some d -> Json.Float d );
+          ] )
+    | Some _, None -> (cls, Json.String "gone")
+    | None, Some _ -> (cls, Json.String "new")
+    | None, None -> (cls, Json.Null)
+  in
+  Json.Obj
+    [
+      ("queries_old", Json.Int old_.total);
+      ("queries_new", Json.Int new_.total);
+      ("classes", Json.Obj (List.map cls_json (union_classes old_ new_)));
+      ( "terminations_old",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) old_.terminations) );
+      ( "terminations_new",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) new_.terminations) );
+    ]

@@ -1,0 +1,30 @@
+(** Aggregation of audit logs into the observatory report rendered by
+    [bin/omega_report]: per-class latency percentiles ({!Slo}), termination
+    breakdown, admission estimate-vs-actual accuracy, the top-N slowest
+    queries with their plans, and parallel shard-imbalance statistics —
+    plus an old-vs-new regression comparison.
+
+    Pure over {!Audit.record} lists; the binary and the golden-output test
+    share this code. *)
+
+type t
+
+val build : ?top:int -> Audit.record list -> t
+(** Aggregate records ([top] bounds the slowest-queries table, default 5). *)
+
+val total : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** The text report.  Deterministic for a given record list (pinned by the
+    golden test). *)
+
+val to_json : t -> Json.t
+(** [{queries, classes, terminations, admission, slowest, parallel}] — the
+    machine-readable form of {!pp} (admission includes the full
+    est-vs-actual scatter, which the text report only summarises). *)
+
+val pp_compare : Format.formatter -> t * t -> unit
+(** [pp_compare ppf (old_, new_)] — the regression view: per-class p50/p99
+    wall-latency deltas and termination-count shifts, new vs old. *)
+
+val compare_json : t -> t -> Json.t

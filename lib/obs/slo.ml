@@ -1,0 +1,83 @@
+type entry = { queries : Metrics.counter; wall : Metrics.histogram; cpu : Metrics.histogram }
+type t = { tbl : (string, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 8 }
+
+let entry t cls =
+  match Hashtbl.find_opt t.tbl cls with
+  | Some e -> e
+  | None ->
+    (* one private registry per class keeps the histogram names trivial *)
+    let reg = Metrics.create () in
+    let e =
+      {
+        queries = Metrics.counter reg "queries";
+        wall = Metrics.histogram reg "wall_ns";
+        cpu = Metrics.histogram reg "cpu_ns";
+      }
+    in
+    Hashtbl.add t.tbl cls e;
+    e
+
+let observe t ~cls ~wall_ns ~cpu_ns =
+  let e = entry t cls in
+  Metrics.incr e.queries;
+  Metrics.observe e.wall wall_ns;
+  Metrics.observe e.cpu cpu_ns
+
+let classes t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+
+type summary = {
+  queries : int;
+  wall_p50 : float;
+  wall_p90 : float;
+  wall_p99 : float;
+  wall_max : int;
+  cpu_p50 : float;
+  cpu_p90 : float;
+  cpu_p99 : float;
+  cpu_max : int;
+}
+
+let summary t cls =
+  match Hashtbl.find_opt t.tbl cls with
+  | None -> None
+  | Some e ->
+    let q h p = Quantile.of_histogram h p in
+    Some
+      {
+        queries = Metrics.value e.queries;
+        wall_p50 = q e.wall 0.5;
+        wall_p90 = q e.wall 0.9;
+        wall_p99 = q e.wall 0.99;
+        wall_max = Metrics.h_max e.wall;
+        cpu_p50 = q e.cpu 0.5;
+        cpu_p90 = q e.cpu 0.9;
+        cpu_p99 = q e.cpu 0.99;
+        cpu_max = Metrics.h_max e.cpu;
+      }
+
+let dist_json ~p50 ~p90 ~p99 ~mx =
+  Json.Obj
+    [
+      ("p50", Json.Float p50);
+      ("p90", Json.Float p90);
+      ("p99", Json.Float p99);
+      ("max", Json.Int mx);
+    ]
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun cls ->
+         match summary t cls with
+         | None -> (cls, Json.Null) (* unreachable: cls comes from the table *)
+         | Some s ->
+           ( cls,
+             Json.Obj
+               [
+                 ("queries", Json.Int s.queries);
+                 ("wall_ns", dist_json ~p50:s.wall_p50 ~p90:s.wall_p90 ~p99:s.wall_p99 ~mx:s.wall_max);
+                 ("cpu_ns", dist_json ~p50:s.cpu_p50 ~p90:s.cpu_p90 ~p99:s.cpu_p99 ~mx:s.cpu_max);
+               ] ))
+       (classes t))

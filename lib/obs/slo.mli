@@ -1,0 +1,37 @@
+(** Latency/SLO accounting: wall and CPU time distributions per query
+    class, with p50/p90/p99 estimated by {!Quantile} from the log₂
+    histograms of {!Metrics}.
+
+    The class key is {!Audit.record}[.query_class] (exact/approx/relax/…),
+    so tail latency is visible {e per operator family} — an APPROX p99 blow-up
+    does not hide inside an exact-query median.  Used live by the engine's
+    metrics surface and offline by {!Report} over audit logs. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> cls:string -> wall_ns:int -> cpu_ns:int -> unit
+(** Record one query of class [cls]. *)
+
+val classes : t -> string list
+(** Classes observed so far, sorted. *)
+
+type summary = {
+  queries : int;
+  wall_p50 : float;  (** estimated percentiles, in ns *)
+  wall_p90 : float;
+  wall_p99 : float;
+  wall_max : int;  (** exact *)
+  cpu_p50 : float;
+  cpu_p90 : float;
+  cpu_p99 : float;
+  cpu_max : int;
+}
+
+val summary : t -> string -> summary option
+(** The latency summary for a class; [None] if never observed. *)
+
+val to_json : t -> Json.t
+(** [{class: {queries, wall_ns: {p50, p90, p99, max}, cpu_ns: {…}}}],
+    classes in sorted order. *)

@@ -1,5 +1,5 @@
 type arg = Str of string | Num of int
-type phase = Begin | End | Instant | Complete of int
+type phase = Begin | End | Instant | Complete of int | Meta
 
 type event = {
   name : string;
@@ -82,6 +82,20 @@ let complete ?(cat = "") ?(args = []) ~start_ns name =
     record
       { name; cat; ph = Complete (now () - start_ns); ts_ns = start_ns; tid = self_tid (); args }
 
+let set_thread_name nm =
+  if !on then
+    record
+      {
+        name = "thread_name";
+        cat = "__metadata";
+        ph = Meta;
+        (* a real timestamp keeps [to_json]'s t0 rebase honest (viewers
+           ignore ts on metadata events anyway) *)
+        ts_ns = now ();
+        tid = self_tid ();
+        args = [ ("name", Str nm) ];
+      }
+
 let events () =
   locked (fun () ->
       let cap = Array.length st.buf in
@@ -107,6 +121,7 @@ let json_of_event ~t0 e =
     | End -> ("E", [])
     | Instant -> ("i", [ ("s", Json.String "t") ])
     | Complete dur -> ("X", [ ("dur", us dur) ])
+    | Meta -> ("M", [])
   in
   let args =
     match e.args with

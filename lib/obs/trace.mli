@@ -26,6 +26,7 @@ type phase =
   | End  (** span close — ["E"] *)
   | Instant  (** point event — ["i"] *)
   | Complete of int  (** retro-recorded span with duration in ns — ["X"] *)
+  | Meta  (** viewer metadata (e.g. [thread_name]) — ["M"] *)
 
 type event = {
   name : string;
@@ -63,6 +64,13 @@ val complete : ?cat:string -> ?args:(string * arg) list -> start_ns:int -> strin
     window is not lexically scoped (a ψ-restart part streaming across many
     [next] calls).  [Complete] events do not participate in [Begin]/[End]
     nesting. *)
+
+val set_thread_name : string -> unit
+(** Name the calling domain's timeline row: emits a [thread_name] metadata
+    event ([ph = "M"]) for this domain's [tid], which Perfetto and
+    [chrome://tracing] render as the row label.  [Core.Par] workers call it
+    once at startup so shard lanes read ["shard 0 (exact)"] instead of a
+    bare tid.  No-op when disabled. *)
 
 val events : unit -> event list
 (** Buffered events, oldest first. *)
