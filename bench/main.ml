@@ -23,7 +23,7 @@ module Graph = Graphstore.Graph
 (* ------------------------------------------------------------------ *)
 
 let all_sections =
-  [ "fig2"; "fig3"; "fig5"; "fig6"; "fig7"; "fig8"; "yago-stats"; "fig10"; "fig11"; "opt1"; "opt2"; "abl"; "abl-sat"; "par"; "micro"; "smoke" ]
+  [ "fig2"; "fig3"; "fig5"; "fig6"; "fig7"; "fig8"; "yago-stats"; "fig10"; "fig11"; "opt1"; "opt2"; "abl"; "abl-sat"; "par"; "flight"; "micro"; "smoke" ]
 
 let sections = ref all_sections
 let scales = ref L4.all_scales
@@ -188,7 +188,7 @@ let json_row ~dataset ~scale ~query ~mode (m : measured) =
         | None -> Obs.Json.Null );
     ]
 
-let write_json ?(extra = []) ~section rows =
+let write_json ?(extra = []) ?path ~section rows =
   if !json_mode then begin
     let doc =
       Obs.Json.Obj
@@ -200,7 +200,7 @@ let write_json ?(extra = []) ~section rows =
         @ extra
         @ [ ("results", Obs.Json.List rows) ])
     in
-    let path = Printf.sprintf "BENCH_%s.json" section in
+    let path = match path with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" section in
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Obs.Json.to_channel oc doc);
     Printf.printf "[json] wrote %s (%d result(s))\n%!" path (List.length rows)
@@ -745,6 +745,103 @@ let par () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* FLIGHT: flight recorder overhead                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements of lib/obs/flight.ml:
+
+   1. the raw recorder in isolation — a tight loop of [record] calls with
+      the recorder off (the single-load fast path every Par hot-path call
+      site pays unconditionally) and on (sequence fetch, slot write,
+      publication store);
+
+   2. the answer path end to end — the same parallel exact queries run
+      with the recorder off and on, emitted as two row-identical JSON
+      documents so [validate --compare --threshold 2] gates the recorder
+      at <2% answer-path overhead. *)
+let flight () =
+  header "[FLIGHT] flight recorder overhead";
+  let reps = 1_000_000 in
+  let tight label f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-28s %8.1f ns/event %12.2f M events/s\n%!" label (1e9 *. dt /. float_of_int reps)
+      (float_of_int reps /. dt /. 1e6)
+  in
+  Obs.Flight.disable ();
+  Obs.Flight.clear ();
+  tight "record (recorder off)" (fun () ->
+      Obs.Flight.record ~flow:0 ~shard:0 (Obs.Flight.Deliver { dist = 1 }));
+  Obs.Flight.enable ();
+  tight "record (recorder on)" (fun () ->
+      Obs.Flight.record ~flow:0 ~shard:0 (Obs.Flight.Deliver { dist = 1 }));
+  let recorded, dropped = Obs.Flight.stats () in
+  Printf.printf "ring stats after the hot loop: recorded=%d dropped=%d (wraparound is the design)\n"
+    recorded dropped;
+  Obs.Flight.disable ();
+  Obs.Flight.clear ();
+  (* answer-path delta: parallel queries, the instrumented code path *)
+  let scale = List.hd !scales in
+  let gk = l4_graph scale in
+  let options = { Options.default with Options.domains = 2 } in
+  let measure qtext =
+    let once () =
+      match Engine.run_string ~graph:(fst gk) ~ontology:(snd gk) ~options ~limit:max_int qtext with
+      | Ok o -> o
+      | Error m -> failwith m
+    in
+    let outcome, _ = ms once in
+    let times = List.init !runs (fun _ -> snd (ms once)) in
+    {
+      time_ms = mean times;
+      times_ms = times;
+      count = List.length outcome.Engine.answers;
+      tuples = outcome.Engine.stats.Core.Exec_stats.pushes;
+      mem_bytes_peak = outcome.Engine.stats.Core.Exec_stats.mem_bytes_peak;
+      histogram = histogram_of outcome.Engine.answers;
+      aborted = outcome.Engine.aborted;
+      termination = outcome.Engine.termination;
+      gc = gc_of outcome.Engine.stats;
+    }
+  in
+  let queries = [ 4; 5; 6; 7 ] in
+  let pass recorder_on =
+    if recorder_on then Obs.Flight.enable () else Obs.Flight.disable ();
+    let rows =
+      List.map
+        (fun id ->
+          let qname = Printf.sprintf "Q%d" id in
+          let m = measure (L4.query_text id Core.Query.Exact) in
+          ( qname,
+            m,
+            json_row ~dataset:"l4all" ~scale:(L4.scale_name scale) ~query:qname
+              ~mode:Core.Query.Exact m ))
+        queries
+    in
+    if recorder_on then begin
+      Obs.Flight.disable ();
+      Obs.Flight.clear ()
+    end;
+    rows
+  in
+  let off = pass false in
+  let on = pass true in
+  Printf.printf "%-5s %12s %12s %9s  (exact, domains=2, scale %s)\n" "Q" "off (ms)" "on (ms)"
+    "delta" (L4.scale_name scale);
+  List.iter2
+    (fun (q, o, _) (_, n, _) ->
+      let delta =
+        if o.time_ms > 0. then 100. *. (n.time_ms -. o.time_ms) /. o.time_ms else 0.
+      in
+      Printf.printf "%-5s %12.2f %12.2f %+8.1f%%\n%!" q o.time_ms n.time_ms delta)
+    off on;
+  write_json ~section:"flight" ~path:"BENCH_flight_off.json" (List.map (fun (_, _, r) -> r) off);
+  write_json ~section:"flight" (List.map (fun (_, _, r) -> r) on)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -907,6 +1004,7 @@ let () =
   if enabled "abl" then ablations ();
   if enabled "abl-sat" then relax_vs_saturation ();
   if enabled "par" then par ();
+  if enabled "flight" then flight ();
   if enabled "micro" then micro ();
   if enabled "smoke" then smoke ();
   Printf.printf "\ndone.\n"

@@ -4,6 +4,7 @@
      validate --manifest FILE            # engine metric names vs the pinned manifest
      validate --trace FILE               # Chrome trace structure + span nesting
      validate --audit FILE               # audit-log (JSONL) schema check
+     validate --flight FILE              # flight-dump (JSONL) strict schema check
      validate --compare OLD NEW          # per-section perf regression gate
      validate --threshold PCT            # --compare slowdown tolerance (default 25)
 
@@ -257,6 +258,53 @@ let check_audit path =
     lines;
   Printf.printf "validate: %s ok (%d audit record(s))\n" path (List.length lines)
 
+(* --- flight dumps (JSONL scheduling event log) ------------------------ *)
+
+(* Strict, unlike [Obs.Flight.load]: a committed fixture or CI-produced
+   dump must be byte-perfect — a meta header first, every following line a
+   valid event, and sequence numbers strictly increasing (the dump is the
+   merged per-domain rings in merge order).  Tolerant truncated-tail
+   recovery is for postmortems of crashed processes, not for the schema
+   gate. *)
+let check_flight path =
+  let lines =
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  (match lines with
+  | [] -> failf "%s: empty flight dump" path
+  | first :: _ -> (
+    match Json.parse first with
+    | Error msg -> failf "%s: line 1: not valid JSON: %s" path msg
+    | Ok j ->
+      if not (Obs.Flight.is_meta j) then
+        failf "%s: line 1 is not the meta header (crash-truncated dumps are not valid fixtures)"
+          path;
+      let recorded = want_int path "meta" j "recorded" in
+      let dropped = want_int path "meta" j "dropped" in
+      if recorded < 0 || dropped < 0 then
+        failf "%s: meta header has negative recorded/dropped (%d/%d)" path recorded dropped;
+      if recorded <> List.length lines - 1 then
+        failf "%s: meta header claims %d event(s) but the dump carries %d" path recorded
+          (List.length lines - 1)));
+  let last_seq = ref (-1) in
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        match Json.parse line with
+        | Error msg -> failf "%s: line %d: not valid JSON: %s" path (i + 1) msg
+        | Ok j -> (
+          if Obs.Flight.is_meta j then failf "%s: line %d: duplicate meta header" path (i + 1);
+          match Obs.Flight.of_json j with
+          | Error msg -> failf "%s: line %d: invalid flight event: %s" path (i + 1) msg
+          | Ok ev ->
+            if ev.Obs.Flight.seq <= !last_seq then
+              failf "%s: line %d: seq %d is not strictly increasing (previous %d)" path (i + 1)
+                ev.Obs.Flight.seq !last_seq;
+            last_seq := ev.Obs.Flight.seq))
+    lines;
+  Printf.printf "validate: %s ok (%d flight event(s))\n" path (List.length lines - 1)
+
 (* --- benchmark comparison (perf regression gate) --------------------- *)
 
 (* Rows are matched by (dataset, scale, query, mode); the gate is on the
@@ -344,6 +392,9 @@ let () =
     | "--audit" :: path :: rest ->
       check_audit path;
       go rest
+    | "--flight" :: path :: rest ->
+      check_flight path;
+      go rest
     | "--threshold" :: pct :: rest ->
       (match int_of_string_opt pct with
       | Some n when n >= 0 -> threshold := n
@@ -352,7 +403,8 @@ let () =
     | "--compare" :: old_path :: new_path :: rest ->
       check_compare ~threshold:!threshold old_path new_path;
       go rest
-    | [ "--manifest" ] | [ "--trace" ] | [ "--par" ] | [ "--audit" ] | [ "--threshold" ] ->
+    | [ "--manifest" ] | [ "--trace" ] | [ "--par" ] | [ "--audit" ] | [ "--flight" ]
+    | [ "--threshold" ] ->
       failf "missing file operand"
     | [ "--compare" ] | [ "--compare"; _ ] -> failf "--compare needs OLD.json and NEW.json"
     | path :: rest ->
@@ -362,5 +414,5 @@ let () =
   if args = [] then
     failf
       "usage: validate [BENCH_*.json ...] [--manifest FILE] [--trace FILE] [--par FILE] \
-       [--audit FILE] [--threshold PCT] [--compare OLD.json NEW.json]";
+       [--audit FILE] [--flight FILE] [--threshold PCT] [--compare OLD.json NEW.json]";
   go args

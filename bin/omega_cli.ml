@@ -270,6 +270,16 @@ let query_cmd =
              audit log; see $(b,omega_report)).  Also read from \\$OMEGA_AUDIT.  Crash-safe: each \
              record is written and flushed atomically.")
   in
+  let flight =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Turn on the parallel flight recorder and dump its scheduling event log (shard \
+             deliveries, bucket seals with their bound inputs, merge emits, park/unpark, governor \
+             trips) to FILE as JSONL when the query closes.  Also read from \\$OMEGA_FLIGHT.  \
+             Inspect with $(b,omega_report --flight).")
+  in
   let explain_flag =
     Arg.(
       value & flag
@@ -325,18 +335,25 @@ let query_cmd =
   in
   let run data lenient query limit distance_aware decompose domains max_tuples timeout_ms
       max_answers max_memory_mb max_states max_product_est failpoints edit_cost relax_cost
-      show_stats stats_json audit explain_flag explain_analyze trace why why_json profile_flag =
+      show_stats stats_json audit flight explain_flag explain_analyze trace why why_json
+      profile_flag =
     let wall_ns () = int_of_float (1e9 *. Unix.gettimeofday ()) in
     let audit = match audit with Some _ -> audit | None -> Sys.getenv_opt Obs.Audit.env_var in
+    let flight = match flight with Some _ -> flight | None -> Sys.getenv_opt Obs.Flight.env_var in
     (* One shared init for every time source: scan-time attribution, governor
        deadlines and trace timestamps all read the same installed clock.
        (Separate conditional installs used to leave scan_ns silently 0 when
        only a deadline was requested.) *)
     if
       show_stats || explain_analyze || timeout_ms <> None || trace <> None || audit <> None
-      || stats_json <> None
+      || stats_json <> None || flight <> None
     then Obs.Clock.install wall_ns;
     if trace <> None then Obs.Trace.enable ();
+    (match flight with
+    | None -> ()
+    | Some path ->
+      Obs.Flight.set_dump_target (Some path);
+      Obs.Flight.enable ~detail:true ());
     (match audit with
     | None -> ()
     | Some path -> (
@@ -376,6 +393,7 @@ let query_cmd =
            includes the per-operation cost totals (fed by witnesses) *)
         provenance = why || why_json <> None || profile_flag || explain_analyze;
         domains = (if domains >= 1 && domains <= 64 then domains else 1);
+        par_queue_cap = Core.Options.default.Core.Options.par_queue_cap;
       }
     in
     let export_trace ?(extra = []) () =
@@ -483,6 +501,11 @@ let query_cmd =
               close_out oc;
               Format.printf "stats written to %s@." target
             end);
+          (match flight with
+          | None -> ()
+          | Some path ->
+            let recorded, dropped = Obs.Flight.stats () in
+            Format.printf "flight recorded to %s (%d event(s), %d dropped)@." path recorded dropped);
           let profile = Obs.Profile.of_metrics outcome.Core.Engine.metrics in
           if profile_flag then Format.printf "%a@." Obs.Profile.pp profile;
           export_trace
@@ -498,8 +521,8 @@ let query_cmd =
     Term.(
       const run $ data_arg $ lenient_arg $ query $ limit $ distance_aware $ decompose $ domains
       $ max_tuples $ timeout_ms $ max_answers $ max_memory_mb $ max_states $ max_product_est
-      $ failpoints $ edit_cost $ relax_cost $ show_stats $ stats_json $ audit $ explain_flag
-      $ explain_analyze $ trace $ why $ why_json $ profile_flag)
+      $ failpoints $ edit_cost $ relax_cost $ show_stats $ stats_json $ audit $ flight
+      $ explain_flag $ explain_analyze $ trace $ why $ why_json $ profile_flag)
 
 let () =
   let doc = "flexible regular path queries over graph data (APPROX / RELAX)" in

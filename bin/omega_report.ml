@@ -45,7 +45,17 @@ let compare_arg =
            per-class p50/p99 wall-latency deltas and termination shifts.  Positional logs are \
            ignored in this mode.")
 
-let run logs json top compare =
+let flight_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "flight" ] ~docv:"DUMP"
+        ~doc:
+          "Postmortem view of a flight-recorder dump (omega query --flight / \\$OMEGA_FLIGHT): \
+           reconstruct the interleaving from the per-domain rings, re-validate the sealed-bound \
+           invariants, and localise the first violating event with its surrounding window.  \
+           Combinable with positional audit logs; exit code 7 if the dump violates an invariant.")
+
+let run logs json top compare flight =
   match compare with
   | Some (old_path, new_path) ->
     let old_ = Obs.Report.build ~top (load_all [ old_path ]) in
@@ -53,17 +63,46 @@ let run logs json top compare =
     if json then print_endline (Obs.Json.to_string (Obs.Report.compare_json old_ new_))
     else Format.printf "%a" Obs.Report.pp_compare (old_, new_)
   | None ->
-    if logs = [] then begin
-      Printf.eprintf "omega_report: no audit log given (see --help)\n";
+    if logs = [] && flight = None then begin
+      Printf.eprintf "omega_report: no audit log or flight dump given (see --help)\n";
       exit 2
     end;
-    let report = Obs.Report.build ~top (load_all logs) in
-    if json then print_endline (Obs.Json.to_string (Obs.Report.to_json report))
-    else Format.printf "%a" Obs.Report.pp report
+    let flight_report =
+      match flight with
+      | None -> None
+      | Some path -> (
+        match Obs.Replay.load path with
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2
+        | Ok r -> Some r)
+    in
+    if json then begin
+      let audit_json =
+        if logs = [] then []
+        else
+          match Obs.Report.to_json (Obs.Report.build ~top (load_all logs)) with
+          | Obs.Json.Obj fields -> fields
+          | j -> [ ("report", j) ]
+      in
+      let flight_json =
+        match flight_report with None -> [] | Some r -> [ ("flight", Obs.Replay.to_json r) ]
+      in
+      print_endline (Obs.Json.to_string (Obs.Json.Obj (audit_json @ flight_json)))
+    end
+    else begin
+      if logs <> [] then Format.printf "%a" Obs.Report.pp (Obs.Report.build ~top (load_all logs));
+      match flight_report with
+      | None -> ()
+      | Some r ->
+        if logs <> [] then Format.printf "@.";
+        Format.printf "%a" Obs.Replay.pp r
+    end;
+    if (match flight_report with Some r -> not (Obs.Replay.ok r) | None -> false) then exit 7
 
 let () =
   let doc = "aggregate omega audit logs into a latency/termination/admission report" in
   exit
     (Cmd.eval
        (Cmd.v (Cmd.info "omega_report" ~version:"1.0.0" ~doc)
-          Term.(const run $ logs_arg $ json_arg $ top_arg $ compare_arg)))
+          Term.(const run $ logs_arg $ json_arg $ top_arg $ compare_arg $ flight_arg)))

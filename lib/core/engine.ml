@@ -263,7 +263,7 @@ let plan_summary st =
              (if p.Obs.Explain.reversed then "/rev" else ""))
          st.query.Query.conjuncts)
 
-let audit_record st =
+let audit_record ?flight st =
   let stats = stream_stats st in
   let qtext = Format.asprintf "%a" Query.pp st.query in
   let termination, reason =
@@ -316,6 +316,7 @@ let audit_record st =
     shards;
     merge_wait_ns;
     imbalance_pct;
+    flight;
     stats = Exec_stats.to_assoc stats;
     gc =
       [
@@ -335,9 +336,23 @@ let audit_record st =
    the global sink is enabled — a single flag check per query otherwise. *)
 let close st =
   List.iter Evaluator.close st.evaluators;
-  if Obs.Audit.enabled () && not st.audited then begin
+  if (Obs.Audit.enabled () || Obs.Flight.enabled ()) && not st.audited then begin
     st.audited <- true;
-    Obs.Audit.emit (audit_record st)
+    (* the flight dump rides the same once-per-stream seam; when both sinks
+       are live the audit record cross-links to the dump *)
+    let flight =
+      if Obs.Flight.enabled () then
+        match Obs.Flight.dump_target () with
+        | None -> None
+        | Some path -> (
+          try
+            let events = Obs.Flight.dump path in
+            let _, dropped = Obs.Flight.stats () in
+            Some { Obs.Audit.f_path = path; f_events = events; f_dropped = dropped }
+          with Sys_error _ -> None)
+      else None
+    in
+    if Obs.Audit.enabled () then Obs.Audit.emit (audit_record ?flight st)
   end
 
 let rec next st =

@@ -95,7 +95,12 @@ val close : stream -> unit
     Also the audit seam: when the process-global {!Obs.Audit} sink is
     enabled, the first close emits the stream's {!audit_record} — one
     record per query, covering drained, abandoned and rejected streams
-    alike.  When the sink is disabled this is a single flag check. *)
+    alike.  When the sink is disabled this is a single flag check.
+
+    Also the flight-dump seam: when the {!Obs.Flight} recorder is on and a
+    dump target is set ([--flight] / [OMEGA_FLIGHT]), the first close
+    writes the dump, and an enabled audit sink cross-links it in the
+    record's [flight] field. *)
 
 val query_class : stream -> string
 (** The query's observatory class — ["exact"] | ["approx"] | ["relax"] |
@@ -103,7 +108,7 @@ val query_class : stream -> string
     appended when decomposition applies to some conjunct and ["+case2"]
     when some conjunct is [(?X, R, C)].  The latency/SLO accounting key. *)
 
-val audit_record : stream -> Obs.Audit.record
+val audit_record : ?flight:Obs.Audit.flight_info -> stream -> Obs.Audit.record
 (** The stream's audit record, built from its current state: canonicalised
     query text and hash, {!query_class}, a per-conjunct plan summary (the
     automata are recompiled — never call this on a hot path), termination

@@ -257,7 +257,7 @@ let create ~graph ~ontology ~options ?governor ?metrics (conjunct : Query.conjun
         par =
           Par.create ~domains ~slack ~governor ~metrics
             ~label:(if seed_parallel then "seed-shard" else "part-shard")
-            ~dedup:part_parallel ~build ();
+            ~dedup:part_parallel ~queue_cap:options.Options.par_queue_cap ~build ();
         p_agg = Exec_stats.create ();
       }
   end

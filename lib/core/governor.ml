@@ -120,6 +120,8 @@ let reason_string = function
 let trip t reason =
   if t.stop = None then begin
     t.stop <- Some reason;
+    if Obs.Flight.enabled () then
+      Obs.Flight.record (Obs.Flight.Trip { reason = reason_string reason });
     (match t.shared with
     | None -> ()
     | Some s ->

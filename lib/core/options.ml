@@ -16,6 +16,7 @@ type t = {
   batched_seeding : bool;
   provenance : bool;
   domains : int;
+  par_queue_cap : int;
 }
 
 exception Out_of_budget
@@ -39,6 +40,7 @@ let default =
     batched_seeding = true;
     provenance = false;
     domains = 1;
+    par_queue_cap = 8192;
   }
 
 let domains_env_var = "OMEGA_DOMAINS"

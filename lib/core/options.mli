@@ -90,6 +90,12 @@ type t = {
           answer stream is the sequential answer set in non-decreasing
           distance with the documented [(x, y)] tie-break, identical at any
           domain count.  See DESIGN.md "Parallel evaluation". *)
+  par_queue_cap : int;
+      (** per-shard pending-list cap of the parallel merge (default 8192,
+          min 1): a worker parks once this many answers await draining, so
+          the cap bounds the unmerged backlog a fast shard can pile up
+          behind a slow seal bound.  Tiny values make the park/unpark path
+          deterministically exercisable in tests. *)
 }
 
 exception

@@ -8,24 +8,33 @@
    query-wide atomics of [Governor.Shared].  Workers deliver answers into
    per-shard pending lists under one mutex; the consuming domain drains
    them into a distance-bucketed staging queue and releases ("seals") a
-   bucket only once no live shard can still produce an answer for it.
+   bucket only once no shard can still produce an answer for it.
 
    The sealing rule.  A shard's stream is non-decreasing in distance up to
    [slack] (0 for plain conjuncts; [phi - 1] for psi-levelled evaluators,
    whose emission order is only non-decreasing across levels): after a
    shard has delivered an answer at distance [last], everything it delivers
-   later is >= [last - slack].  So bucket [d] is complete once every
-   not-yet-finished shard satisfies [last - slack > d]; finished shards
-   contribute nothing further whatever their reason for finishing, because
-   on a trip the consumer stops emitting at its next governor poll and the
-   already-emitted prefix is exact.  Sealed buckets are sorted ascending
-   [(x, y)] before release — the documented tie-break that makes the merged
-   stream identical at any domain count >= 2.
+   later is >= [last - slack].  So bucket [d] is complete once every shard
+   that might still owe answers satisfies [last - slack > d].  A shard that
+   finished by exhausting its work ([complete]) owes nothing and drops out
+   of the bound; a shard that finished for any other reason — its governor
+   tripped, or it observed the query-wide stop — may have died holding
+   undelivered answers at any distance >= [last - slack], so its term stays
+   in the min forever and the bound freezes at its frontier.  (The
+   recorder's postmortems for ROADMAP open item 5 caught the previous rule
+   — dropping *every* finished shard — emitting a bucket that was missing
+   a tripped shard's undelivered answers when the consumer lost the wake
+   race after a trip.)  Sealed buckets are sorted ascending [(x, y)] before
+   release — the documented tie-break that makes the merged stream
+   identical at any domain count >= 2.
 
-   The bound [min over live shards of (last - slack)] is monotone
-   (per-shard [last] never decreases; a shard finishing only removes a term
-   from the min), so buckets are sealed exactly once and the output is
-   globally non-decreasing in distance. *)
+   The bound [min over owing shards of (last - slack)] is monotone
+   (per-shard [last] never decreases; a shard completing only removes a
+   term from the min; an incomplete shard's term freezes), so buckets are
+   sealed exactly once and the output is globally non-decreasing in
+   distance.  After an incomplete finish the query-wide stop is already
+   set, so the consumer never waits on a frozen bound — it unwinds through
+   its next governor poll with the sealed prefix, which is exact. *)
 
 type outcome = {
   o_stats : Exec_stats.t; (* copied by the worker at its end — never shared live *)
@@ -39,6 +48,12 @@ type shard = {
   mutable qlen : int;
   mutable last : int; (* max distance delivered; -1 before the first answer *)
   mutable done_ : bool;
+  mutable complete : bool;
+      (* [done_] with all work delivered: only such shards leave the seal
+         bound.  A tripped or stopped shard stays [done_ && not complete]. *)
+  mutable delivered : int; (* answers pushed; heartbeat cadence + flight totals *)
+  mutable seen_ns : int; (* last delivery timestamp (clocked runs); stall watchdog *)
+  mutable stalled : bool; (* one Stall event per silence episode *)
   mutable outcome : outcome option;
   mutable failure : exn option; (* non-failpoint worker crash, re-raised at join *)
 }
@@ -47,6 +62,8 @@ type t = {
   n : int;
   label : string; (* trace-lane prefix: workers name themselves "<label> <i>" *)
   slack : int;
+  flow : int; (* flight-recorder flow id for this merge instance *)
+  queue_cap : int;
   governor : Governor.t; (* the query's governor (consumer side) *)
   shared : Governor.Shared.t;
   metrics : Obs.Metrics.t; (* the stream's registry; shard registries merge in at join *)
@@ -69,11 +86,12 @@ type t = {
   h_shard_busy : Obs.Metrics.histogram;
 }
 
-(* Per-shard pending-list cap: bounds the unmerged backlog a fast shard can
-   accumulate while a slow one holds the seal bound back.  Workers park on
-   [space] at the cap and the consumer's drain wakes them, so the cap
-   trades merge latency against memory without ever deadlocking. *)
-let queue_cap = 8192
+(* Per-shard pending-list cap default: bounds the unmerged backlog a fast
+   shard can accumulate while a slow one holds the seal bound back.
+   Workers park on [space] at the cap and the consumer's drain wakes them,
+   so the cap trades merge latency against memory without ever
+   deadlocking.  [Options.par_queue_cap] overrides it per query. *)
+let default_queue_cap = 8192
 
 let worker t i build =
   let sh = t.shards.(i) in
@@ -83,6 +101,9 @@ let worker t i build =
   Obs.Trace.set_thread_name (Printf.sprintf "%s %d" t.label i);
   let clocked = Obs.Clock.installed () in
   let t0 = if clocked then !Obs.Clock.now_ns () else 0 in
+  (* benign unlocked int store: the watchdog only compares it to the clock *)
+  sh.seen_ns <- t0;
+  if Obs.Flight.enabled () then Obs.Flight.record ~flow:t.flow ~shard:i Obs.Flight.Shard_start;
   (try
      let pull, stats = build ~shard:i ~governor:sh.gov ~metrics:registry in
      stats_fn := stats;
@@ -90,15 +111,31 @@ let worker t i build =
        match pull () with
        | None -> ()
        | Some (a : Conjunct.answer) ->
+         let fl = Obs.Flight.enabled () in
          Mutex.lock t.m;
-         while sh.qlen >= queue_cap && not (Governor.Shared.stopped t.shared) do
-           Condition.wait t.space t.m
-         done;
+         if sh.qlen >= t.queue_cap && not (Governor.Shared.stopped t.shared) then begin
+           if fl then Obs.Flight.record ~flow:t.flow ~shard:i (Obs.Flight.Park { qlen = sh.qlen });
+           while sh.qlen >= t.queue_cap && not (Governor.Shared.stopped t.shared) do
+             Condition.wait t.space t.m
+           done;
+           if fl then Obs.Flight.record ~flow:t.flow ~shard:i Obs.Flight.Unpark
+         end;
          let stopped = Governor.Shared.stopped t.shared in
          if not stopped then begin
            sh.pending <- a :: sh.pending;
            sh.qlen <- sh.qlen + 1;
+           sh.delivered <- sh.delivered + 1;
            if a.Conjunct.dist > sh.last then sh.last <- a.Conjunct.dist;
+           if clocked then sh.seen_ns <- !Obs.Clock.now_ns ();
+           sh.stalled <- false;
+           if fl then begin
+             if Obs.Flight.detail () then
+               Obs.Flight.record ~flow:t.flow ~shard:i
+                 (Obs.Flight.Deliver { dist = a.Conjunct.dist });
+             if sh.delivered land 63 = 0 then
+               Obs.Flight.record ~flow:t.flow ~shard:i
+                 (Obs.Flight.Heartbeat { qlen = sh.qlen; last = sh.last })
+           end;
            Condition.signal t.progress
          end;
          Mutex.unlock t.m;
@@ -123,13 +160,23 @@ let worker t i build =
     stats.Exec_stats.par_busy_max_ns <- busy
   end;
   let out = { o_stats = stats; o_registry = registry; o_gov = sh.gov } in
+  (* the shard completed iff its pull stream ran dry on its own: neither
+     this shard's governor nor the query-wide stop cut it short *)
+  let complete =
+    Governor.tripped sh.gov = None && not (Governor.Shared.stopped t.shared)
+  in
   Mutex.lock t.m;
   sh.outcome <- Some out;
   sh.done_ <- true;
+  sh.complete <- complete;
+  if Obs.Flight.enabled () then
+    Obs.Flight.record ~flow:t.flow ~shard:i
+      (Obs.Flight.Shard_done { complete; answers = sh.delivered });
   Condition.broadcast t.progress;
   Mutex.unlock t.m
 
-let create ~domains ~slack ~governor ~metrics ?(label = "shard") ?(dedup = false) ~build () =
+let create ~domains ~slack ~governor ~metrics ?(label = "shard") ?(dedup = false)
+    ?(queue_cap = default_queue_cap) ~build () =
   let n = max 1 domains in
   let shared = Governor.share governor in
   let shards =
@@ -140,6 +187,10 @@ let create ~domains ~slack ~governor ~metrics ?(label = "shard") ?(dedup = false
           qlen = 0;
           last = -1;
           done_ = false;
+          complete = false;
+          delivered = 0;
+          seen_ns = 0;
+          stalled = false;
           outcome = None;
           failure = None;
         })
@@ -149,6 +200,8 @@ let create ~domains ~slack ~governor ~metrics ?(label = "shard") ?(dedup = false
       n;
       label;
       slack = max 0 slack;
+      flow = Obs.Flight.new_flow ();
+      queue_cap = max 1 queue_cap;
       governor;
       shared;
       metrics;
@@ -166,12 +219,15 @@ let create ~domains ~slack ~governor ~metrics ?(label = "shard") ?(dedup = false
       h_shard_busy = Obs.Metrics.histogram metrics "par_shard_busy_ns";
     }
   in
+  if Obs.Flight.enabled () then
+    Obs.Flight.record ~flow:t.flow (Obs.Flight.Flow_open { shards = n; slack = t.slack; label });
   (* A trip (or close) raised anywhere must wake workers parked on [space]
      and a consumer parked on [progress]; the hook takes [t.m], so no
      caller of trip/close may hold it — [Par] itself only trips through
      governor polls made outside the mutex. *)
   Governor.Shared.set_on_trip shared (fun () ->
       Mutex.lock t.m;
+      if Obs.Flight.enabled () then Obs.Flight.record ~flow:t.flow Obs.Flight.Stop;
       Condition.broadcast t.space;
       Condition.broadcast t.progress;
       Mutex.unlock t.m);
@@ -197,9 +253,14 @@ let drain_locked t =
     t.shards;
   if !drained then Condition.broadcast t.space
 
+(* The seal bound.  A shard leaves the min only by *completing*; a shard
+   that finished without completing (trip / stop) freezes its term, because
+   its undelivered answers could land anywhere at or above it. *)
 let bound_locked t =
   let b = ref max_int in
-  Array.iter (fun sh -> if not sh.done_ then b := min !b (sh.last - t.slack)) t.shards;
+  Array.iter
+    (fun sh -> if not (sh.done_ && sh.complete) then b := min !b (sh.last - t.slack))
+    t.shards;
   !b
 
 let seal_locked t ~bound =
@@ -216,6 +277,25 @@ let seal_locked t ~bound =
   in
   pop ();
   !batch
+
+(* The consumer-side stall watchdog: a shard silent past the threshold
+   (clocked runs with the recorder on) gets one Stall event per episode;
+   the next delivery re-arms it. *)
+let watchdog_locked t =
+  let now = !Obs.Clock.now_ns () in
+  Array.iteri
+    (fun i sh ->
+      if
+        (not sh.done_)
+        && (not sh.stalled)
+        && sh.seen_ns > 0
+        && now - sh.seen_ns > !Obs.Flight.stall_threshold_ns
+      then begin
+        sh.stalled <- true;
+        Obs.Flight.record ~flow:t.flow ~shard:i
+          (Obs.Flight.Stall { silent_ns = now - sh.seen_ns })
+      end)
+    t.shards
 
 (* The deterministic tie-break: ascending (dist, x, y).  Shard pops arrive
    min-distance-first but LIFO within a bucket, so the sort both fixes the
@@ -274,11 +354,16 @@ let close t =
     join_and_rollup t
   end
 
+let emit t a rest =
+  t.ready <- rest;
+  if Obs.Flight.detail () then
+    Obs.Flight.record ~flow:t.flow
+      (Obs.Flight.Emit { dist = a.Conjunct.dist; x = a.Conjunct.x; y = a.Conjunct.y });
+  Some a
+
 let next t =
   match t.ready with
-  | a :: rest ->
-    t.ready <- rest;
-    Some a
+  | a :: rest -> emit t a rest
   | [] ->
     if t.joined then None
     else if not (Governor.poll t.governor) then begin
@@ -288,6 +373,7 @@ let next t =
     end
     else begin
       let clocked = Obs.Clock.installed () in
+      let fl = Obs.Flight.enabled () in
       let exhausted = ref false in
       Mutex.lock t.m;
       let rec attempt () =
@@ -299,11 +385,31 @@ let next t =
           else if not (Governor.Shared.stopped t.shared) then begin
             let t0 = if clocked then !Obs.Clock.now_ns () else 0 in
             Condition.wait t.progress t.m;
-            if clocked then Obs.Metrics.observe t.h_merge_wait (!Obs.Clock.now_ns () - t0);
+            if clocked then begin
+              Obs.Metrics.observe t.h_merge_wait (!Obs.Clock.now_ns () - t0);
+              if fl then watchdog_locked t
+            end;
             attempt ()
           end
           (* else: stopped — unwind with nothing ready; handled below *)
         | batch -> (
+          if fl then
+            Obs.Flight.record ~flow:t.flow
+              (Obs.Flight.Seal
+                 {
+                   bound;
+                   batch = List.length batch;
+                   inputs =
+                     Array.to_list
+                       (Array.mapi
+                          (fun j sh ->
+                            {
+                              Obs.Flight.i_shard = j;
+                              i_last = sh.last;
+                              i_state = (if not sh.done_ then 0 else if sh.complete then 1 else 2);
+                            })
+                          t.shards);
+                 });
           (* a part-sharded batch can dedup away entirely: keep merging
              rather than falling through to the stopped/exhausted exit *)
           match canonicalize t batch with [] -> attempt () | ready -> t.ready <- ready))
@@ -316,9 +422,7 @@ let next t =
       end
       else
         match t.ready with
-        | a :: rest ->
-          t.ready <- rest;
-          Some a
+        | a :: rest -> emit t a rest
         | [] ->
           (* a trip or close stopped the merge between polls *)
           join_and_rollup t;

@@ -28,6 +28,7 @@ val create :
   metrics:Obs.Metrics.t ->
   ?label:string ->
   ?dedup:bool ->
+  ?queue_cap:int ->
   build:
     (shard:int ->
     governor:Governor.t ->
@@ -49,6 +50,16 @@ val create :
 
     [label] (default ["shard"]) prefixes the trace-lane names workers give
     their domains ({!Obs.Trace.set_thread_name}: ["<label> <i>"]).
+    [queue_cap] (default 8192, min 1) bounds each shard's undrained pending
+    list; workers park at the cap until the consumer drains
+    ([Options.par_queue_cap] threads it from the CLI).
+
+    When the flight recorder is on ({!Obs.Flight}), the pool logs its
+    scheduling events — shard start/done, deliveries, park/unpark, seals
+    with their per-shard bound inputs, emits, stop — under a fresh flow id,
+    and a consumer-side watchdog flags shards silent beyond
+    [Obs.Flight.stall_threshold_ns] on clocked runs.  With the recorder off
+    the only cost is a per-event flag load.
 
     Records the [par_merge_wait_ns], [par_shard_answers] and
     [par_shard_busy_ns] histograms in [metrics].  Each worker also measures

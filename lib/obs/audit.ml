@@ -1,7 +1,9 @@
-let schema_version = 1
+let schema_version = 2
 let env_var = "OMEGA_AUDIT"
 
 type shard = { s_index : int; s_busy_ns : int; s_answers : int }
+
+type flight_info = { f_path : string; f_events : int; f_dropped : int }
 
 type record = {
   ts_ns : int;
@@ -21,6 +23,7 @@ type record = {
   shards : shard list;
   merge_wait_ns : int;
   imbalance_pct : int;
+  flight : flight_info option; (* set when the flight recorder dumped alongside *)
   stats : (string * int) list;
   gc : (string * int) list;
 }
@@ -66,6 +69,16 @@ let to_json r =
       ("shards", Json.List (List.map shard_json r.shards));
       ("merge_wait_ns", Json.Int r.merge_wait_ns);
       ("imbalance_pct", Json.Int r.imbalance_pct);
+      ( "flight",
+        match r.flight with
+        | None -> Json.Null
+        | Some f ->
+          Json.Obj
+            [
+              ("path", Json.String f.f_path);
+              ("events", Json.Int f.f_events);
+              ("dropped", Json.Int f.f_dropped);
+            ] );
       ("stats", assoc_json r.stats);
       ("gc", assoc_json r.gc);
     ]
@@ -131,9 +144,22 @@ let shards_field k j =
     in
     conv [] l
 
+let flight_field k j =
+  let* v = field k j in
+  match v with
+  | Json.Null -> Ok None
+  | Json.Obj _ ->
+    let* f_path = str_field "path" v in
+    let* f_events = int_field "events" v in
+    let* f_dropped = int_field "dropped" v in
+    Ok (Some { f_path; f_events; f_dropped })
+  | _ -> Error (Printf.sprintf "field %S: expected object or null" k)
+
 let of_json j =
   let* v = int_field "v" j in
-  if v <> schema_version then Error (Printf.sprintf "schema version %d (expected %d)" v schema_version)
+  (* v1 records (pre-flight) stay loadable: same fields, [flight] absent *)
+  if v <> schema_version && v <> 1 then
+    Error (Printf.sprintf "schema version %d (expected %d)" v schema_version)
   else
     let* ts_ns = int_field "ts_ns" j in
     let* query_hash = str_field "query_hash" j in
@@ -152,6 +178,7 @@ let of_json j =
     let* shards = shards_field "shards" j in
     let* merge_wait_ns = int_field "merge_wait_ns" j in
     let* imbalance_pct = int_field "imbalance_pct" j in
+    let* flight = if v = 1 then Ok None else flight_field "flight" j in
     let* stats = assoc_field "stats" j in
     let* gc = assoc_field "gc" j in
     Ok
@@ -173,6 +200,7 @@ let of_json j =
         shards;
         merge_wait_ns;
         imbalance_pct;
+        flight;
         stats;
         gc;
       }

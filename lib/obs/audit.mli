@@ -22,7 +22,9 @@
     on the evaluation hot path knows the audit log exists. *)
 
 val schema_version : int
-(** The record schema version, stamped as field ["v"]; currently 1. *)
+(** The record schema version, stamped as field ["v"]; currently 2 (v2
+    added the [flight] cross-link).  {!of_json} also accepts v1 records,
+    reading their [flight] as [None]. *)
 
 val env_var : string
 (** ["OMEGA_AUDIT"] — binaries treat it as a default for [--audit]. *)
@@ -31,6 +33,12 @@ type shard = {
   s_index : int;  (** shard index within its pool, 0-based *)
   s_busy_ns : int;  (** wall time the shard's worker ran (0 without a clock) *)
   s_answers : int;  (** answers the shard delivered to the merge *)
+}
+
+type flight_info = {
+  f_path : string;  (** where the flight dump landed *)
+  f_events : int;  (** events recorded over the query (recorder total) *)
+  f_dropped : int;  (** events lost to ring wraparound *)
 }
 
 type record = {
@@ -56,6 +64,9 @@ type record = {
   imbalance_pct : int;
       (** 100 × max shard busy / mean shard busy; 100 = perfectly balanced,
           0 when unmeasured (sequential, or no clock) *)
+  flight : flight_info option;
+      (** cross-link to the flight-recorder dump covering this query, when
+          both sinks were active; [None] otherwise (and for v1 records) *)
   stats : (string * int) list;  (** the full [Exec_stats.to_assoc] counters *)
   gc : (string * int) list;
       (** [Gc.quick_stat] deltas over the query: [minor_words],

@@ -1,0 +1,151 @@
+(** Parallel flight recorder: an always-on-capable, per-domain scheduling
+    event log for the sealed-bucket parallel merge, with an online
+    invariant monitor and a crash-safe JSONL dump.
+
+    Each domain records into its own fixed-capacity wraparound ring
+    (lock-free for the single writer); events carry a global sequence
+    number and a {!Clock} timestamp so the full interleaving can be
+    reconstructed by merging rings.  When the recorder is off, [record]
+    is a single load — call sites should additionally guard payload
+    construction with {!enabled}. *)
+
+val schema_version : int
+val env_var : string
+(** [OMEGA_FLIGHT] — dump target path, mirroring [Audit.env_var]. *)
+
+(** {1 Events} *)
+
+type input = { i_shard : int; i_last : int; i_state : int }
+(** One shard's contribution to a seal bound: its frontier distance and
+    state (0 live, 1 done-complete, 2 done-incomplete). *)
+
+type kind =
+  | Flow_open of { shards : int; slack : int; label : string }
+  | Shard_start
+  | Deliver of { dist : int }
+  | Park of { qlen : int }
+  | Unpark
+  | Heartbeat of { qlen : int; last : int }
+  | Shard_done of { complete : bool; answers : int }
+  | Seal of { bound : int; batch : int; inputs : input list }
+  | Emit of { dist : int; x : int; y : int }
+  | Stall of { silent_ns : int }
+  | Stop
+  | Trip of { reason : string }
+
+type event = { seq : int; ts_ns : int; domain : int; flow : int; shard : int; kind : kind }
+(** [flow] identifies one parallel merge instance ([-1] for process-level
+    events such as governor trips); [shard] is [-1] for consumer-side
+    events. *)
+
+val kind_tag : kind -> string
+val all_tags : string list
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Recorder lifecycle} *)
+
+val enable : ?capacity:int -> ?detail:bool -> unit -> unit
+(** Clears all rings and starts recording; [capacity] is per-domain
+    (default 4096, clamped to at least 8).  [detail] (default [false])
+    additionally records the per-answer events ([Deliver], [Emit]) that
+    the always-on level skips to stay off the answer path's critical
+    nanoseconds — seal bounds remain fully checkable without them because
+    every [Seal] carries its per-shard inputs.  Tests and forensic runs
+    enable it; the invariant rules that need per-answer events
+    (shard-regression, late-delivery, emit order) only fire with it. *)
+
+val disable : unit -> unit
+(** Stops recording but keeps the rings, so a postmortem dump after
+    [disable] still sees the run. *)
+
+val enabled : unit -> bool
+
+(** [detail ()] is true when the recorder is on at the detail level: call
+    sites guard per-answer event construction with this, everything else
+    with {!enabled}. *)
+val detail : unit -> bool
+val clear : unit -> unit
+(** Discards all rings and resets counters. Only call between flows. *)
+
+val new_flow : unit -> int
+val record : ?flow:int -> ?shard:int -> kind -> unit
+val stall_threshold_ns : int ref
+(** A shard silent for longer than this (with a clock installed) gets a
+    [Stall] event from the consumer-side watchdog. Default 250ms. *)
+
+(** {1 Reading} *)
+
+val events : unit -> event list
+(** Snapshot of all rings merged by sequence number, oldest first. *)
+
+val stats : unit -> int * int
+(** [(recorded, dropped)] — total events ever recorded, and how many were
+    overwritten by ring wraparound. *)
+
+(** {1 Dump and load} *)
+
+val set_dump_target : string option -> unit
+val dump_target : unit -> string option
+
+val dump : string -> int
+(** Writes a meta line then one JSONL line per event; returns the number
+    of events written. Raises [Sys_error] on an unwritable path. *)
+
+type meta = { m_recorded : int; m_dropped : int }
+
+val load : string -> (meta option * event list * int, string) result
+(** Tolerant read back: [(meta, events, skipped_lines)]. Malformed or
+    truncated lines are skipped and counted, mirroring [Audit.load]. *)
+
+(** {1 Codec} *)
+
+val to_json : event -> Json.t
+val of_json : Json.t -> (event, string) result
+val validate : Json.t -> (unit, string) result
+val is_meta : Json.t -> bool
+val meta_json : recorded:int -> dropped:int -> Json.t
+
+(** {1 Invariant checking} *)
+
+module Check : sig
+  type state
+
+  val init : unit -> state
+
+  val step : state -> event -> (string * string) option
+  (** Feed one event in interleaving order; returns [Some (rule, detail)]
+      on the first violated invariant. Rules: [shard-regression],
+      [seal-regression], [seal-overrun], [late-delivery],
+      [emit-unsealed], [emit-order]. *)
+end
+
+type violation = {
+  v_seq : int;
+  v_flow : int;
+  v_rule : string;
+  v_detail : string;
+  v_window : event list;
+}
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+val window_around : seq:int -> event list -> event list
+
+(** The online monitor: steps {!Check} on every recorded event. Enabled
+    in tests; zero-cost when off (one extra load on the record path). *)
+module Monitor : sig
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val enabled : unit -> bool
+  val reset : unit -> unit
+
+  val first_violation : unit -> violation option
+
+  val last_dump_path : unit -> string option
+  (** Where the automatic dump of the first violation landed, if any. *)
+
+  val assert_ok : unit -> unit
+  (** Raises {!Violation} with the first recorded violation, if any. *)
+end

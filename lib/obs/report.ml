@@ -11,6 +11,10 @@ type scatter = { sc_hash : string; sc_est : int; sc_actual : int }
 
 type par_stats = {
   par_queries : int;  (* records that ran with shards *)
+  par_measured : int;
+      (* sharded records whose busy times were actually measured (clocked
+         hosts: imbalance_pct > 0).  0 means every figure below is
+         unmeasured, not zero — render as '-'/null, never as a number. *)
   imb_mean : float;  (* mean imbalance_pct over measured records *)
   imb_max : int;
   merge_wait_total_ns : int;
@@ -78,6 +82,7 @@ let build ?(top = 5) records =
     par =
       {
         par_queries = !par_queries;
+        par_measured = !imb_n;
         imb_mean = (if !imb_n = 0 then 0. else float_of_int !imb_sum /. float_of_int !imb_n);
         imb_max = !imb_max;
         merge_wait_total_ns = !merge_wait;
@@ -130,8 +135,12 @@ let pp ppf t =
   Format.fprintf ppf "@.admission accuracy:@.";
   Format.fprintf ppf "  vetted=%d underestimated=%d worst actual/est=%.2f@." vetted under worst;
   Format.fprintf ppf "@.parallel:@.";
-  Format.fprintf ppf "  sharded=%d imbalance mean=%.0f%% max=%d%% merge_wait=%dns@." t.par.par_queries
-    t.par.imb_mean t.par.imb_max t.par.merge_wait_total_ns;
+  (* clockless hosts measure no busy/wait times: print '-', not a bogus 0 *)
+  if t.par.par_measured = 0 then
+    Format.fprintf ppf "  sharded=%d imbalance mean=- max=- merge_wait=-@." t.par.par_queries
+  else
+    Format.fprintf ppf "  sharded=%d imbalance mean=%.0f%% max=%d%% merge_wait=%dns@."
+      t.par.par_queries t.par.imb_mean t.par.imb_max t.par.merge_wait_total_ns;
   Format.fprintf ppf "@.slowest queries:@.";
   List.iter
     (fun s ->
@@ -184,9 +193,13 @@ let to_json t =
         Json.Obj
           [
             ("sharded", Json.Int t.par.par_queries);
-            ("imbalance_mean_pct", Json.Float t.par.imb_mean);
-            ("imbalance_max_pct", Json.Int t.par.imb_max);
-            ("merge_wait_total_ns", Json.Int t.par.merge_wait_total_ns);
+            ("measured", Json.Int t.par.par_measured);
+            ( "imbalance_mean_pct",
+              if t.par.par_measured = 0 then Json.Null else Json.Float t.par.imb_mean );
+            ( "imbalance_max_pct",
+              if t.par.par_measured = 0 then Json.Null else Json.Int t.par.imb_max );
+            ( "merge_wait_total_ns",
+              if t.par.par_measured = 0 then Json.Null else Json.Int t.par.merge_wait_total_ns );
           ] );
     ]
 

@@ -382,6 +382,45 @@ let join_prop =
 
 let gen_domains = QCheck2.Gen.(map (List.nth [ 2; 4 ]) (int_bound 1))
 
+(* Every parallel property runs under the flight recorder with the online
+   seal-bound monitor armed: an invariant violation (a bucket sealed past a
+   live or tripped shard's frontier, an answer emitted from an unsealed
+   bucket, ...) fails the instance with its auto-dumped postmortem path,
+   and a plain property failure also leaves a dump behind for
+   `omega_report --flight`.  This is the harness that localised ROADMAP
+   open item 5 to the sealed-bucket window after a trip. *)
+let monitored prop arg =
+  Obs.Flight.enable ~detail:true ();
+  Obs.Flight.Monitor.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.Monitor.disable ();
+      Obs.Flight.disable ();
+      Obs.Flight.clear ())
+    (fun () ->
+      let dump_now what =
+        let path = Filename.temp_file "omega-flight-chaos" ".jsonl" in
+        (try ignore (Obs.Flight.dump path) with Sys_error _ -> ());
+        Printf.eprintf "flight dump (%s): %s\n%!" what path;
+        path
+      in
+      let ok =
+        try prop arg
+        with e ->
+          ignore (dump_now "property raised");
+          raise e
+      in
+      (match Obs.Flight.Monitor.first_violation () with
+      | Some v ->
+        QCheck2.Test.fail_reportf "flight invariant violation: %s at seq %d — postmortem dump: %s"
+          v.Obs.Flight.v_rule v.Obs.Flight.v_seq
+          (Option.value ~default:"<unwritable>" (Obs.Flight.Monitor.last_dump_path ()))
+      | None -> ());
+      if not ok then
+        QCheck2.Test.fail_reportf "parallel property failed — flight dump: %s"
+          (dump_now "property failed");
+      ok)
+
 (* only variable/variable conjuncts seed-shard — anything else would
    silently fall back to the (already covered) sequential path *)
 let par_inst inst = { inst with subj = `Var; obj = `Fresh }
@@ -391,7 +430,7 @@ let par_fault_prop =
     QCheck2.Gen.(
       quad (gen_instance ~mode:Q.Approx) gen_domains (int_bound 1_000_000)
         (map (List.nth [ 0.002; 0.01; 0.03 ]) (int_bound 2)))
-    (fun (inst, domains, seed, prob) ->
+    (monitored (fun (inst, domains, seed, prob) ->
       let inst, q = query_of (par_inst inst) in
       let g, k = build inst in
       let options = { Options.default with Options.domains } in
@@ -408,7 +447,7 @@ let par_fault_prop =
         | Engine.Exhausted { reason = Governor.Fault p; _ } -> List.mem p point_names
         | Engine.Exhausted _ | Engine.Rejected _ -> false
       in
-      clean_ok && reason_ok && outcome_consistent ~clean chaos)
+      clean_ok && reason_ok && outcome_consistent ~clean chaos))
 
 (* The deterministic fake clock must be domain-safe here: shard workers and
    the merge all read it concurrently, so it is an [Atomic] counter, not a
@@ -417,7 +456,7 @@ let par_deadline_prop =
   QCheck2.Test.make ~name:"parallel deadlines: prefix + Deadline termination (atomic clock)"
     ~count:20
     QCheck2.Gen.(triple (gen_instance ~mode:Q.Approx) gen_domains (int_bound 30_000))
-    (fun (inst, domains, timeout_ns) ->
+    (monitored (fun (inst, domains, timeout_ns) ->
       let inst, q = query_of (par_inst inst) in
       let g, k = build inst in
       let options = { Options.default with Options.domains } in
@@ -430,13 +469,13 @@ let par_deadline_prop =
               ~options:{ options with Options.timeout_ns = Some timeout_ns }
               q)
       in
-      clean_ok && deadline_reason_ok chaos && outcome_consistent ~clean chaos)
+      clean_ok && deadline_reason_ok chaos && outcome_consistent ~clean chaos))
 
 let par_budget_prop =
   QCheck2.Test.make ~name:"parallel budgets: prefix + Tuple_budget/Answer_limit termination"
     ~count:25
     QCheck2.Gen.(quad (gen_instance ~mode:Q.Approx) gen_domains bool (int_range 1 400))
-    (fun (inst, domains, by_answers, cap) ->
+    (monitored (fun (inst, domains, by_answers, cap) ->
       let inst, q = query_of (par_inst inst) in
       let g, k = build inst in
       let base = { Options.default with Options.domains } in
@@ -454,7 +493,7 @@ let par_budget_prop =
         | Engine.Exhausted { reason = Governor.Tuple_budget; _ }, false -> chaos.Engine.aborted
         | (Engine.Exhausted _ | Engine.Rejected _), _ -> false
       in
-      clean_ok && reason_ok && outcome_consistent ~clean chaos)
+      clean_ok && reason_ok && outcome_consistent ~clean chaos))
 
 let reason_kind (o : Engine.outcome) =
   match o.Engine.termination with
@@ -477,7 +516,7 @@ let par_taxonomy_prop =
   QCheck2.Test.make ~name:"parallel taxonomy: termination kind is domain-count independent"
     ~count:20
     QCheck2.Gen.(triple (gen_instance ~mode:Q.Approx) (int_bound 3) (int_range 1 400))
-    (fun (inst, disturbance, cap) ->
+    (monitored (fun (inst, disturbance, cap) ->
       let inst, q = query_of (par_inst inst) in
       let g, k = build inst in
       let run domains =
@@ -500,7 +539,94 @@ let par_taxonomy_prop =
       in
       match List.map (fun n -> reason_kind (run n)) [ 1; 2; 4 ] with
       | k1 :: rest -> List.for_all (( = ) k1) rest
-      | [] -> false)
+      | [] -> false))
+
+(* --- the sealed-bucket trip window (ROADMAP open item 5) ---------------- *)
+
+(* Drives [Par.create] directly through the exact interleaving that made
+   the parallel chaos properties flake on loaded 1-core hosts: shard 0
+   delivers answers up to distance 2 and then trips (holding, in the real
+   engine, undelivered answers at or above [last - slack]); shard 1 keeps
+   delivering *higher* distances around the trip broadcast, tempting the
+   consumer — woken inside its merge wait — to recompute the seal bound
+   without shard 0 and release buckets the tripped shard still owed.
+
+   The fixed sealing rule freezes an incomplete shard's term at its
+   frontier, so nothing at or above distance 2 may ever be emitted; the
+   online monitor cross-checks every seal and emit against the recorded
+   event stream.  Under the pre-fix rule (any [done_] shard left the min)
+   this test trips the monitor's seal-overrun rule within a few dozen
+   iterations. *)
+let answer dist x = { Core.Conjunct.x; y = 0; dist; witness = None }
+
+let trip_window_iteration () =
+  let governor = Options.governor Options.default in
+  let metrics = Obs.Metrics.create () in
+  let build ~shard ~governor ~metrics:_ =
+    if shard = 0 then begin
+      (* deliver up to distance 2, then trip *while the consumer is parked
+         in the merge wait*: done but *incomplete*, frontier frozen at 2 *)
+      let step = ref 0 in
+      let pull () =
+        incr step;
+        match !step with
+        | 1 -> Some (answer 0 2)
+        | 2 -> Some (answer 2 2)
+        | _ ->
+          Unix.sleepf 0.004;
+          Governor.fault governor "trip-window";
+          None
+      in
+      (pull, Core.Exec_stats.create)
+    end
+    else begin
+      (* advance past the tripped shard's frontier around the trip
+         broadcast, tempting a stale-bound seal of the dist-2 bucket *)
+      let step = ref 0 in
+      let pull () =
+        incr step;
+        match !step with
+        | 1 -> Some (answer 1 9)
+        | 2 ->
+          Unix.sleepf 0.001;
+          Some (answer 3 9)
+        | 3 ->
+          Unix.sleepf 0.004;
+          Some (answer 4 9)
+        | _ -> None
+      in
+      (pull, Core.Exec_stats.create)
+    end
+  in
+  let p =
+    Core.Par.create ~domains:2 ~slack:0 ~governor ~metrics ~label:"trip-window" ~build ()
+  in
+  let rec drain acc =
+    match Core.Par.next p with Some a -> drain (a :: acc) | None -> List.rev acc
+  in
+  let emitted = Fun.protect ~finally:(fun () -> Core.Par.close p) (fun () -> drain []) in
+  List.iter
+    (fun (a : Core.Conjunct.answer) ->
+      if a.Core.Conjunct.dist >= 2 then
+        Alcotest.failf
+          "emitted dist=%d from a bucket the tripped shard still owed (frozen bound is 2)"
+          a.Core.Conjunct.dist)
+    emitted
+
+let trip_window_test () =
+  Obs.Flight.enable ~detail:true ();
+  Obs.Flight.Monitor.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.Monitor.disable ();
+      Obs.Flight.disable ();
+      Obs.Flight.clear ())
+    (fun () ->
+      for _ = 1 to 500 do
+        trip_window_iteration ()
+      done;
+      (* the monitor re-checked every seal/emit of all 50 interleavings *)
+      Obs.Flight.Monitor.assert_ok ())
 
 (* --- born-tripped streams ---------------------------------------------- *)
 
@@ -577,6 +703,10 @@ let () =
           QCheck_alcotest.to_alcotest par_deadline_prop;
           QCheck_alcotest.to_alcotest par_budget_prop;
           QCheck_alcotest.to_alcotest par_taxonomy_prop;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "sealed-bucket trip window stays frozen" `Quick trip_window_test;
         ] );
       ( "edges",
         [

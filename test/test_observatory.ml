@@ -60,6 +60,7 @@ let full_record =
       ];
     merge_wait_ns = 120_000;
     imbalance_pct = 133;
+    flight = Some { Audit.f_path = "flight.jsonl"; f_events = 480; f_dropped = 3 };
     stats = [ ("pushes", 655); ("pops", 600); ("answers", 42) ];
     gc = [ ("minor_words", 50_000); ("major_words", 1_200) ];
   }
@@ -74,8 +75,10 @@ let roundtrip_test () =
     | Error msg -> Alcotest.failf "re-parsed record rejected: %s" msg
     | Ok r ->
       Alcotest.(check bool) "round-trips structurally" true (r = full_record);
-      (* reason = None must survive as JSON null, not be dropped *)
-      let r0 = { full_record with Audit.reason = None; shards = []; stats = []; gc = [] } in
+      (* reason = None / flight = None must survive as JSON null, not be dropped *)
+      let r0 =
+        { full_record with Audit.reason = None; flight = None; shards = []; stats = []; gc = [] }
+      in
       (match Audit.of_json (Audit.to_json r0) with
       | Ok r0' -> Alcotest.(check bool) "null reason / empty lists round-trip" true (r0' = r0)
       | Error msg -> Alcotest.failf "minimal record rejected: %s" msg))
@@ -103,7 +106,25 @@ let schema_rejection_test () =
       (Json.Obj
          (List.map
             (function "shards", _ -> ("shards", Json.List [ Json.Obj [ ("i", Json.Int 0) ] ]) | kv -> kv)
-            fields))
+            fields));
+    reject "malformed flight link"
+      (Json.Obj
+         (List.map
+            (function "flight", _ -> ("flight", Json.Obj [ ("path", Json.Int 3) ]) | kv -> kv)
+            fields));
+    (* pre-flight v1 records stay loadable, reading flight as None *)
+    (match
+       Audit.of_json
+         (Json.Obj
+            (List.filter_map
+               (function
+                 | "v", _ -> Some ("v", Json.Int 1)
+                 | "flight", _ -> None
+                 | kv -> Some kv)
+               fields))
+     with
+    | Ok r -> Alcotest.(check bool) "v1 record reads with flight = None" true (r.Audit.flight = None)
+    | Error msg -> Alcotest.failf "v1 record rejected: %s" msg)
   | _ -> Alcotest.fail "to_json did not produce an object");
   reject "non-object record" (Json.List [])
 
@@ -299,6 +320,46 @@ let report_json_test () =
       | _ -> Alcotest.fail "no sharded count")
     | None -> Alcotest.fail "no parallel section"
 
+(* clockless hosts: a sharded run with unmeasured busy times (imbalance 0,
+   merge_wait 0) must render '-' / JSON null, never a bogus figure *)
+let report_clockless_parallel_test () =
+  let clockless =
+    {
+      full_record with
+      Audit.imbalance_pct = 0;
+      merge_wait_ns = 0;
+      shards =
+        [
+          { Audit.s_index = 0; s_busy_ns = 0; s_answers = 30 };
+          { Audit.s_index = 1; s_busy_ns = 0; s_answers = 12 };
+        ];
+    }
+  in
+  let report = Report.build [ clockless ] in
+  let rendered = Format.asprintf "%a" Report.pp report in
+  Alcotest.(check bool) "text reports unmeasured as '-'" true
+    (let needle = "sharded=1 imbalance mean=- max=- merge_wait=-" in
+     let n = String.length needle in
+     let rec find i =
+       i + n <= String.length rendered && (String.sub rendered i n = needle || find (i + 1))
+     in
+     find 0);
+  (match Json.member "parallel" (Report.to_json report) with
+  | Some par ->
+    Alcotest.(check bool) "imbalance_mean_pct is null" true
+      (Json.member "imbalance_mean_pct" par = Some Json.Null);
+    Alcotest.(check bool) "merge_wait_total_ns is null" true
+      (Json.member "merge_wait_total_ns" par = Some Json.Null);
+    Alcotest.(check bool) "measured count is 0" true (Json.member "measured" par = Some (Json.Int 0))
+  | None -> Alcotest.fail "no parallel section");
+  (* and a measured record keeps its numbers *)
+  let measured = Report.build [ full_record ] in
+  match Json.member "parallel" (Report.to_json measured) with
+  | Some par ->
+    Alcotest.(check bool) "measured imbalance stays numeric" true
+      (Json.member "imbalance_max_pct" par = Some (Json.Int 133))
+  | None -> Alcotest.fail "no parallel section (measured)"
+
 let report_compare_test () =
   let report = Report.build (fixture_records ()) in
   (* identical logs: the comparison must render and the JSON re-parse *)
@@ -411,6 +472,45 @@ let engine_audit_parallel_test () =
     Alcotest.(check bool) "imbalance measured (>= 100 = max/mean)" true (r.Audit.imbalance_pct >= 100)
   | l -> Alcotest.failf "expected one parallel record, got %d" (List.length l)
 
+(* both sinks active: the audit record cross-links the flight dump *)
+let engine_audit_flight_link_test () =
+  let g, k = build audit_instance in
+  let q = Q.single ~mode:Q.Approx (Q.Var "X") audit_instance.regex (Q.Var "Y") in
+  let options = { Options.default with Options.domains = 2 } in
+  let dump = temp_path "flight_dump" in
+  Obs.Clock.install (fun () -> int_of_float (1e9 *. Unix.gettimeofday ()));
+  Obs.Flight.set_dump_target (Some dump);
+  Obs.Flight.enable ();
+  let records =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Flight.disable ();
+        Obs.Flight.set_dump_target None;
+        Obs.Flight.clear ();
+        Obs.Clock.uninstall ())
+      (fun () ->
+        with_audit (fun () ->
+            let st = Engine.open_query ~graph:g ~ontology:k ~options q in
+            ignore (Engine.drain st)))
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dump then Sys.remove dump) @@ fun () ->
+  match records with
+  | [ r ] -> (
+    match r.Audit.flight with
+    | None -> Alcotest.fail "audit record missing the flight link"
+    | Some f ->
+      Alcotest.(check string) "flight path recorded" dump f.Audit.f_path;
+      Alcotest.(check bool) "events recorded" true (f.Audit.f_events > 0);
+      Alcotest.(check bool) "record validates under v2" true (Audit.validate (Audit.to_json r) = Ok ());
+      (* the dump itself replays clean *)
+      (match Obs.Replay.load f.Audit.f_path with
+      | Error msg -> Alcotest.failf "dump unreadable: %s" msg
+      | Ok rep ->
+        Alcotest.(check bool) "replay finds no violation" true (Obs.Replay.ok rep);
+        Alcotest.(check int) "replay event count matches the link" f.Audit.f_events
+          (List.length rep.Obs.Replay.events)))
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l)
+
 let () =
   Alcotest.run "observatory"
     [
@@ -432,6 +532,8 @@ let () =
         [
           Alcotest.test_case "golden text output" `Quick report_golden_test;
           Alcotest.test_case "JSON aggregates" `Quick report_json_test;
+          Alcotest.test_case "clockless parallel figures render unmeasured" `Quick
+            report_clockless_parallel_test;
           Alcotest.test_case "comparison view" `Quick report_compare_test;
         ] );
       ( "engine",
@@ -440,5 +542,6 @@ let () =
           Alcotest.test_case "close is emit-once" `Quick engine_audit_close_idempotent_test;
           Alcotest.test_case "rejected queries audited" `Quick engine_audit_rejected_test;
           Alcotest.test_case "parallel shard breakdown" `Quick engine_audit_parallel_test;
+          Alcotest.test_case "flight dump cross-linked" `Quick engine_audit_flight_link_test;
         ] );
     ]
