@@ -72,6 +72,36 @@ let fuzz_options =
 
 exception Violation of string
 
+(* The in-process query server the Server_case frames are fed to: the
+   handle_request seam must return exactly one typed JSON response per
+   frame — never an escaping exception — and the crash-only backstop
+   (code 1) must stay cold: an internal exception that the seam had to
+   catch is itself a finding. *)
+let make_daemon graph ontology =
+  Server.Daemon.create ~graph ~ontology
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.options = fuzz_options;
+      max_inflight = 4;
+      tenant_inflight = 2;
+      default_limit = 20;
+    }
+
+let check_server_response line resp =
+  match resp with
+  | None ->
+    if String.trim line <> "" then
+      raise (Violation "handle_request returned no response for a non-blank frame")
+  | Some resp -> (
+    match Obs.Json.parse resp with
+    | Error msg -> raise (Violation (Printf.sprintf "response is not valid JSON: %s" msg))
+    | Ok j -> (
+      match Server.Protocol.response_code j with
+      | None -> raise (Violation "response has no integer \"code\" field")
+      | Some 1 -> raise (Violation "crash-only backstop fired: an internal exception escaped")
+      | Some c when c >= 0 && c <= 7 -> ()
+      | Some c -> raise (Violation (Printf.sprintf "response code %d outside the taxonomy" c))))
+
 let run_query graph ontology q =
   match Core.Engine.run ~graph ~ontology ~options:fuzz_options ~limit:20 q with
   | exception Invalid_argument _ -> `Invalid (* typed semantic rejection (Query.validate) *)
@@ -97,7 +127,16 @@ type tally = {
   mutable rejected : int;  (** turned away by admission control *)
 }
 
-let check_case graph ontology tally = function
+let check_case graph ontology daemon tally = function
+  | Fuzz.Server_case s -> (
+    let resp = Server.Daemon.handle_request daemon s in
+    check_server_response s resp;
+    match
+      Option.bind resp (fun r -> Option.bind (Result.to_option (Obs.Json.parse r)) Server.Protocol.response_code)
+    with
+    | Some 0 | Some 3 | Some 4 | Some 5 -> tally.ran <- tally.ran + 1
+    | Some 6 | Some 7 -> tally.rejected <- tally.rejected + 1
+    | _ -> tally.refused <- tally.refused + 1)
   | Fuzz.Regex_case s -> (
     match Rpq_regex.Parser.parse_result s with
     | Ok _ -> tally.parsed <- tally.parsed + 1
@@ -138,6 +177,7 @@ let truncate_for_display s =
 
 let run_fuzz seed iters seconds corpus verbose =
   let graph, ontology = build_graph () in
+  let daemon = make_daemon graph ontology in
   let t0 = Unix.gettimeofday () in
   let deadline = if seconds > 0. then Some (t0 +. seconds) else None in
   let tally = { parsed = 0; refused = 0; ran = 0; rejected = 0 } in
@@ -153,7 +193,7 @@ let run_fuzz seed iters seconds corpus verbose =
     if verbose then
       Printf.printf "[%d] %s: %s\n%!" !iter (Fuzz.case_label case)
         (truncate_for_display (Fuzz.case_input case));
-    (match check_case graph ontology tally case with
+    (match check_case graph ontology daemon tally case with
     | () -> ()
     | exception e ->
       incr crashes;

@@ -73,6 +73,7 @@ type stream = {
   gcw0 : float * float; (* [Gc.counters] (minor, major) at open — word counts accurate
                            between collections, unlike [quick_stat]'s *)
   cpu0 : float; (* [Sys.time] at open — process CPU seconds *)
+  tenant : string option; (* audit attribution of a served query (omega_serve) *)
   mutable audited : bool; (* audit record emitted (close is idempotent) *)
 }
 
@@ -85,7 +86,7 @@ let binding_of_answer (c : Query.conjunct) (a : Conjunct.answer) =
   in
   Ranked_join.binding_of (of_term c.subj a.x @ of_term c.obj a.y)
 
-let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Query.t) =
+let open_query ~graph ~ontology ?(options = Options.default) ?governor ?tenant (q : Query.t) =
   (match Query.validate q with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.open_query: " ^ msg));
@@ -128,6 +129,7 @@ let open_query ~graph ~ontology ?(options = Options.default) ?governor (q : Quer
       gc0 = Gc.quick_stat ();
       gcw0 = (let mi, _, ma = Gc.counters () in (mi, ma));
       cpu0 = Sys.time ();
+      tenant;
       audited = false;
     }
   in
@@ -317,6 +319,7 @@ let audit_record ?flight st =
     merge_wait_ns;
     imbalance_pct;
     flight;
+    tenant = st.tenant;
     stats = Exec_stats.to_assoc stats;
     gc =
       [

@@ -64,12 +64,15 @@ val open_query :
   ontology:Ontology.t ->
   ?options:Options.t ->
   ?governor:Governor.t ->
+  ?tenant:string ->
   Query.t ->
   stream
 (** [governor] defaults to a fresh [Options.governor options]; pass one
     explicitly to share a budget across queries or to {!Governor.cancel}
     from outside.  If [options.failpoints] is set, the spec is armed
-    (process-globally) before evaluation starts.
+    (process-globally) before evaluation starts.  [tenant] (the query
+    server's attribution) is stamped into the stream's audit record and
+    nothing else — omit it for standalone runs.
 
     If [options.max_states] or [options.max_product_est] is set, the query
     is vetted by {!Admission} first; a rejected stream is born with no

@@ -1,24 +1,45 @@
-type point = Graph_scan | Seed_batch | Join_pull | Ontology_lookup
+type point =
+  | Graph_scan
+  | Seed_batch
+  | Join_pull
+  | Ontology_lookup
+  | Srv_accept
+  | Srv_read
+  | Srv_write
 
 exception Injected of string
 
-let all_points = [ Graph_scan; Seed_batch; Join_pull; Ontology_lookup ]
+let all_points = [ Graph_scan; Seed_batch; Join_pull; Ontology_lookup; Srv_accept; Srv_read; Srv_write ]
 
 let point_name = function
   | Graph_scan -> "scan"
   | Seed_batch -> "seed"
   | Join_pull -> "join"
   | Ontology_lookup -> "onto"
+  | Srv_accept -> "accept"
+  | Srv_read -> "read"
+  | Srv_write -> "write"
 
 let point_of_name = function
   | "scan" -> Some Graph_scan
   | "seed" -> Some Seed_batch
   | "join" -> Some Join_pull
   | "onto" -> Some Ontology_lookup
+  | "accept" -> Some Srv_accept
+  | "read" -> Some Srv_read
+  | "write" -> Some Srv_write
   | _ -> None
 
-let index = function Graph_scan -> 0 | Seed_batch -> 1 | Join_pull -> 2 | Ontology_lookup -> 3
-let n_points = 4
+let index = function
+  | Graph_scan -> 0
+  | Seed_batch -> 1
+  | Join_pull -> 2
+  | Ontology_lookup -> 3
+  | Srv_accept -> 4
+  | Srv_read -> 5
+  | Srv_write -> 6
+
+let n_points = 7
 
 (* Arming is process-global, but the PRNG state is {e per-domain}: a shared
    mutable stream would race under parallel evaluation (and make two

@@ -14,7 +14,15 @@
     - [Graph_scan] (["scan"]) — a CSR neighbour scan in [Succ];
     - [Seed_batch] (["seed"]) — a seed-batch delivery by the coroutine;
     - [Join_pull] (["join"]) — a pull from an input of the ranked join;
-    - [Ontology_lookup] (["onto"]) — a class-ancestor lookup of RELAX seeding.
+    - [Ontology_lookup] (["onto"]) — a class-ancestor lookup of RELAX seeding;
+    - [Srv_accept] (["accept"]) — a connection accept in the query server;
+    - [Srv_read] (["read"]) — a request-frame read in the query server;
+    - [Srv_write] (["write"]) — a response write in the query server.
+
+    The three server points are checked by [Server]'s connection loop, not
+    the engine: an injected server fault aborts one connection (typed,
+    audited) and must never take the daemon down — the protocol chaos suite
+    pins that.
 
     Arming is process-global, but the PRNG state is {e per-domain}
     (domain-local storage, re-synced on every re-arm): concurrent engine
@@ -27,7 +35,14 @@
     [--failpoints]), or the [OMEGA_FAILPOINTS] environment variable (CI
     chaos job). *)
 
-type point = Graph_scan | Seed_batch | Join_pull | Ontology_lookup
+type point =
+  | Graph_scan
+  | Seed_batch
+  | Join_pull
+  | Ontology_lookup
+  | Srv_accept
+  | Srv_read
+  | Srv_write
 
 exception Injected of string
 (** Carries the {!point_name} of the point that fired. *)

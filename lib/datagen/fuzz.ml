@@ -21,9 +21,15 @@ type case =
   | Regex_case of string
   | Query_case of string
   | Nt_case of string
+  | Server_case of string
 
-let case_label = function Regex_case _ -> "regex" | Query_case _ -> "query" | Nt_case _ -> "nt"
-let case_input = function Regex_case s | Query_case s | Nt_case s -> s
+let case_label = function
+  | Regex_case _ -> "regex"
+  | Query_case _ -> "query"
+  | Nt_case _ -> "nt"
+  | Server_case _ -> "server"
+
+let case_input = function Regex_case s | Query_case s | Nt_case s | Server_case s -> s
 
 (* --- valid inputs ----------------------------------------------------- *)
 
@@ -146,6 +152,64 @@ let random_bytes rng =
   let n = Rng.int rng 64 in
   String.init n (fun _ -> Char.chr (Rng.int rng 256))
 
+(* --- server protocol frames ------------------------------------------- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* A request frame for the query server's line protocol: mostly plausible
+   objects (sometimes with wrong-typed fields, unknown ops, out-of-range
+   budgets, empty or oversized tenants) around a generated query.  The
+   server's contract — one typed JSON response per frame, never an
+   escaping exception — is asserted by the driver. *)
+let server_frame rng =
+  let q = if Rng.bool rng 0.1 then mangle rng (query_string rng) else query_string rng in
+  let fields = ref [] in
+  let add f = fields := f :: !fields in
+  if Rng.bool rng 0.7 then
+    add
+      (match Rng.int rng 3 with
+      | 0 -> Printf.sprintf "\"id\":%d" (Rng.int rng 1_000)
+      | 1 -> Printf.sprintf "\"id\":%s" (json_string "req-x")
+      | _ -> "\"id\":null");
+  (match Rng.int rng 8 with
+  | 0 -> ()
+  | 1 -> add "\"op\":\"ping\""
+  | 2 -> add "\"op\":\"sleep\""
+  | 3 -> add "\"op\":\"nope\""
+  | 4 -> add "\"op\":7"
+  | _ -> add "\"op\":\"query\"");
+  (match Rng.int rng 6 with
+  | 0 -> ()
+  | 1 -> add "\"tenant\":\"\""
+  | 2 -> add (Printf.sprintf "\"tenant\":%s" (json_string (String.make (60 + Rng.int rng 10) 't')))
+  | 3 -> add "\"tenant\":false"
+  | _ -> add (Printf.sprintf "\"tenant\":\"t%d\"" (Rng.int rng 4)));
+  if Rng.bool rng 0.9 then add (Printf.sprintf "\"query\":%s" (json_string q));
+  (match Rng.int rng 5 with
+  | 0 -> add (Printf.sprintf "\"limit\":%d" (Rng.int rng 40 - 5))
+  | 1 -> add "\"limit\":\"ten\""
+  | _ -> ());
+  if Rng.bool rng 0.3 then add (Printf.sprintf "\"timeout_ms\":%d" (Rng.int rng 100));
+  if Rng.bool rng 0.2 then add (Printf.sprintf "\"max_tuples\":%d" (1 + Rng.int rng 5_000));
+  if Rng.bool rng 0.2 then add (Printf.sprintf "\"ms\":%d" (Rng.int rng 30));
+  if Rng.bool rng 0.15 then add "\"junk\":[1,2,{\"k\":false}]";
+  "{" ^ String.concat "," !fields ^ "}"
+
 (* --- adversarial shapes ----------------------------------------------- *)
 
 let deep_parens rng =
@@ -171,17 +235,20 @@ let oversized_line rng =
 let case rng =
   match Rng.int rng 100 with
   (* valid tier: the parser must accept *)
-  | x when x < 15 -> Regex_case (regex_string rng)
-  | x when x < 30 -> Query_case (query_string rng)
-  | x when x < 45 -> Nt_case (ntriples_doc rng)
+  | x when x < 13 -> Regex_case (regex_string rng)
+  | x when x < 26 -> Query_case (query_string rng)
+  | x when x < 39 -> Nt_case (ntriples_doc rng)
+  | x when x < 46 -> Server_case (server_frame rng)
   (* near-valid tier: typed rejection required *)
-  | x when x < 58 -> Regex_case (mangle rng (regex_string rng))
-  | x when x < 71 -> Query_case (mangle rng (query_string rng))
-  | x when x < 84 -> Nt_case (mangle rng (ntriples_doc rng))
+  | x when x < 57 -> Regex_case (mangle rng (regex_string rng))
+  | x when x < 68 -> Query_case (mangle rng (query_string rng))
+  | x when x < 79 -> Nt_case (mangle rng (ntriples_doc rng))
+  | x when x < 83 -> Server_case (mangle rng (server_frame rng))
   (* mangled tier: raw bytes at every parser *)
-  | x when x < 88 -> Regex_case (random_bytes rng)
-  | x when x < 92 -> Query_case (random_bytes rng)
-  | x when x < 95 -> Nt_case (random_bytes rng)
+  | x when x < 87 -> Regex_case (random_bytes rng)
+  | x when x < 90 -> Query_case (random_bytes rng)
+  | x when x < 93 -> Nt_case (random_bytes rng)
+  | x when x < 95 -> Server_case (random_bytes rng)
   (* adversarial tier: resource hazards *)
   | 95 | 96 -> Regex_case (deep_parens rng)
   | 97 -> Regex_case (long_chain rng)

@@ -15,15 +15,19 @@ type case =
   | Regex_case of string  (** feed to [Rpq_regex.Parser.parse_result] *)
   | Query_case of string  (** feed to [Core.Query_parser.parse_result] *)
   | Nt_case of string  (** feed to [Ntriples.Nt.read_string_report] *)
+  | Server_case of string
+      (** feed to [Server.Daemon.handle_request] — a request frame for the
+          query server's line protocol *)
 
 val case_label : case -> string
-(** ["regex"] | ["query"] | ["nt"] — the corpus file-name prefix. *)
+(** ["regex"] | ["query"] | ["nt"] | ["server"] — the corpus file-name
+    prefix. *)
 
 val case_input : case -> string
 
 val case : Rng.t -> case
-(** One input from the weighted mixed stream (~45% valid, ~39% mutated,
-    ~11% raw bytes, ~5% adversarial). *)
+(** One input from the weighted mixed stream (~46% valid, ~37% mutated,
+    ~12% raw bytes, ~5% adversarial). *)
 
 val regex_string : Rng.t -> string
 (** A valid regular expression (the parser must accept it). *)
@@ -36,6 +40,13 @@ val query_string : Rng.t -> string
 val ntriples_doc : Rng.t -> string
 (** A well-formed N-Triples document (possibly with comments/blank
     lines). *)
+
+val server_frame : Rng.t -> string
+(** A query-server request frame: a mostly-plausible JSON object around a
+    generated query — sometimes with wrong-typed fields, unknown ops,
+    out-of-range budgets, or an empty/oversized tenant, so the typed-error
+    surface of the protocol decoder gets exercised alongside the happy
+    path. *)
 
 val mangle : Rng.t -> string -> string
 (** A few random byte-level edits (flip, structural-char insert, delete,

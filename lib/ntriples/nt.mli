@@ -57,6 +57,13 @@ val default_max_line_bytes : int
     counted malformed line (lenient — the rest of the line is consumed, so
     the load resumes at the next line). *)
 
+val input_line_bounded : in_channel -> int -> [ `Line of string | `Oversized | `Eof ]
+(** The bounded replacement for [input_line] behind {!read_report}, exposed
+    for other line-oriented readers (the query server's request framing): at
+    most [cap] bytes of one line are retained; a longer line is consumed to
+    its newline (so the stream resumes at the next line) and reported as
+    [`Oversized] instead of materialised. *)
+
 val read_report :
   ?lenient:bool -> ?max_line_bytes:int -> in_channel -> (Graphstore.Graph.t * Ontology.t) * report
 (** Like {!read}, also returning an ingestion {!report}.  With

@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 let env_var = "OMEGA_AUDIT"
 
 type shard = { s_index : int; s_busy_ns : int; s_answers : int }
@@ -24,6 +24,7 @@ type record = {
   merge_wait_ns : int;
   imbalance_pct : int;
   flight : flight_info option; (* set when the flight recorder dumped alongside *)
+  tenant : string option; (* v3: the serving tenant (omega_serve); None standalone *)
   stats : (string * int) list;
   gc : (string * int) list;
 }
@@ -79,6 +80,7 @@ let to_json r =
               ("events", Json.Int f.f_events);
               ("dropped", Json.Int f.f_dropped);
             ] );
+      ("tenant", (match r.tenant with None -> Json.Null | Some t -> Json.String t));
       ("stats", assoc_json r.stats);
       ("gc", assoc_json r.gc);
     ]
@@ -157,9 +159,10 @@ let flight_field k j =
 
 let of_json j =
   let* v = int_field "v" j in
-  (* v1 records (pre-flight) stay loadable: same fields, [flight] absent *)
-  if v <> schema_version && v <> 1 then
-    Error (Printf.sprintf "schema version %d (expected %d)" v schema_version)
+  (* older records stay loadable: v1 (pre-flight) reads [flight] as None,
+     v2 (pre-server) reads [tenant] as None *)
+  if v < 1 || v > schema_version then
+    Error (Printf.sprintf "schema version %d (expected 1..%d)" v schema_version)
   else
     let* ts_ns = int_field "ts_ns" j in
     let* query_hash = str_field "query_hash" j in
@@ -179,6 +182,7 @@ let of_json j =
     let* merge_wait_ns = int_field "merge_wait_ns" j in
     let* imbalance_pct = int_field "imbalance_pct" j in
     let* flight = if v = 1 then Ok None else flight_field "flight" j in
+    let* tenant = if v < 3 then Ok None else opt_str_field "tenant" j in
     let* stats = assoc_field "stats" j in
     let* gc = assoc_field "gc" j in
     Ok
@@ -201,6 +205,7 @@ let of_json j =
         merge_wait_ns;
         imbalance_pct;
         flight;
+        tenant;
         stats;
         gc;
       }
@@ -231,26 +236,47 @@ let close_sink sink = close_out sink.oc
 (* --- the process-global sink ----------------------------------------- *)
 
 (* Mirrors Trace's discipline: [on] is a plain ref read without the lock so
-   the per-query check in Engine.close stays one load; the sink swap itself
-   is serialised through the sink's own mutex via [write]. *)
-let global : sink option ref = ref None
+   the per-query check in Engine.close stays one load.  All sink swaps
+   (enable / disable / SIGHUP reopen) and every emit serialise on [gm], so
+   a rotation can never close the channel out from under a concurrent
+   writer — the daemon emits from many connection threads at once. *)
+let global : (sink * string) option ref = ref None
 let on = ref false
+let gm = Mutex.create ()
 let enabled () = !on
+
+let with_gm f =
+  Mutex.lock gm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock gm) f
 
 let disable () =
   on := false;
-  match !global with
-  | None -> ()
-  | Some s ->
-    global := None;
-    close_sink s
+  with_gm (fun () ->
+      match !global with
+      | None -> ()
+      | Some (s, _) ->
+        global := None;
+        close_sink s)
 
 let enable path =
   disable ();
-  global := Some (open_sink path);
+  with_gm (fun () -> global := Some (open_sink path, path));
   on := true
 
-let emit r = match !global with None -> () | Some s -> write s r
+let reopen () =
+  with_gm (fun () ->
+      match !global with
+      | None -> ()
+      | Some (s, path) ->
+        (* close first: the rotated file's last record is already flushed, and
+           reopening in append mode recreates the path if it was renamed away.
+           Dropping [global] before the reopen means a failing reopen leaves
+           the sink cleanly disabled, never pointing at a closed channel. *)
+        close_sink s;
+        global := None;
+        global := Some (open_sink path, path))
+
+let emit r = with_gm (fun () -> match !global with None -> () | Some (s, _) -> write s r)
 
 (* --- reading ---------------------------------------------------------- *)
 

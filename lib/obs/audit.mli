@@ -22,9 +22,9 @@
     on the evaluation hot path knows the audit log exists. *)
 
 val schema_version : int
-(** The record schema version, stamped as field ["v"]; currently 2 (v2
-    added the [flight] cross-link).  {!of_json} also accepts v1 records,
-    reading their [flight] as [None]. *)
+(** The record schema version, stamped as field ["v"]; currently 3 (v2
+    added the [flight] cross-link, v3 the serving [tenant]).  {!of_json}
+    also accepts v1/v2 records, reading the absent fields as [None]. *)
 
 val env_var : string
 (** ["OMEGA_AUDIT"] — binaries treat it as a default for [--audit]. *)
@@ -67,6 +67,12 @@ type record = {
   flight : flight_info option;
       (** cross-link to the flight-recorder dump covering this query, when
           both sinks were active; [None] otherwise (and for v1 records) *)
+  tenant : string option;
+      (** the tenant the query was served for ([omega_serve]); [None] for
+          standalone CLI runs (and for v1/v2 records).  Server-level
+          records — shed requests, protocol errors, the drain marker —
+          carry it too, with [termination] ["shed"] / ["error"] /
+          ["drain"]: the key of [omega_report]'s per-tenant rollup. *)
   stats : (string * int) list;  (** the full [Exec_stats.to_assoc] counters *)
   gc : (string * int) list;
       (** [Gc.quick_stat] deltas over the query: [minor_words],
@@ -113,6 +119,13 @@ val enabled : unit -> bool
 
 val disable : unit -> unit
 (** Close and remove the global sink. *)
+
+val reopen : unit -> unit
+(** Close and reopen the global sink at its current path (append, creating
+    the file if a rotation renamed it away) — the SIGHUP handler of
+    [omega_serve], so the daemon supports log rotation without a restart.
+    Serialised against concurrent {!emit}s; a no-op when disabled.  If the
+    path can no longer be opened the sink is left cleanly disabled. *)
 
 val emit : record -> unit
 (** Append to the global sink; a no-op when disabled.  Serialised by an

@@ -20,6 +20,12 @@ type par_stats = {
   merge_wait_total_ns : int;
 }
 
+type tenant_stats = {
+  tn_queries : int;  (* engine query records carrying this tenant *)
+  tn_shed : int;  (* admission sheds charged to this tenant *)
+  tn_slo : Slo.t;  (* per-class latency over those query records *)
+}
+
 type t = {
   total : int;
   slo : Slo.t;
@@ -27,6 +33,7 @@ type t = {
   vetted : scatter list;  (* records with an admission estimate *)
   slowest : slow list;  (* wall_ns descending, bounded *)
   par : par_stats;
+  tenants : (string * tenant_stats) list;  (* sorted by tenant; [] pre-v3 *)
 }
 
 let total t = t.total
@@ -34,6 +41,15 @@ let total t = t.total
 let build ?(top = 5) records =
   let slo = Slo.create () in
   let terms = Hashtbl.create 8 in
+  let tenants = Hashtbl.create 8 in
+  let tenant_slot tn =
+    match Hashtbl.find_opt tenants tn with
+    | Some slot -> slot
+    | None ->
+      let slot = (ref 0, ref 0, Slo.create ()) in
+      Hashtbl.add tenants tn slot;
+      slot
+  in
   let vetted = ref [] in
   let par_queries = ref 0 in
   let imb_sum = ref 0 and imb_n = ref 0 and imb_max = ref 0 in
@@ -43,6 +59,18 @@ let build ?(top = 5) records =
       Slo.observe slo ~cls:r.query_class ~wall_ns:r.wall_ns ~cpu_ns:r.cpu_ns;
       Hashtbl.replace terms r.termination
         (1 + Option.value ~default:0 (Hashtbl.find_opt terms r.termination));
+      (match r.tenant with
+      | None -> ()
+      | Some tn ->
+        let queries, shed, tslo = tenant_slot tn in
+        if r.termination = "shed" then incr shed
+        else if r.query_class <> "server" then begin
+          (* only real query work feeds the tenant latency table: server
+             bookkeeping records (errors, drills, the drain marker) would
+             poison the percentiles with zero-cost rows *)
+          incr queries;
+          Slo.observe tslo ~cls:r.query_class ~wall_ns:r.wall_ns ~cpu_ns:r.cpu_ns
+        end);
       if r.est_product > 0 then
         vetted := { sc_hash = r.query_hash; sc_est = r.est_product; sc_actual = r.actual_tuples } :: !vetted;
       if r.shards <> [] then begin
@@ -87,6 +115,12 @@ let build ?(top = 5) records =
         imb_max = !imb_max;
         merge_wait_total_ns = !merge_wait;
       };
+    tenants =
+      Hashtbl.fold
+        (fun tn (queries, shed, tslo) acc ->
+          (tn, { tn_queries = !queries; tn_shed = !shed; tn_slo = tslo }) :: acc)
+        tenants []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
   }
 
 (* --- admission accuracy ----------------------------------------------- *)
@@ -141,6 +175,23 @@ let pp ppf t =
   else
     Format.fprintf ppf "  sharded=%d imbalance mean=%.0f%% max=%d%% merge_wait=%dns@."
       t.par.par_queries t.par.imb_mean t.par.imb_max t.par.merge_wait_total_ns;
+  (* only when some record carries a tenant (v3 server logs): pre-v3
+     fixtures render byte-identically *)
+  if t.tenants <> [] then begin
+    Format.fprintf ppf "@.per-tenant:@.";
+    List.iter
+      (fun (tn, ts) ->
+        Format.fprintf ppf "  %-18s queries=%-4d shed=%d@." tn ts.tn_queries ts.tn_shed;
+        List.iter
+          (fun cls ->
+            match Slo.summary ts.tn_slo cls with
+            | None -> ()
+            | Some s ->
+              Format.fprintf ppf "    %-18s n=%-4d p50=%a p99=%a@." cls s.Slo.queries pp_ns
+                s.Slo.wall_p50 pp_ns s.Slo.wall_p99)
+          (Slo.classes ts.tn_slo))
+      t.tenants
+  end;
   Format.fprintf ppf "@.slowest queries:@.";
   List.iter
     (fun s ->
@@ -201,6 +252,18 @@ let to_json t =
             ( "merge_wait_total_ns",
               if t.par.par_measured = 0 then Json.Null else Json.Int t.par.merge_wait_total_ns );
           ] );
+      ( "tenants",
+        Json.Obj
+          (List.map
+             (fun (tn, ts) ->
+               ( tn,
+                 Json.Obj
+                   [
+                     ("queries", Json.Int ts.tn_queries);
+                     ("shed", Json.Int ts.tn_shed);
+                     ("classes", Slo.to_json ts.tn_slo);
+                   ] ))
+             t.tenants) );
     ]
 
 (* --- regression view ---------------------------------------------------- *)

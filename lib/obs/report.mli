@@ -1,8 +1,10 @@
 (** Aggregation of audit logs into the observatory report rendered by
     [bin/omega_report]: per-class latency percentiles ({!Slo}), termination
     breakdown, admission estimate-vs-actual accuracy, the top-N slowest
-    queries with their plans, and parallel shard-imbalance statistics —
-    plus an old-vs-new regression comparison.
+    queries with their plans, parallel shard-imbalance statistics, and —
+    when the log carries tenants (v3 server logs) — a per-tenant rollup
+    (queries, sheds, per-class p50/p99) — plus an old-vs-new regression
+    comparison.
 
     Pure over {!Audit.record} lists; the binary and the golden-output test
     share this code. *)
@@ -16,12 +18,15 @@ val total : t -> int
 
 val pp : Format.formatter -> t -> unit
 (** The text report.  Deterministic for a given record list (pinned by the
-    golden test). *)
+    golden test).  The per-tenant section renders only when at least one
+    record carries a tenant, so tenant-less (pre-v3) logs keep their exact
+    historical output. *)
 
 val to_json : t -> Json.t
-(** [{queries, classes, terminations, admission, slowest, parallel}] — the
-    machine-readable form of {!pp} (admission includes the full
-    est-vs-actual scatter, which the text report only summarises). *)
+(** [{queries, classes, terminations, admission, slowest, parallel,
+    tenants}] — the machine-readable form of {!pp} (admission includes the
+    full est-vs-actual scatter, which the text report only summarises;
+    [tenants] is [{}] for tenant-less logs). *)
 
 val pp_compare : Format.formatter -> t * t -> unit
 (** [pp_compare ppf (old_, new_)] — the regression view: per-class p50/p99

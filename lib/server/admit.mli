@@ -1,0 +1,62 @@
+(** The server's overload gate: a bounded in-flight set with per-tenant
+    fair admission, layered {e in front of} the engine's own static
+    admission control ([Core.Admission], which vets a query's cost) — this
+    module rations {e concurrency}, per tenant and globally.
+
+    Capacity is two nested caps: at most [max_inflight] requests evaluating
+    at once process-wide, and at most [tenant_inflight] of them for any one
+    tenant — a single flooding tenant exhausts its own share and starts
+    shedding while every other tenant's slots stay available (the fairness
+    property pinned by the chaos suite).  Beyond either cap the server does
+    {e not} queue: the request is shed immediately with a
+    [retry_after_ms] hint, so the daemon's memory stays bounded no matter
+    the offered load (crash-only: shedding is a normal answer, not a
+    failure).
+
+    Each admitted request holds a {!ticket} for its lifetime; attaching the
+    request's governor to the ticket is what lets the stuck-query reaper
+    ({!cancel_overdue}) and the drain path ({!cancel_all}) cut it
+    cooperatively — cancellation rides [Core.Governor.cancel], so whatever
+    the request already emitted remains an exact ranked prefix. *)
+
+type t
+
+type ticket
+
+type decision =
+  | Admitted of ticket
+  | Shed of { retry_after_ms : int; draining : bool }
+
+val create : max_inflight:int -> tenant_inflight:int -> retry_after_ms:int -> unit -> t
+(** Caps are clamped to >= 1; [retry_after_ms] is the base backpressure
+    hint returned on shed. *)
+
+val try_admit : t -> tenant:string -> decision
+(** Admit or shed, never blocks.  Draining servers shed everything (with
+    [draining = true]). *)
+
+val attach : t -> ticket -> Core.Governor.t -> unit
+(** Register the request's governor so the reaper and drain can cancel it.
+    The ticket's age starts at {!try_admit} (per [Obs.Clock.now_ns]). *)
+
+val release : t -> ticket -> unit
+(** Give the slots back (idempotent). *)
+
+val inflight : t -> int
+
+val tenant_inflight : t -> string -> int
+
+val begin_drain : t -> unit
+(** Every subsequent {!try_admit} sheds with [draining = true]. *)
+
+val draining : t -> bool
+
+val cancel_all : t -> reason:string -> int
+(** [Core.Governor.cancel ~reason] every attached in-flight governor;
+    returns how many were cancelled. *)
+
+val cancel_overdue : t -> now_ns:int -> max_age_ns:int -> reason:string -> int
+(** The stuck-query reaper: cancel every in-flight request older than
+    [max_age_ns] (ticket ages are per [Obs.Clock.now_ns], sampled at
+    admission).  Idempotent per request — a governor already tripped keeps
+    its first cause. *)

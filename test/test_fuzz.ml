@@ -28,6 +28,32 @@ let corpus_dir =
   if Sys.file_exists "corpus" then "corpus"
   else Filename.concat (Filename.dirname Sys.executable_name) "corpus"
 
+(* the in-process daemon Server_case frames are replayed against: tight
+   budgets, sequential, audit disabled — only the handle_request contract
+   (one typed JSON response, never an exception, backstop cold) matters *)
+let feed_daemon =
+  lazy
+    (let g = Graph.create () in
+     let n = Array.init 6 (fun i -> Graph.add_node g (Printf.sprintf "N%d" i)) in
+     Array.iteri
+       (fun i src ->
+         List.iter (fun l -> Graph.add_edge_s g src l n.((i + 1) mod 6)) [ "a"; "b"; "knows" ])
+       n;
+     let k = Ontology.create (Graph.interner g) in
+     Graph.freeze g;
+     Server.Daemon.create ~graph:g ~ontology:k
+       {
+         Server.Daemon.default_config with
+         Server.Daemon.options =
+           {
+             Core.Options.default with
+             Core.Options.max_tuples = Some 1_000;
+             max_answers = Some 32;
+             max_states = Some 64;
+           };
+         default_limit = 10;
+       })
+
 let feed = function
   | Fuzz.Regex_case s -> (
     match Rpq_regex.Parser.parse_result s with Ok _ | Error _ -> ())
@@ -40,11 +66,24 @@ let feed = function
     (match Ntriples.Nt.read_string_report ~lenient:false s with
     | _ -> ()
     | exception Ntriples.Nt.Parse_error _ -> ())
+  | Fuzz.Server_case s -> (
+    match Server.Daemon.handle_request (Lazy.force feed_daemon) s with
+    | None -> if String.trim s <> "" then failwith "no response for a non-blank frame"
+    | Some resp -> (
+      match Obs.Json.parse resp with
+      | Error msg -> failwith ("response is not valid JSON: " ^ msg)
+      | Ok j -> (
+        match Server.Protocol.response_code j with
+        | Some 1 -> failwith "crash-only backstop fired: an internal exception escaped"
+        | Some c when c >= 0 && c <= 7 -> ()
+        | _ -> failwith "response code missing or outside the taxonomy")))
 
 let case_of_file name contents =
   if String.length name >= 6 && String.sub name 0 6 = "regex_" then Some (Fuzz.Regex_case contents)
   else if String.length name >= 6 && String.sub name 0 6 = "query_" then
     Some (Fuzz.Query_case contents)
+  else if String.length name >= 7 && String.sub name 0 7 = "server_" then
+    Some (Fuzz.Server_case contents)
   else if String.length name >= 3 && String.sub name 0 3 = "nt_" then Some (Fuzz.Nt_case contents)
   else None
 

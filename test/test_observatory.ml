@@ -61,6 +61,7 @@ let full_record =
     merge_wait_ns = 120_000;
     imbalance_pct = 133;
     flight = Some { Audit.f_path = "flight.jsonl"; f_events = 480; f_dropped = 3 };
+    tenant = Some "acme";
     stats = [ ("pushes", 655); ("pops", 600); ("answers", 42) ];
     gc = [ ("minor_words", 50_000); ("major_words", 1_200) ];
   }
@@ -369,6 +370,73 @@ let report_compare_test () =
   | Ok _ -> ()
   | Error msg -> Alcotest.failf "compare JSON does not re-parse: %s" msg
 
+(* per-tenant rollup: server logs stamp records with a tenant; the report
+   groups query work and sheds by it.  Tenant-less (pre-v3) logs must not
+   grow a section — the golden fixture pins that above. *)
+let report_tenant_rollup_test () =
+  let q tenant cls wall =
+    { full_record with Audit.tenant; query_class = cls; wall_ns = wall; shards = []; imbalance_pct = 0; merge_wait_ns = 0 }
+  in
+  let shed tenant =
+    {
+      (q tenant "server" 0) with
+      Audit.termination = "shed";
+      reason = Some "overload";
+      answers = 0;
+    }
+  in
+  let records =
+    [
+      q (Some "acme") "exact" 1_000;
+      q (Some "acme") "exact" 3_000;
+      q (Some "acme") "approx" 9_000;
+      shed (Some "acme");
+      shed (Some "acme");
+      q (Some "zeta") "exact" 2_000;
+      q None "exact" 500 (* pre-v3 record in the same log: counted globally only *);
+      { (q (Some "server") "server" 0) with Audit.termination = "drain" };
+    ]
+  in
+  let report = Report.build records in
+  let rendered = Format.asprintf "%a" Report.pp report in
+  let contains needle hay =
+    let n = String.length needle in
+    let rec find i = i + n <= String.length hay && (String.sub hay i n = needle || find (i + 1)) in
+    find 0
+  in
+  Alcotest.(check bool) "per-tenant section renders" true (contains "per-tenant:" rendered);
+  Alcotest.(check bool) "acme rollup line" true
+    (contains "acme               queries=3    shed=2" rendered);
+  Alcotest.(check bool) "zeta rollup line" true
+    (contains "zeta               queries=1    shed=0" rendered);
+  Alcotest.(check bool) "server bookkeeping rows carry no query work" true
+    (contains "server             queries=0    shed=0" rendered);
+  (match Json.member "tenants" (Report.to_json report) with
+  | Some (Json.Obj tenants) -> (
+    Alcotest.(check (list string)) "tenants sorted" [ "acme"; "server"; "zeta" ]
+      (List.map fst tenants);
+    match Json.member "acme" (Json.Obj tenants) with
+    | Some acme ->
+      Alcotest.(check bool) "acme queries" true (Json.member "queries" acme = Some (Json.Int 3));
+      Alcotest.(check bool) "acme shed" true (Json.member "shed" acme = Some (Json.Int 2));
+      (match Json.member "classes" acme with
+      | Some cls -> (
+        match Json.member "exact" cls with
+        | Some exact ->
+          Alcotest.(check bool) "acme exact class count" true
+            (Json.member "queries" exact = Some (Json.Int 2))
+        | None -> Alcotest.fail "acme exact class missing")
+      | None -> Alcotest.fail "acme classes missing")
+    | None -> Alcotest.fail "acme missing from tenants JSON")
+  | _ -> Alcotest.fail "no tenants object in report JSON");
+  (* tenant-less logs: no section, empty JSON object *)
+  let plain = Report.build (fixture_records ()) in
+  Alcotest.(check bool) "no per-tenant section for pre-v3 logs" false
+    (contains "per-tenant:" (Format.asprintf "%a" Report.pp plain));
+  match Json.member "tenants" (Report.to_json plain) with
+  | Some (Json.Obj []) -> ()
+  | _ -> Alcotest.fail "tenants should be an empty object for tenant-less logs"
+
 (* --- engine integration: one schema-valid record per query ---------------- *)
 
 let audit_instance =
@@ -535,6 +603,7 @@ let () =
           Alcotest.test_case "clockless parallel figures render unmeasured" `Quick
             report_clockless_parallel_test;
           Alcotest.test_case "comparison view" `Quick report_compare_test;
+          Alcotest.test_case "per-tenant rollup" `Quick report_tenant_rollup_test;
         ] );
       ( "engine",
         [
